@@ -1,0 +1,34 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! packing objective, LB policy, steal scope, and scheduler quantum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaleup_bench::experiments as exp;
+use scaleup_bench::Config;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let config = Config::quick(42);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(2));
+    group.measurement_time(Duration::from_secs(8));
+
+    group.bench_function("ablate_objective", |b| {
+        b.iter(|| black_box(exp::ablate_objective(&config).len()))
+    });
+    group.bench_function("ablate_lb", |b| {
+        b.iter(|| black_box(exp::ablate_lb(&config).len()))
+    });
+    group.bench_function("ablate_balance", |b| {
+        b.iter(|| black_box(exp::ablate_balance(&config).len()))
+    });
+    group.bench_function("ablate_quantum", |b| {
+        b.iter(|| black_box(exp::ablate_quantum(&config).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

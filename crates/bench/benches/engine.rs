@@ -1,0 +1,51 @@
+//! Engine micro/macro benchmarks: how fast the simulator itself runs.
+//!
+//! These measure simulator wall-clock cost (events processed per wall
+//! second), not simulated-system performance — useful for keeping sweeps
+//! affordable as the engine evolves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loadgen::ClosedLoop;
+use microsvc::{Deployment, Engine, EngineParams};
+use simcore::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use teastore::TeaStore;
+
+fn run_teastore(topo: Arc<cputopo::Topology>, users: u64, measure_ms: u64, seed: u64) -> u64 {
+    let store = TeaStore::browse();
+    let mix = store.mix();
+    let app = store.into_app();
+    let deployment = Deployment::uniform(&app, &topo, 4, 12);
+    let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, seed);
+    let mut load = ClosedLoop::new(users)
+        .think_time(SimDuration::from_millis(10))
+        .mix(&mix)
+        .warmup(SimDuration::from_millis(200))
+        .measure(SimDuration::from_millis(measure_ms));
+    engine.run(&mut load, SimTime::from_secs(60));
+    engine.report().completed
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(2));
+    group.measurement_time(Duration::from_secs(8));
+
+    group.bench_function("teastore_desktop_64u_300ms", |b| {
+        let topo = Arc::new(cputopo::Topology::desktop_8c());
+        b.iter(|| black_box(run_teastore(topo.clone(), 64, 300, 1)))
+    });
+
+    group.bench_function("teastore_2p256_512u_300ms", |b| {
+        let topo = Arc::new(cputopo::Topology::zen2_2p_128c());
+        b.iter(|| black_box(run_teastore(topo.clone(), 512, 300, 1)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! One Criterion target per reproduced table/figure (quick configuration).
+//!
+//! `cargo bench -p scaleup-bench --bench experiments` regenerates every
+//! experiment's data on the quick machine and reports how long each takes;
+//! the printed tables of the full study come from the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaleup_bench::experiments as exp;
+use scaleup_bench::Config;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_experiments(c: &mut Criterion) {
+    let config = Config::quick(42);
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(2));
+    group.measurement_time(Duration::from_secs(8));
+
+    group.bench_function("e3_load_curve", |b| {
+        b.iter(|| black_box(exp::e3(&config).points.len()))
+    });
+    group.bench_function("e4_scaleup", |b| {
+        b.iter(|| black_box(exp::e4(&config).fit.lambda))
+    });
+    group.bench_function("e5_service_util", |b| {
+        b.iter(|| black_box(exp::e5(&config).len()))
+    });
+    group.bench_function("e6_usl", |b| {
+        b.iter(|| black_box(exp::e6(&config).services.len()))
+    });
+    group.bench_function("e8_placement", |b| {
+        b.iter(|| black_box(exp::e8(&config).uplift_pct))
+    });
+    group.bench_function("e9_latency", |b| {
+        b.iter(|| black_box(exp::e9(&config).mean_reduction_pct))
+    });
+    group.bench_function("e10_smt", |b| {
+        b.iter(|| black_box(exp::e10(&config).smt2_rps))
+    });
+    group.bench_function("e12_characterization", |b| {
+        b.iter(|| black_box(exp::e12(&config).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

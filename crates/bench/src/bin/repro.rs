@@ -1,0 +1,256 @@
+//! `repro` — regenerates every table and figure of the study.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--csv DIR] [--html FILE] <experiment>...
+//! repro all                    # everything, in order
+//! repro e8 e9                  # just the headline pair
+//! repro --csv results e4 e8    # also write plot-ready CSV files
+//! ```
+//!
+//! Experiments: e1 … e17 (e14–e17 are extensions/validation),
+//! ablations: a1 (packing objective) a2 (LB) a3 (steal scope) a4 (quantum).
+
+use scaleup_bench::experiments as exp;
+use scaleup_bench::Config;
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17", "a1", "a2", "a3", "a4",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--seed N] [--csv DIR] [--html FILE] <e1..e17 | a1..a4 | all>...\n\
+         e1  platform table          e8  placement comparison (+22% headline)\n\
+         e2  TeaStore table          e9  latency at fixed load (−18% headline)\n\
+         e3  load curve              e10 SMT study\n\
+         e4  scale-up curve          e11 NUMA locality\n\
+         e5  per-service util        e12 µarch characterization\n\
+         e6  per-service USL         e13 scheduler behaviour\n\
+         e7  replica tuning          e14 frequency-boost extension\n\
+         e15 MVA validation          e16 mix-sensitivity extension\n\
+         e17 enumeration orders      a1..a4 ablations"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut html_path: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--csv" => {
+                csv_dir = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--html" => {
+                html_path = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
+            e if ALL.contains(&e) => wanted.push(e.to_owned()),
+            _ => usage(),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create CSV output directory");
+    }
+
+    let config = if quick {
+        Config::quick(seed)
+    } else {
+        Config::paper(seed)
+    };
+    println!(
+        "# repro: {} configuration, seed {seed}\n",
+        if quick { "quick" } else { "paper" }
+    );
+    let mut html = html_path.as_ref().map(|_| {
+        scaleup::html::HtmlReport::new(&format!(
+            "TeaStore scale-up reproduction ({} configuration, seed {seed})",
+            if quick { "quick" } else { "paper" }
+        ))
+    });
+
+    for name in wanted {
+        let t0 = Instant::now();
+        let mut csv: Option<(String, String)> = None; // (filename, contents)
+        let output = match name.as_str() {
+            "e1" => exp::e1(&config),
+            "e2" => exp::e2(&config),
+            "e3" => {
+                let r = exp::e3(&config);
+                csv = Some(("e3_load_curve.csv".into(), exp::csv_e3(&r)));
+                if let Some(report) = html.as_mut() {
+                    report.chart(
+                        "E3: load curve",
+                        scaleup::html::LineChart::new(
+                            "throughput vs closed-loop users",
+                            "users",
+                            "req/s",
+                        )
+                        .series(
+                            "tuned baseline",
+                            r.points
+                                .iter()
+                                .map(|(u, rep)| (*u as f64, rep.throughput_rps))
+                                .collect(),
+                        ),
+                    );
+                }
+                r.table
+            }
+            "e4" => {
+                let r = exp::e4(&config);
+                csv = Some(("e4_scaleup.csv".into(), exp::csv_scale_points(&r.points)));
+                if let Some(report) = html.as_mut() {
+                    let measured: Vec<(f64, f64)> = r
+                        .points
+                        .iter()
+                        .map(|p| (p.n as f64, p.throughput_rps))
+                        .collect();
+                    let fitted: Vec<(f64, f64)> = r
+                        .points
+                        .iter()
+                        .map(|p| (p.n as f64, r.fit.predict(p.n as f64)))
+                        .collect();
+                    report.chart(
+                        "E4: scale-up",
+                        scaleup::html::LineChart::new(
+                            "throughput vs enabled logical CPUs",
+                            "logical CPUs",
+                            "req/s",
+                        )
+                        .series("measured", measured)
+                        .series("USL fit", fitted),
+                    );
+                }
+                r.table
+            }
+            "e5" => exp::e5(&config),
+            "e6" => {
+                let r = exp::e6(&config);
+                csv = Some(("e6_service_scaling.csv".into(), exp::csv_e6(&r)));
+                if let Some(report) = html.as_mut() {
+                    let mut chart = scaleup::html::LineChart::new(
+                        "throughput vs replicas of one service",
+                        "replicas",
+                        "req/s",
+                    );
+                    for (name, points, _) in &r.services {
+                        chart = chart.series(
+                            name,
+                            points
+                                .iter()
+                                .map(|p| (p.n as f64, p.throughput_rps))
+                                .collect(),
+                        );
+                    }
+                    report.chart("E6: per-service scaling", chart);
+                }
+                r.table
+            }
+            "e7" => exp::e7(&config),
+            "e8" => {
+                let r = exp::e8(&config);
+                csv = Some(("e8_placement.csv".into(), exp::csv_e8(&r)));
+                if let Some(report) = html.as_mut() {
+                    let rows: Vec<Vec<String>> = r
+                        .rows
+                        .iter()
+                        .zip(&r.throughput)
+                        .map(|((name, rep), x)| {
+                            vec![
+                                name.clone(),
+                                x.display(" req/s"),
+                                rep.mean_latency.to_string(),
+                                format!("{:.1}%", rep.cpu_utilization * 100.0),
+                                format!("{:+.1}%", 100.0 * (x.mean / r.throughput[0].mean - 1.0)),
+                            ]
+                        })
+                        .collect();
+                    report.table(
+                        "E8: placement policies (headline)",
+                        &[
+                            "policy",
+                            "throughput",
+                            "mean latency",
+                            "util",
+                            "vs baseline",
+                        ],
+                        rows,
+                    );
+                }
+                r.table
+            }
+            "e9" => {
+                let r = exp::e9(&config);
+                csv = Some(("e9_latency.csv".into(), exp::csv_e9(&r)));
+                r.table
+            }
+            "e10" => exp::e10(&config).table,
+            "e11" => exp::e11(&config).table,
+            "e12" => exp::e12(&config),
+            "e13" => exp::e13(&config),
+            "e14" => exp::e14(&config),
+            "e16" => exp::e16(&config).table,
+            "e17" => exp::e17(&config),
+            "e15" => {
+                let r = exp::e15(&config);
+                csv = Some(("e15_mva.csv".into(), exp::csv_e15(&r)));
+                if let Some(report) = html.as_mut() {
+                    report.chart(
+                        "E15: simulator vs analytic MVA",
+                        scaleup::html::LineChart::new(
+                            "simulated vs predicted throughput",
+                            "users",
+                            "req/s",
+                        )
+                        .series(
+                            "simulator",
+                            r.points.iter().map(|&(u, s, _)| (u as f64, s)).collect(),
+                        )
+                        .series(
+                            "MVA",
+                            r.points.iter().map(|&(u, _, m)| (u as f64, m)).collect(),
+                        ),
+                    );
+                }
+                r.table
+            }
+            "a1" => exp::ablate_objective(&config),
+            "a2" => exp::ablate_lb(&config),
+            "a3" => exp::ablate_balance(&config),
+            "a4" => exp::ablate_quantum(&config),
+            _ => unreachable!("validated above"),
+        };
+        println!("{output}");
+        if let Some(report) = html.as_mut() {
+            report.pre(&format!("{name} (text table)"), output.trim_end());
+        }
+        if let (Some(dir), Some((file, contents))) = (&csv_dir, csv) {
+            let path = dir.join(file);
+            std::fs::write(&path, contents).expect("write CSV");
+            println!("[wrote {}]", path.display());
+        }
+        println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+    if let (Some(path), Some(report)) = (html_path, html) {
+        std::fs::write(&path, report.render()).expect("write HTML report");
+        println!("[wrote {}]", path.display());
+    }
+}

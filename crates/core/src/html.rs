@@ -1,0 +1,402 @@
+//! Self-contained HTML reports with inline SVG charts.
+//!
+//! `repro --html report.html` renders every structured experiment into one
+//! file a browser can open offline: tables, line charts, and prose — no
+//! JavaScript, no external assets. The SVG renderer is small but honest:
+//! linear axes with rounded tick labels, multi-series polylines with a
+//! color-blind-safe palette, and a legend.
+
+use std::fmt::Write as _;
+
+/// One data series of a [`LineChart`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; rendered in the given order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A line chart rendered to SVG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+/// Okabe–Ito palette: distinguishable under common color-vision deficiencies.
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+const W: f64 = 640.0;
+const H: f64 = 360.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 20.0;
+const MT: f64 = 36.0;
+const MB: f64 = 48.0;
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if !(hi - lo).is_finite() || hi <= lo {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm < 1.5 {
+            1.0
+        } else if norm < 3.0 {
+            2.0
+        } else if norm < 7.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else if v.abs() >= 10.0 || v == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        LineChart {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    pub fn series(mut self, name: &str, points: Vec<(f64, f64)>) -> Self {
+        self.series.push(Series {
+            name: name.to_owned(),
+            points,
+        });
+        self
+    }
+
+    /// Renders the chart as an SVG element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series has any points.
+    pub fn render_svg(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!all.is_empty(), "cannot chart zero points");
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (0.0f64, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        if x_hi <= x_lo {
+            x_hi = x_lo + 1.0;
+        }
+        if y_hi <= y_lo {
+            y_hi = y_lo + 1.0;
+        }
+        y_hi *= 1.05; // headroom
+
+        let px = |x: f64| ML + (x - x_lo) / (x_hi - x_lo) * (W - ML - MR);
+        let py = |y: f64| H - MB - (y - y_lo) / (y_hi - y_lo) * (H - MT - MB);
+
+        let mut svg = format!(
+            r#"<svg viewBox="0 0 {W} {H}" xmlns="http://www.w3.org/2000/svg" role="img" font-family="sans-serif">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+            W / 2.0,
+            escape(&self.title)
+        );
+        // Axes.
+        let _ = write!(
+            svg,
+            r##"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="#333"/><line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="#333"/>"##,
+            H - MB,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        for t in nice_ticks(x_lo, x_hi, 6) {
+            let x = px(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="#ccc"/><text x="{x}" y="{}" text-anchor="middle" font-size="10">{}</text>"##,
+                MT,
+                H - MB,
+                H - MB + 14.0,
+                fmt_tick(t)
+            );
+        }
+        for t in nice_ticks(y_lo, y_hi, 5) {
+            let y = py(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{ML}" y1="{y}" x2="{}" y2="{y}" stroke="#eee"/><text x="{}" y="{}" text-anchor="end" font-size="10">{}</text>"##,
+                W - MR,
+                ML - 6.0,
+                y + 3.0,
+                fmt_tick(t)
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 8.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="14" y="{}" text-anchor="middle" font-size="11" transform="rotate(-90 14 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            escape(&self.y_label)
+        );
+        // Series.
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: String = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = write!(
+                svg,
+                r#"<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+            );
+            for &(x, y) in &series.points {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.5" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend entry.
+            let ly = MT + 16.0 * i as f64;
+            let _ = write!(
+                svg,
+                r#"<rect x="{}" y="{}" width="10" height="10" fill="{color}"/><text x="{}" y="{}" font-size="11">{}</text>"#,
+                W - MR - 150.0,
+                ly,
+                W - MR - 136.0,
+                ly + 9.0,
+                escape(&series.name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+enum Body {
+    Text(String),
+    Table {
+        headers: Vec<String>,
+        rows: Vec<Vec<String>>,
+    },
+    Chart(LineChart),
+    Pre(String),
+}
+
+/// A whole report: sections of prose, tables, preformatted blocks and charts,
+/// rendered into one self-contained HTML document.
+pub struct HtmlReport {
+    title: String,
+    sections: Vec<(String, Body)>,
+}
+
+impl HtmlReport {
+    /// Creates an empty report.
+    pub fn new(title: &str) -> Self {
+        HtmlReport {
+            title: title.to_owned(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds a prose paragraph.
+    pub fn text(&mut self, heading: &str, body: &str) -> &mut Self {
+        self.sections
+            .push((heading.to_owned(), Body::Text(body.to_owned())));
+        self
+    }
+
+    /// Adds a preformatted block (monospace, e.g. a `repro` table).
+    pub fn pre(&mut self, heading: &str, body: &str) -> &mut Self {
+        self.sections
+            .push((heading.to_owned(), Body::Pre(body.to_owned())));
+        self
+    }
+
+    /// Adds a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width differs from the header's.
+    pub fn table(&mut self, heading: &str, headers: &[&str], rows: Vec<Vec<String>>) -> &mut Self {
+        for row in &rows {
+            assert_eq!(row.len(), headers.len(), "ragged table row");
+        }
+        self.sections.push((
+            heading.to_owned(),
+            Body::Table {
+                headers: headers.iter().map(|h| h.to_string()).collect(),
+                rows,
+            },
+        ));
+        self
+    }
+
+    /// Adds a chart.
+    pub fn chart(&mut self, heading: &str, chart: LineChart) -> &mut Self {
+        self.sections.push((heading.to_owned(), Body::Chart(chart)));
+        self
+    }
+
+    /// Renders the document.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>{}</title><style>\
+             body{{font-family:sans-serif;max-width:56rem;margin:2rem auto;padding:0 1rem;color:#222}}\
+             table{{border-collapse:collapse;margin:1rem 0}}\
+             th,td{{border:1px solid #bbb;padding:0.3rem 0.7rem;text-align:right}}\
+             th{{background:#f0f0f0}} td:first-child,th:first-child{{text-align:left}}\
+             pre{{background:#f7f7f7;padding:0.8rem;overflow-x:auto;font-size:0.85rem}}\
+             h2{{border-bottom:1px solid #ddd;padding-bottom:0.2rem}}\
+             </style></head><body><h1>{}</h1>",
+            escape(&self.title),
+            escape(&self.title)
+        );
+        for (heading, body) in &self.sections {
+            let _ = write!(out, "<h2>{}</h2>", escape(heading));
+            match body {
+                Body::Text(t) => {
+                    let _ = write!(out, "<p>{}</p>", escape(t));
+                }
+                Body::Pre(t) => {
+                    let _ = write!(out, "<pre>{}</pre>", escape(t));
+                }
+                Body::Table { headers, rows } => {
+                    out.push_str("<table><tr>");
+                    for h in headers {
+                        let _ = write!(out, "<th>{}</th>", escape(h));
+                    }
+                    out.push_str("</tr>");
+                    for row in rows {
+                        out.push_str("<tr>");
+                        for cell in row {
+                            let _ = write!(out, "<td>{}</td>", escape(cell));
+                        }
+                        out.push_str("</tr>");
+                    }
+                    out.push_str("</table>");
+                }
+                Body::Chart(chart) => out.push_str(&chart.render_svg()),
+            }
+        }
+        out.push_str("</body></html>");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_nice_and_cover_the_range() {
+        let t = nice_ticks(0.0, 100.0, 5);
+        assert!(t.contains(&0.0) && t.contains(&100.0), "{t:?}");
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        let t = nice_ticks(3.0, 3.0, 5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn chart_renders_valid_svgish_output() {
+        let chart = LineChart::new("throughput", "users", "req/s")
+            .series("baseline", vec![(0.0, 0.0), (10.0, 100.0)])
+            .series("topo", vec![(0.0, 0.0), (10.0, 123.0)]);
+        let svg = chart.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("baseline"));
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn empty_chart_rejected() {
+        LineChart::new("x", "y", "z").render_svg();
+    }
+
+    #[test]
+    fn report_renders_and_escapes() {
+        let mut report = HtmlReport::new("A <test> & more");
+        report
+            .text("intro", "1 < 2")
+            .table("t", &["a", "b"], vec![vec!["1".into(), "x & y".into()]])
+            .pre("raw", "cols  aligned")
+            .chart(
+                "c",
+                LineChart::new("c", "x", "y").series("s", vec![(0.0, 1.0)]),
+            );
+        let html = report.render();
+        assert!(html.contains("&lt;test&gt;"));
+        assert!(html.contains("1 &lt; 2"));
+        assert!(html.contains("x &amp; y"));
+        assert!(html.contains("<svg"));
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_rejected() {
+        HtmlReport::new("r").table("t", &["a"], vec![vec!["1".into(), "2".into()]]);
+    }
+}

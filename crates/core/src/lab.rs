@@ -1,0 +1,195 @@
+//! The experiment runner: one configured object, one call per measurement.
+
+use crate::placement::{PlacedDeployment, Policy};
+use cputopo::Topology;
+use loadgen::{ClosedLoop, OpenLoop};
+use microsvc::{AppSpec, Deployment, Engine, EngineParams, LbPolicy, RunReport};
+use simcore::{SimDuration, SimTime};
+use std::sync::Arc;
+use teastore::TeaStore;
+
+/// A configured scale-up laboratory: machine, engine parameters, load shape.
+///
+/// Construct once, then call [`Lab::run_app`] / [`Lab::run_policy`] for each
+/// measurement. Every run is deterministic in `(lab config, seed)`.
+#[derive(Debug, Clone)]
+pub struct Lab {
+    /// The simulated machine.
+    pub topo: Arc<Topology>,
+    /// Engine parameters (µarch model, scheduler, default LB).
+    pub engine_params: EngineParams,
+    /// Master seed for all random streams.
+    pub seed: u64,
+    /// Closed-loop user population.
+    pub users: u64,
+    /// Mean think time of closed-loop users.
+    pub think: SimDuration,
+    /// Warm-up discarded before measurement.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub measure: SimDuration,
+}
+
+impl Lab {
+    /// The paper's machine (2P, 256 logical CPUs) under a saturating closed
+    /// load: 1024 users, 10 ms think time, 0.75 s warm-up, 1.5 s measured.
+    pub fn paper_machine(seed: u64) -> Self {
+        Lab {
+            topo: Arc::new(Topology::zen2_2p_128c()),
+            engine_params: EngineParams::default(),
+            seed,
+            users: 1024,
+            think: SimDuration::from_millis(10),
+            warmup: SimDuration::from_millis(750),
+            measure: SimDuration::from_millis(1500),
+        }
+    }
+
+    /// A small desktop machine with a light load — fast, for tests and docs.
+    pub fn small(seed: u64) -> Self {
+        Lab {
+            topo: Arc::new(Topology::desktop_8c()),
+            engine_params: EngineParams::default(),
+            seed,
+            users: 48,
+            think: SimDuration::from_millis(10),
+            warmup: SimDuration::from_millis(300),
+            measure: SimDuration::from_millis(800),
+        }
+    }
+
+    /// Overrides the user population.
+    pub fn with_users(mut self, users: u64) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn horizon(&self) -> SimTime {
+        // Generous slack beyond warm-up + measurement; the STOP timer ends
+        // the run first in any healthy configuration.
+        SimTime::ZERO + (self.warmup + self.measure) * 4
+    }
+
+    /// Runs `app` as `deployment` under the lab's closed-loop load, with the
+    /// mix taken from the app's class weights.
+    pub fn run_app(&self, app: &AppSpec, deployment: Deployment, lb: LbPolicy) -> RunReport {
+        let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+        let mut params = self.engine_params.clone();
+        params.lb = lb;
+        let mut engine = Engine::new(
+            self.topo.clone(),
+            params,
+            app.clone(),
+            deployment,
+            self.seed,
+        );
+        let mut load = ClosedLoop::new(self.users)
+            .think_time(self.think)
+            .mix(&mix)
+            .warmup(self.warmup)
+            .measure(self.measure);
+        engine.run(&mut load, self.horizon());
+        engine.report()
+    }
+
+    /// Runs `app` under an open-loop Poisson load at `rate_rps`.
+    pub fn run_app_open(
+        &self,
+        app: &AppSpec,
+        deployment: Deployment,
+        lb: LbPolicy,
+        rate_rps: f64,
+    ) -> RunReport {
+        let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+        let mut params = self.engine_params.clone();
+        params.lb = lb;
+        let mut engine = Engine::new(
+            self.topo.clone(),
+            params,
+            app.clone(),
+            deployment,
+            self.seed,
+        );
+        let mut load = OpenLoop::new(rate_rps)
+            .mix(&mix)
+            .warmup(self.warmup)
+            .measure(self.measure);
+        engine.run(&mut load, self.horizon());
+        engine.report()
+    }
+
+    /// Places TeaStore with `policy` (see [`Policy::deploy`]) and runs it.
+    ///
+    /// `replicas` is per-service (ignored by
+    /// [`Policy::TopologyAware`], which derives its own replication).
+    pub fn run_policy(&self, store: &TeaStore, policy: Policy, replicas: &[usize]) -> RunReport {
+        let placed = policy.deploy(store.app(), &self.topo, replicas);
+        self.run_placed(store.app(), placed)
+    }
+
+    /// Runs a pre-built [`PlacedDeployment`].
+    pub fn run_placed(&self, app: &AppSpec, placed: PlacedDeployment) -> RunReport {
+        self.run_app(app, placed.deployment, placed.lb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsvc::{CallNode, Demand, ServiceSpec};
+    use uarch::ServiceProfile;
+
+    fn tiny_app() -> AppSpec {
+        let mut app = AppSpec::new();
+        let svc = app.add_service(ServiceSpec::new("api", ServiceProfile::light_rpc("api")));
+        app.add_class("ping", 1.0, CallNode::leaf(svc, Demand::fixed_us(250.0)));
+        app
+    }
+
+    #[test]
+    fn closed_loop_run_produces_throughput() {
+        let lab = Lab::small(1);
+        let app = tiny_app();
+        let deployment = Deployment::uniform(&app, &lab.topo, 2, 8);
+        let report = lab.run_app(&app, deployment, LbPolicy::RoundRobin);
+        assert!(report.completed > 100);
+        assert!(report.throughput_rps > 500.0);
+        assert!((report.window.as_secs_f64() - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn open_loop_run_hits_rate() {
+        let lab = Lab::small(2);
+        let app = tiny_app();
+        let deployment = Deployment::uniform(&app, &lab.topo, 2, 8);
+        let report = lab.run_app_open(&app, deployment, LbPolicy::RoundRobin, 1500.0);
+        assert!((report.throughput_rps - 1500.0).abs() / 1500.0 < 0.15);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let lab = Lab::small(3);
+        let app = tiny_app();
+        let d1 = Deployment::uniform(&app, &lab.topo, 2, 4);
+        let d2 = Deployment::uniform(&app, &lab.topo, 2, 4);
+        let r1 = lab.run_app(&app, d1, LbPolicy::RoundRobin);
+        let r2 = lab.run_app(&app, d2, LbPolicy::RoundRobin);
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.mean_latency, r2.mean_latency);
+    }
+
+    #[test]
+    fn teastore_runs_on_small_lab() {
+        let lab = Lab::small(4).with_users(24);
+        let store = teastore::TeaStore::with_demand_scale(0.25);
+        let report = lab.run_policy(&store, Policy::Unpinned, &[2, 1, 1, 1, 1, 1, 1]);
+        assert!(report.completed > 50, "completed {}", report.completed);
+        assert!(report.services.iter().any(|s| s.jobs_completed > 0));
+    }
+}

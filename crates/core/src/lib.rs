@@ -1,0 +1,49 @@
+//! Scale-up analysis of microservices — the reproduction's core library.
+//!
+//! This crate implements the techniques of *"Characterizing the Scale-Up
+//! Performance of Microservices using TeaStore"* (IISWC 2020) as a reusable
+//! toolkit on top of the simulation substrates:
+//!
+//! * [`Lab`] — a configured experiment runner: machine + engine parameters +
+//!   load shape, with one-call execution of a (deployment, app) pair.
+//! * [`usl`] — Universal Scalability Law fitting, quantifying each service's
+//!   contention (σ) and coherence (κ) penalties from measured scaling
+//!   curves.
+//! * [`scaling`] — scale-up sweeps: throughput vs. CPU count under different
+//!   CPU enumeration orders, and isolated per-service scaling.
+//! * [`tuner`] — replica-count tuning: demand-proportional seeding plus
+//!   bottleneck-driven refinement (the "performance-tuned baseline" of the
+//!   paper).
+//! * [`placement`] — the placement policies, from the OS-default unpinned
+//!   deployment to the paper's capacity-aware CCX placement exploiting
+//!   CCX/CCD/NUMA structure. The headline result (≈ +22% throughput, ≈ −18%
+//!   latency) is the gap between the tuned baseline and
+//!   [`placement::Policy::TopologyAware`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use scaleup::{Lab, placement::Policy};
+//! use teastore::TeaStore;
+//!
+//! let lab = Lab::paper_machine(42);
+//! let store = TeaStore::browse();
+//! let baseline = lab.run_policy(&store, Policy::Unpinned, &[8, 2, 4, 3, 3, 1, 4]);
+//! let optimized = lab.run_policy(&store, Policy::TopologyAware { ccxs: None }, &[]);
+//! println!("uplift: {:.1}%",
+//!     100.0 * (optimized.throughput_rps / baseline.throughput_rps - 1.0));
+//! ```
+
+pub mod html;
+pub mod lab;
+pub mod placement;
+pub mod qnmodel;
+pub mod replicate;
+pub mod report;
+pub mod scaling;
+pub mod tuner;
+pub mod usl;
+
+pub use lab::Lab;
+pub use placement::{Objective, PlacedDeployment, Policy};
+pub use usl::UslFit;

@@ -1,0 +1,194 @@
+//! Report rendering: CSV export and quick ASCII plots.
+//!
+//! Every figure of the study is ultimately a table of numbers. [`Csv`]
+//! renders them in a form any plotting tool ingests; [`ascii_plot`] gives an
+//! immediate in-terminal look at a curve's shape (good enough to spot a knee
+//! or a retrograde tail without leaving the shell).
+
+use std::fmt::Write as _;
+
+/// A small CSV builder (RFC-4180-style quoting).
+///
+/// ```
+/// use scaleup::report::Csv;
+/// let mut csv = Csv::new(&["users", "rps"]);
+/// csv.row(&["128", "9038"]);
+/// csv.row(&["say \"hi\"", "1,5"]);
+/// let text = csv.finish();
+/// assert!(text.starts_with("users,rps\n128,9038\n"));
+/// assert!(text.contains("\"say \"\"hi\"\"\",\"1,5\""));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Csv {
+    out: String,
+    columns: usize,
+}
+
+fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+impl Csv {
+    /// Starts a CSV with the given header row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "CSV needs at least one column");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            headers
+                .iter()
+                .map(|h| csv_field(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        Csv {
+            out,
+            columns: headers.len(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, fields: &[&str]) {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "row width {} != header width {}",
+            fields.len(),
+            self.columns
+        );
+        let _ = writeln!(
+            self.out,
+            "{}",
+            fields
+                .iter()
+                .map(|f| csv_field(f))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+
+    /// Appends one row of numbers, formatted with up to 6 significant
+    /// decimal digits.
+    pub fn row_f64(&mut self, fields: &[f64]) {
+        let rendered: Vec<String> = fields.iter().map(|v| format!("{v:.6}")).collect();
+        let refs: Vec<&str> = rendered.iter().map(String::as_str).collect();
+        self.row(&refs);
+    }
+
+    /// The CSV text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders `(x, y)` points as a fixed-size ASCII scatter plot with axis
+/// labels. Points sharing a cell render once. Returns a multi-line string.
+///
+/// # Panics
+///
+/// Panics if `width`/`height` are below 8/4 (nothing readable fits) or
+/// `points` is empty.
+pub fn ascii_plot(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "plot must be at least 8×4");
+    assert!(!points.is_empty(), "nothing to plot");
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Degenerate ranges get padded so everything lands mid-plot.
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_min -= 0.5;
+        x_max += 0.5;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+        let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] = '●';
+    }
+    let mut out = format!("{title}\n");
+    let _ = writeln!(out, "{y_max:>10.0} ┐");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>10} │{line}", "");
+    }
+    let _ = writeln!(out, "{y_min:>10.0} ┘");
+    let _ = writeln!(
+        out,
+        "{:>11}{x_min:<.0}{:>width$.0}",
+        "",
+        x_max,
+        width = width - 2
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_renders_and_quotes() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.row(&["1", "2"]);
+        csv.row(&["x,y", "he said \"no\""]);
+        csv.row_f64(&[1.5, 2.25]);
+        let text = csv.finish();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,2");
+        assert_eq!(lines[2], "\"x,y\",\"he said \"\"no\"\"\"");
+        assert!(lines[3].starts_with("1.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_rejects_ragged_rows() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.row(&["only-one"]);
+    }
+
+    #[test]
+    fn plot_renders_extremes() {
+        let pts = vec![(0.0, 0.0), (10.0, 100.0), (5.0, 30.0)];
+        let plot = ascii_plot("demo", &pts, 20, 8);
+        assert!(plot.contains("demo"));
+        assert!(plot.contains('●'));
+        assert!(plot.contains("100"));
+        assert!(plot.lines().count() >= 10);
+    }
+
+    #[test]
+    fn plot_handles_flat_series() {
+        let pts = vec![(1.0, 5.0), (2.0, 5.0)];
+        let plot = ascii_plot("flat", &pts, 12, 4);
+        assert!(plot.contains('●'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn plot_rejects_empty() {
+        ascii_plot("x", &[], 20, 8);
+    }
+}

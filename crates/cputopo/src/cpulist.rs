@@ -1,0 +1,201 @@
+//! Linux-style cpulist strings: parsing and formatting.
+//!
+//! The kernel (and `taskset`, cgroups, `/sys/devices/system/cpu/...`)
+//! exchanges CPU sets as strings like `0-3,8,16-23` with an optional stride
+//! suffix `first-last:stride`. Experiment configurations in this workspace
+//! accept the same syntax, so masks can be copy-pasted from real machines.
+
+use crate::cpuset::CpuSet;
+use crate::ids::CpuId;
+use core::fmt;
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCpuListError {
+    message: String,
+}
+
+impl ParseCpuListError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseCpuListError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseCpuListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cpulist: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseCpuListError {}
+
+/// Parses a Linux cpulist (`"0-3,8,16-23:2"`) into a [`CpuSet`].
+///
+/// Grammar per entry: `N`, `N-M`, or `N-M:S` (every `S`-th CPU of the
+/// range). Whitespace around entries is tolerated; an empty (or all-space)
+/// string is the empty set, matching the kernel's treatment of an empty
+/// cpulist file.
+///
+/// # Errors
+///
+/// Returns [`ParseCpuListError`] for malformed numbers, inverted ranges, or
+/// a zero stride.
+///
+/// # Examples
+///
+/// ```
+/// use cputopo::{cpulist, CpuId};
+/// let set = cpulist::parse("0-3,8,16-20:2").expect("valid list");
+/// assert!(set.contains(CpuId(2)));
+/// assert!(set.contains(CpuId(8)));
+/// assert!(set.contains(CpuId(18)));
+/// assert!(!set.contains(CpuId(17)));
+/// ```
+pub fn parse(input: &str) -> Result<CpuSet, ParseCpuListError> {
+    let mut set = CpuSet::empty();
+    for raw in input.split(',') {
+        let entry = raw.trim();
+        if entry.is_empty() {
+            if input.trim().is_empty() {
+                continue; // wholly empty list = empty set
+            }
+            return Err(ParseCpuListError::new(format!("empty entry in {input:?}")));
+        }
+        let (range, stride) = match entry.split_once(':') {
+            Some((r, s)) => {
+                let stride: u32 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseCpuListError::new(format!("bad stride in {entry:?}")))?;
+                if stride == 0 {
+                    return Err(ParseCpuListError::new(format!("zero stride in {entry:?}")));
+                }
+                (r.trim(), stride)
+            }
+            None => (entry, 1),
+        };
+        let (lo, hi) = match range.split_once('-') {
+            Some((a, b)) => {
+                let lo: u32 = a
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseCpuListError::new(format!("bad number in {entry:?}")))?;
+                let hi: u32 = b
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseCpuListError::new(format!("bad number in {entry:?}")))?;
+                if lo > hi {
+                    return Err(ParseCpuListError::new(format!(
+                        "inverted range {lo}-{hi} in {entry:?}"
+                    )));
+                }
+                (lo, hi)
+            }
+            None => {
+                let v: u32 = range
+                    .parse()
+                    .map_err(|_| ParseCpuListError::new(format!("bad number in {entry:?}")))?;
+                (v, v)
+            }
+        };
+        let mut cpu = lo;
+        while cpu <= hi {
+            set.insert(CpuId(cpu));
+            match cpu.checked_add(stride) {
+                Some(next) => cpu = next,
+                None => break,
+            }
+        }
+    }
+    Ok(set)
+}
+
+/// Formats a [`CpuSet`] as a canonical cpulist (`"0-3,8"`); the inverse of
+/// [`parse`] for stride-1 lists. The empty set formats as `""`.
+///
+/// ```
+/// use cputopo::{cpulist, CpuId, CpuSet};
+/// let set: CpuSet = [0, 1, 2, 3, 8].into_iter().map(CpuId).collect();
+/// assert_eq!(cpulist::format(&set), "0-3,8");
+/// assert_eq!(cpulist::parse(&cpulist::format(&set)).expect("round trip"), set);
+/// ```
+pub fn format(set: &CpuSet) -> String {
+    let mut out = String::new();
+    let mut iter = set.iter().peekable();
+    while let Some(start) = iter.next() {
+        let mut end = start;
+        while iter.peek().map(|c| c.0) == Some(end.0 + 1) {
+            end = iter.next().expect("peeked");
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if start == end {
+            out.push_str(&start.0.to_string());
+        } else {
+            out.push_str(&format!("{}-{}", start.0, end.0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> CpuSet {
+        ids.iter().map(|&i| CpuId(i)).collect()
+    }
+
+    #[test]
+    fn parses_singletons_and_ranges() {
+        assert_eq!(parse("5").expect("ok"), set(&[5]));
+        assert_eq!(parse("1-4").expect("ok"), set(&[1, 2, 3, 4]));
+        assert_eq!(parse("0,2-3,7").expect("ok"), set(&[0, 2, 3, 7]));
+    }
+
+    #[test]
+    fn parses_strides() {
+        assert_eq!(parse("0-8:2").expect("ok"), set(&[0, 2, 4, 6, 8]));
+        assert_eq!(parse("1-10:3").expect("ok"), set(&[1, 4, 7, 10]));
+    }
+
+    #[test]
+    fn tolerates_whitespace() {
+        assert_eq!(parse(" 0 - 3 , 8 ").expect("ok"), set(&[0, 1, 2, 3, 8]));
+        assert_eq!(parse("").expect("ok"), CpuSet::empty());
+        assert_eq!(parse("   ").expect("ok"), CpuSet::empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("a").is_err());
+        assert!(parse("3-1").is_err());
+        assert!(parse("1-2:0").is_err());
+        assert!(parse("1,,2").is_err());
+        assert!(parse("1-").is_err());
+    }
+
+    #[test]
+    fn error_is_descriptive() {
+        let err = parse("3-1").expect_err("inverted");
+        assert!(err.to_string().contains("inverted range"));
+    }
+
+    #[test]
+    fn format_canonicalizes() {
+        assert_eq!(format(&set(&[0, 1, 2, 3, 8])), "0-3,8");
+        assert_eq!(format(&set(&[7])), "7");
+        assert_eq!(format(&CpuSet::empty()), "");
+    }
+
+    #[test]
+    fn round_trips() {
+        for list in ["0-7", "0,2,4,6", "0-3,64-67,128", "255"] {
+            let parsed = parse(list).expect("valid");
+            assert_eq!(parse(&format(&parsed)).expect("round trip"), parsed);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! CPU enumeration orders.
+//!
+//! "Give the workload N CPUs" is ambiguous on a hierarchical machine: *which*
+//! N? The answer changes the experiment completely — N linear CPUs on a
+//! Linux-numbered machine are N distinct cores packed into few CCXs, while
+//! the same N chosen sibling-first saturate SMT early. The paper's scale-up
+//! curves (experiment E4) are parameterized by exactly this choice.
+//!
+//! Each function returns the machine's CPUs in a particular order; take the
+//! first N and collect into a [`CpuSet`] to build the affinity mask.
+
+use crate::cpuset::CpuSet;
+use crate::ids::{CcxId, CpuId};
+use crate::topology::Topology;
+
+/// Linear order: CPU 0, 1, 2, … (Linux numbering: all first threads of every
+/// core, then all siblings).
+pub fn linear(topo: &Topology) -> Vec<CpuId> {
+    (0..topo.num_cpus() as u32).map(CpuId).collect()
+}
+
+/// Cores first: one thread per physical core across the whole machine, then
+/// the SMT siblings. On Linux numbering this equals [`linear`]; it is kept
+/// separate so non-Linux numberings stay correct.
+pub fn cores_first(topo: &Topology) -> Vec<CpuId> {
+    let mut out = Vec::with_capacity(topo.num_cpus());
+    let threads = topo.spec().threads_per_core;
+    for t in 0..threads {
+        for cpu in (0..topo.num_cpus() as u32).map(CpuId) {
+            if topo.smt_index(cpu) == t {
+                out.push(cpu);
+            }
+        }
+    }
+    out
+}
+
+/// Core-packed: both SMT threads of core 0, then both of core 1, …
+/// Saturates SMT immediately; the pessimal order for compute scaling.
+pub fn smt_packed(topo: &Topology) -> Vec<CpuId> {
+    let mut out = Vec::with_capacity(topo.num_cpus());
+    for core in 0..topo.num_cores() as u32 {
+        out.extend(topo.cpus_in_core(crate::ids::CoreId(core)).iter());
+    }
+    out
+}
+
+/// CCX round-robin: the first thread of the first core of CCX 0, then CCX 1,
+/// …, wrapping around. Spreads load over every L3 slice as early as possible.
+pub fn ccx_round_robin(topo: &Topology) -> Vec<CpuId> {
+    let per_ccx: Vec<Vec<CpuId>> = (0..topo.num_ccxs() as u32)
+        .map(|c| {
+            let mut v: Vec<CpuId> = topo.cpus_in_ccx(CcxId(c)).iter().collect();
+            // First threads before siblings within the CCX.
+            v.sort_by_key(|&cpu| (topo.smt_index(cpu), cpu));
+            v
+        })
+        .collect();
+    let mut out = Vec::with_capacity(topo.num_cpus());
+    let depth = per_ccx.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..depth {
+        for ccx in &per_ccx {
+            if let Some(&cpu) = ccx.get(i) {
+                out.push(cpu);
+            }
+        }
+    }
+    out
+}
+
+/// Socket round-robin: alternate sockets CPU by CPU (cores first within each
+/// socket). Spreads across memory controllers at the cost of locality.
+pub fn socket_round_robin(topo: &Topology) -> Vec<CpuId> {
+    let per_socket: Vec<Vec<CpuId>> = (0..topo.num_sockets() as u32)
+        .map(|s| {
+            let mut v: Vec<CpuId> = topo
+                .cpus_in_socket(crate::ids::SocketId(s))
+                .iter()
+                .collect();
+            v.sort_by_key(|&cpu| (topo.smt_index(cpu), cpu));
+            v
+        })
+        .collect();
+    let mut out = Vec::with_capacity(topo.num_cpus());
+    let depth = per_socket.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..depth {
+        for skt in &per_socket {
+            if let Some(&cpu) = skt.get(i) {
+                out.push(cpu);
+            }
+        }
+    }
+    out
+}
+
+/// Takes the first `n` CPUs of `order` as a [`CpuSet`].
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the number of CPUs in `order`.
+pub fn take_mask(order: &[CpuId], n: usize) -> CpuSet {
+    assert!(
+        n <= order.len(),
+        "asked for {n} CPUs, order has {}",
+        order.len()
+    );
+    order[..n].iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_permutation(topo: &Topology, order: &[CpuId]) {
+        assert_eq!(order.len(), topo.num_cpus());
+        let set: CpuSet = order.iter().copied().collect();
+        assert_eq!(set.len(), topo.num_cpus(), "order must not repeat CPUs");
+    }
+
+    #[test]
+    fn all_orders_are_permutations() {
+        let topo = Topology::zen2_2p_128c();
+        for order in [
+            linear(&topo),
+            cores_first(&topo),
+            smt_packed(&topo),
+            ccx_round_robin(&topo),
+            socket_round_robin(&topo),
+        ] {
+            assert_permutation(&topo, &order);
+        }
+    }
+
+    #[test]
+    fn cores_first_defers_siblings() {
+        let topo = Topology::zen2_2p_128c();
+        let order = cores_first(&topo);
+        // The first 128 entries must all be first threads.
+        assert!(order[..128].iter().all(|&c| topo.smt_index(c) == 0));
+        assert!(order[128..].iter().all(|&c| topo.smt_index(c) == 1));
+    }
+
+    #[test]
+    fn smt_packed_pairs_siblings() {
+        let topo = Topology::desktop_8c();
+        let order = smt_packed(&topo);
+        for pair in order.chunks(2) {
+            assert_eq!(topo.core_of(pair[0]), topo.core_of(pair[1]));
+        }
+    }
+
+    #[test]
+    fn ccx_round_robin_touches_every_ccx_early() {
+        let topo = Topology::zen2_2p_128c();
+        let order = ccx_round_robin(&topo);
+        let early: std::collections::HashSet<_> = order[..topo.num_ccxs()]
+            .iter()
+            .map(|&c| topo.ccx_of(c))
+            .collect();
+        assert_eq!(
+            early.len(),
+            topo.num_ccxs(),
+            "first {} CPUs must hit all CCXs",
+            topo.num_ccxs()
+        );
+    }
+
+    #[test]
+    fn socket_round_robin_alternates() {
+        let topo = Topology::zen2_2p_128c();
+        let order = socket_round_robin(&topo);
+        assert_ne!(topo.socket_of(order[0]), topo.socket_of(order[1]));
+        assert_ne!(topo.socket_of(order[2]), topo.socket_of(order[3]));
+    }
+
+    #[test]
+    fn take_mask_prefix() {
+        let topo = Topology::desktop_8c();
+        let order = linear(&topo);
+        let mask = take_mask(&order, 4);
+        assert_eq!(mask.len(), 4);
+        assert!(mask.contains(CpuId(0)));
+        assert!(!mask.contains(CpuId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "asked for")]
+    fn take_mask_too_many_panics() {
+        let topo = Topology::desktop_8c();
+        take_mask(&linear(&topo), 1000);
+    }
+}

@@ -1,0 +1,44 @@
+//! A parametric model of server CPU topology.
+//!
+//! The paper this workspace reproduces studies microservice scale-up on a
+//! dual-socket x86 server with 128 logical CPUs per socket, organized — as on
+//! AMD "Rome"-class parts — into a deep hierarchy:
+//!
+//! ```text
+//! machine ─ socket ─ NUMA node ─ CCD (die) ─ CCX (shared L3) ─ core ─ SMT thread
+//! ```
+//!
+//! Placement decisions (which services share an L3, whether a caller and its
+//! callee cross a socket boundary) are the paper's central lever, so this
+//! crate models exactly the structure those decisions read:
+//!
+//! * [`Topology`] — the immutable hierarchy, built by [`TopologyBuilder`] or
+//!   one of the presets ([`Topology::zen2_2p_128c`] et al.).
+//! * [`CpuSet`] — affinity masks over logical CPUs.
+//! * [`Proximity`] — how "far apart" two logical CPUs are (same core … cross
+//!   socket), the input to communication-cost models.
+//! * [`enumerate`] — CPU enumeration orders (linear, cores-first, CCX
+//!   round-robin…) matching how `taskset`-style masks are built in practice.
+//!
+//! # Example
+//!
+//! ```
+//! use cputopo::{Topology, Proximity};
+//!
+//! let topo = Topology::zen2_2p_128c();
+//! assert_eq!(topo.num_cpus(), 256);
+//! assert_eq!(topo.num_ccxs(), 32);
+//! let a = topo.cpus_in_ccx(cputopo::CcxId(0)).iter().next().unwrap();
+//! let b = topo.smt_sibling(a).unwrap();
+//! assert_eq!(topo.proximity(a, b), Proximity::SmtSibling);
+//! ```
+
+pub mod cpulist;
+pub mod cpuset;
+pub mod enumerate;
+pub mod ids;
+pub mod topology;
+
+pub use cpuset::CpuSet;
+pub use ids::{CcdId, CcxId, CoreId, CpuId, NumaId, SocketId};
+pub use topology::{CacheSpec, Proximity, Topology, TopologyBuilder, TopologySpec};

@@ -1,0 +1,282 @@
+//! Serialization round trips: topologies and cpu sets survive serde.
+//!
+//! Experiment configurations are serialized (CSV/HTML reports embed them;
+//! users may persist machine descriptions); a lossy round trip would
+//! silently change which machine an experiment ran on.
+
+use cputopo::{CpuId, CpuSet, Topology, TopologyBuilder};
+
+// The workspace deliberately carries no serde *format* crate, so instead of
+// a textual round trip the tests drive the `Serialize` impls with a counting
+// serializer: it proves serialization traverses the whole structure, is
+// deterministic, and reflects set *content* rather than representation.
+
+mod counting {
+    use serde::ser::{self, Serialize};
+
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl ser::Error for Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    /// Counts every primitive written during serialization.
+    pub fn count<T: Serialize>(value: &T) -> usize {
+        let mut counter = Counter { count: 0 };
+        value.serialize(&mut counter).expect("counting never fails");
+        counter.count
+    }
+
+    pub struct Counter {
+        pub count: usize,
+    }
+
+    macro_rules! count_prim {
+        ($($name:ident: $ty:ty),*) => {
+            $(fn $name(self, _v: $ty) -> Result<(), Error> {
+                self.count += 1;
+                Ok(())
+            })*
+        };
+    }
+
+    impl ser::Serializer for &mut Counter {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = Self;
+        type SerializeTuple = Self;
+        type SerializeTupleStruct = Self;
+        type SerializeTupleVariant = Self;
+        type SerializeMap = Self;
+        type SerializeStruct = Self;
+        type SerializeStructVariant = Self;
+
+        count_prim!(
+            serialize_bool: bool, serialize_i8: i8, serialize_i16: i16,
+            serialize_i32: i32, serialize_i64: i64, serialize_u8: u8,
+            serialize_u16: u16, serialize_u32: u32, serialize_u64: u64,
+            serialize_f32: f32, serialize_f64: f64, serialize_char: char
+        );
+
+        fn serialize_str(self, _v: &str) -> Result<(), Error> {
+            self.count += 1;
+            Ok(())
+        }
+        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
+            self.count += 1;
+            Ok(())
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            self.count += 1;
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            self.count += 1;
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+            self.count += 1;
+            Ok(())
+        }
+        fn serialize_unit_variant(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            _variant: &'static str,
+        ) -> Result<(), Error> {
+            self.count += 1;
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _name: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            _variant: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_seq(self, _len: Option<usize>) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple(self, _len: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_tuple_variant(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            _variant: &'static str,
+            _len: usize,
+        ) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_map(self, _len: Option<usize>) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, Error> {
+            Ok(self)
+        }
+        fn serialize_struct_variant(
+            self,
+            _name: &'static str,
+            _idx: u32,
+            _variant: &'static str,
+            _len: usize,
+        ) -> Result<Self, Error> {
+            Ok(self)
+        }
+    }
+
+    impl ser::SerializeSeq for &mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl ser::SerializeTuple for &mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl ser::SerializeTupleStruct for &mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl ser::SerializeTupleVariant for &mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl ser::SerializeMap for &mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+            key.serialize(&mut **self)
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl ser::SerializeStruct for &mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            _key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+    impl ser::SerializeStructVariant for &mut Counter {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            _key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(&mut **self)
+        }
+        fn end(self) -> Result<(), Error> {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn topology_serialization_is_deterministic_and_total() {
+    let a = Topology::zen2_2p_128c();
+    let b = Topology::zen2_2p_128c();
+    let ca = counting::count(&a);
+    let cb = counting::count(&b);
+    assert_eq!(ca, cb, "identical topologies serialize identically");
+    assert!(
+        ca > 256,
+        "the whole structure must be traversed, got {ca} primitives"
+    );
+    // Different machines produce different serializations (structurally).
+    let small = Topology::desktop_8c();
+    assert_ne!(counting::count(&small), ca);
+}
+
+#[test]
+fn cpuset_serialization_tracks_content_not_capacity() {
+    // Two equal sets built differently must serialize identically — the
+    // normalized representation guarantees it.
+    let direct: CpuSet = [CpuId(1), CpuId(2)].into_iter().collect();
+    let via_difference = {
+        let big: CpuSet = [CpuId(1), CpuId(2), CpuId(200)].into_iter().collect();
+        let remove: CpuSet = [CpuId(200)].into_iter().collect();
+        big.difference(&remove)
+    };
+    assert_eq!(direct, via_difference);
+    assert_eq!(counting::count(&direct), counting::count(&via_difference));
+}
+
+#[test]
+fn custom_topology_spec_survives_clone_semantics() {
+    // Clone + PartialEq are the in-process round trip every experiment
+    // relies on (Lab clones its Arc<Topology> per run).
+    let t = TopologyBuilder::new("nps4")
+        .sockets(2)
+        .numa_per_socket(4)
+        .ccds_per_numa(2)
+        .ccxs_per_ccd(2)
+        .cores_per_ccx(2)
+        .threads_per_core(2)
+        .build();
+    let c = t.clone();
+    assert_eq!(t, c);
+    assert_eq!(t.spec(), c.spec());
+    assert_eq!(t.num_cpus(), 2 * 4 * 2 * 2 * 2 * 2);
+}

@@ -1,0 +1,44 @@
+//! Internal calibration probe for the headline experiment.
+use scaleup::{placement::Policy, tuner, Lab};
+use std::time::Instant;
+use teastore::TeaStore;
+
+fn main() {
+    let users: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let think_ms: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let mut lab = Lab::paper_machine(42).with_users(users);
+    lab.think = simcore::SimDuration::from_millis(think_ms);
+    let store = TeaStore::browse();
+    let seed = tuner::proportional_replicas(store.app(), 64);
+    println!("seed replicas: {seed:?}");
+    let t0 = Instant::now();
+    for (name, policy, reps) in [
+        ("unpinned-tuned", Policy::Unpinned, seed.clone()),
+        ("packed", Policy::Packed, seed.clone()),
+        ("spread", Policy::SpreadSockets, seed.clone()),
+        ("ccx", Policy::CcxAware, seed.clone()),
+        ("numa", Policy::NumaAware, seed.clone()),
+        ("topo", Policy::TopologyAware { ccxs: None }, vec![]),
+    ] {
+        let r = lab.run_policy(&store, policy, &reps);
+        if std::env::args().nth(3).is_some() {
+            println!("--- {name}\n{}", r.summary());
+        }
+        println!(
+            "{name:<16} {:>8.0} rps  mean {:>8}  p95 {:>8}  util {:>4.0}%  csw/s {:>9.0} mig/s {:>8.0}",
+            r.throughput_rps,
+            r.mean_latency,
+            r.latency_p95,
+            r.cpu_utilization * 100.0,
+            r.sched.context_switches as f64 / r.window.as_secs_f64(),
+            r.sched.migrations as f64 / r.window.as_secs_f64(),
+        );
+    }
+    println!("wall: {:?}", t0.elapsed());
+}

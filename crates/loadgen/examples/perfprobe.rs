@@ -1,0 +1,26 @@
+//! Internal performance probe: full-scale TeaStore run, wall-clock timed.
+use loadgen::ClosedLoop;
+use microsvc::{Deployment, Engine, EngineParams};
+use simcore::{SimDuration, SimTime};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let topo = Arc::new(cputopo::Topology::zen2_2p_128c());
+    let store = teastore::TeaStore::browse();
+    let mix = store.mix();
+    let app = store.into_app();
+    let deployment = Deployment::uniform(&app, &topo, 4, 12);
+    let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 1);
+    let mut load = ClosedLoop::new(512)
+        .think_time(SimDuration::from_millis(20))
+        .mix(&mix)
+        .warmup(SimDuration::from_millis(1000))
+        .measure(SimDuration::from_secs(2));
+    let t0 = Instant::now();
+    engine.run(&mut load, SimTime::from_secs(60));
+    let wall = t0.elapsed();
+    let report = engine.report();
+    println!("wall: {:?}", wall);
+    println!("{}", report.summary());
+}

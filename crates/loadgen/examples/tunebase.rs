@@ -1,0 +1,19 @@
+//! Internal probe: how good can the unpinned baseline get?
+use scaleup::{placement::Policy, tuner, Lab};
+use teastore::TeaStore;
+
+fn main() {
+    let mut lab = Lab::paper_machine(42).with_users(4096);
+    lab.think = simcore::SimDuration::from_millis(10);
+    let store = TeaStore::browse();
+    for budget in [40usize, 64, 96, 128, 160] {
+        let reps = tuner::proportional_replicas(store.app(), budget);
+        let r = lab.run_policy(&store, Policy::Unpinned, &reps);
+        println!(
+            "budget {budget:>4} reps {reps:?} -> {:>8.0} rps mean {} util {:.0}%",
+            r.throughput_rps,
+            r.mean_latency,
+            r.cpu_utilization * 100.0
+        );
+    }
+}

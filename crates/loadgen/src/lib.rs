@@ -1,0 +1,434 @@
+//! Workload generators for the microservice engine.
+//!
+//! Two canonical load shapes:
+//!
+//! * [`ClosedLoop`] — a fixed population of users, each cycling
+//!   request → response → think time → request. This is how the paper's HTTP
+//!   load driver exercises TeaStore: offered load is controlled by the user
+//!   count, and the system saturates gracefully.
+//! * [`OpenLoop`] — Poisson arrivals at a fixed rate, independent of
+//!   completions. Used for latency-under-load experiments where offered load
+//!   must not depend on the system's speed.
+//!
+//! Both handle **warm-up**: at a configurable instant they reset the
+//! engine's measurement window so JIT-equivalent cold-start effects (cold
+//! caches, empty pools) do not pollute steady-state numbers, and stop the
+//! run when the measurement window closes.
+//!
+//! # Example
+//!
+//! ```
+//! use loadgen::ClosedLoop;
+//! use microsvc::{AppSpec, CallNode, Demand, Deployment, Engine, EngineParams, ServiceSpec};
+//! use simcore::{SimDuration, SimTime};
+//! use std::sync::Arc;
+//!
+//! let topo = Arc::new(cputopo::Topology::desktop_8c());
+//! let mut app = AppSpec::new();
+//! let svc = app.add_service(ServiceSpec::new("api", uarch::ServiceProfile::light_rpc("api")));
+//! app.add_class("ping", 1.0, CallNode::leaf(svc, Demand::fixed_us(300.0)));
+//! let deployment = Deployment::uniform(&app, &topo, 2, 8);
+//! let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 1);
+//!
+//! let mut load = ClosedLoop::new(32)
+//!     .think_time(SimDuration::from_millis(5))
+//!     .warmup(SimDuration::from_millis(200))
+//!     .measure(SimDuration::from_secs(1));
+//! engine.run(&mut load, SimTime::from_secs(10));
+//! let report = engine.report();
+//! assert!(report.throughput_rps > 100.0);
+//! ```
+
+pub mod patterns;
+pub mod replay;
+
+pub use patterns::{BurstyLoop, RampLoad};
+pub use replay::{Arrival, ReplayLoad, Schedule};
+
+use microsvc::{Driver, EngineCtx, ResponseInfo};
+use simcore::dist::{Distribution, Exp, WeightedIndex};
+use simcore::SimDuration;
+
+const TOKEN_WARMUP: u64 = u64::MAX;
+const TOKEN_STOP: u64 = u64::MAX - 1;
+const TOKEN_ARRIVAL: u64 = u64::MAX - 2;
+
+/// A fixed population of users with exponential think times.
+///
+/// Build with [`ClosedLoop::new`] and the chainable configuration methods,
+/// then pass to [`Engine::run`](microsvc::Engine::run).
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    users: u64,
+    think_mean: SimDuration,
+    warmup: SimDuration,
+    measure: Option<SimDuration>,
+    mix: Vec<f64>,
+    issued: u64,
+    completed: u64,
+    measuring: bool,
+}
+
+impl ClosedLoop {
+    /// Creates a closed loop of `users` users with zero think time, a
+    /// single-class mix, 500 ms warm-up and an unbounded measurement window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is zero.
+    pub fn new(users: u64) -> Self {
+        assert!(users > 0, "a closed loop needs at least one user");
+        ClosedLoop {
+            users,
+            think_mean: SimDuration::ZERO,
+            warmup: SimDuration::from_millis(500),
+            measure: None,
+            mix: vec![1.0],
+            issued: 0,
+            completed: 0,
+            measuring: false,
+        }
+    }
+
+    /// Sets the mean exponential think time (zero = resubmit immediately).
+    pub fn think_time(mut self, mean: SimDuration) -> Self {
+        self.think_mean = mean;
+        self
+    }
+
+    /// Sets the warm-up length; metrics reset when it elapses.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the measurement window; the run stops `warmup + measure` in.
+    pub fn measure(mut self, measure: SimDuration) -> Self {
+        self.measure = Some(measure);
+        self
+    }
+
+    /// Sets the request-class mix weights (defaults to 100% class 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mix` is empty.
+    pub fn mix(mut self, mix: &[f64]) -> Self {
+        assert!(!mix.is_empty(), "mix must name at least one class");
+        self.mix = mix.to_vec();
+        self
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> u64 {
+        self.users
+    }
+
+    /// Requests issued over the whole run (including warm-up).
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Responses received over the whole run (including warm-up).
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn submit_for(&mut self, user: u64, ctx: &mut dyn EngineCtx) {
+        let mix = WeightedIndex::new(&self.mix);
+        let class = mix.sample_index(ctx.rng()) as u32;
+        self.issued += 1;
+        ctx.submit(class, user);
+    }
+}
+
+impl Driver for ClosedLoop {
+    fn start(&mut self, ctx: &mut dyn EngineCtx) {
+        ctx.set_timer(self.warmup, TOKEN_WARMUP);
+        if let Some(measure) = self.measure {
+            ctx.set_timer(self.warmup + measure, TOKEN_STOP);
+        }
+        // Stagger initial arrivals over half the think time (or 50 ms) so the
+        // population does not arrive as one synchronized burst.
+        let stagger_ns = (self.think_mean.as_nanos() / 2).max(50_000_000);
+        for user in 0..self.users {
+            let offset = SimDuration::from_nanos(ctx.rng().next_below(stagger_ns));
+            ctx.set_timer(offset, user);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn EngineCtx) {
+        match token {
+            TOKEN_WARMUP => {
+                ctx.reset_metrics();
+                self.measuring = true;
+            }
+            TOKEN_STOP => ctx.request_stop(),
+            user => self.submit_for(user, ctx),
+        }
+    }
+
+    fn on_response(&mut self, resp: ResponseInfo, ctx: &mut dyn EngineCtx) {
+        self.completed += 1;
+        let user = resp.client.0;
+        if self.think_mean.is_zero() {
+            self.submit_for(user, ctx);
+        } else {
+            let think = Exp::from_mean_duration(self.think_mean).sample_duration(ctx.rng());
+            ctx.set_timer(think, user);
+        }
+    }
+}
+
+/// Poisson arrivals at a fixed rate, independent of completions.
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    rate_rps: f64,
+    warmup: SimDuration,
+    measure: Option<SimDuration>,
+    mix: Vec<f64>,
+    next_client: u64,
+    completed: u64,
+}
+
+impl OpenLoop {
+    /// Creates an open loop at `rate_rps` requests per second with a
+    /// single-class mix, 500 ms warm-up and an unbounded window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not strictly positive.
+    pub fn new(rate_rps: f64) -> Self {
+        assert!(rate_rps > 0.0, "arrival rate must be positive");
+        OpenLoop {
+            rate_rps,
+            warmup: SimDuration::from_millis(500),
+            measure: None,
+            mix: vec![1.0],
+            next_client: 0,
+            completed: 0,
+        }
+    }
+
+    /// Sets the warm-up length; metrics reset when it elapses.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the measurement window; the run stops `warmup + measure` in.
+    pub fn measure(mut self, measure: SimDuration) -> Self {
+        self.measure = Some(measure);
+        self
+    }
+
+    /// Sets the request-class mix weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mix` is empty.
+    pub fn mix(mut self, mix: &[f64]) -> Self {
+        assert!(!mix.is_empty(), "mix must name at least one class");
+        self.mix = mix.to_vec();
+        self
+    }
+
+    /// Responses received over the whole run.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    fn schedule_next_arrival(&self, ctx: &mut dyn EngineCtx) {
+        let mean_ns = 1e9 / self.rate_rps;
+        let gap = Exp::from_mean(mean_ns).sample_duration(ctx.rng());
+        ctx.set_timer(gap, TOKEN_ARRIVAL);
+    }
+}
+
+impl Driver for OpenLoop {
+    fn start(&mut self, ctx: &mut dyn EngineCtx) {
+        ctx.set_timer(self.warmup, TOKEN_WARMUP);
+        if let Some(measure) = self.measure {
+            ctx.set_timer(self.warmup + measure, TOKEN_STOP);
+        }
+        self.schedule_next_arrival(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn EngineCtx) {
+        match token {
+            TOKEN_WARMUP => ctx.reset_metrics(),
+            TOKEN_STOP => ctx.request_stop(),
+            TOKEN_ARRIVAL => {
+                let mix = WeightedIndex::new(&self.mix);
+                let class = mix.sample_index(ctx.rng()) as u32;
+                let client = self.next_client;
+                self.next_client += 1;
+                ctx.submit(class, client);
+                self.schedule_next_arrival(ctx);
+            }
+            other => unreachable!("open loop received unknown timer {other}"),
+        }
+    }
+
+    fn on_response(&mut self, _resp: ResponseInfo, _ctx: &mut dyn EngineCtx) {
+        self.completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cputopo::Topology;
+    use microsvc::{AppSpec, CallNode, Demand, Deployment, Engine, EngineParams, ServiceSpec};
+    use simcore::SimTime;
+    use std::sync::Arc;
+    use uarch::ServiceProfile;
+
+    fn engine(demand_us: f64, instances: usize, threads: usize, seed: u64) -> Engine {
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut app = AppSpec::new();
+        let svc = app.add_service(ServiceSpec::new("api", ServiceProfile::light_rpc("api")));
+        app.add_class("a", 1.0, CallNode::leaf(svc, Demand::fixed_us(demand_us)));
+        app.add_class(
+            "b",
+            1.0,
+            CallNode::leaf(svc, Demand::fixed_us(demand_us * 2.0)),
+        );
+        let deployment = Deployment::uniform(&app, &topo, instances, threads);
+        Engine::new(topo, EngineParams::default(), app, deployment, seed)
+    }
+
+    #[test]
+    fn closed_loop_sustains_population() {
+        let mut eng = engine(300.0, 2, 8, 1);
+        let mut load = ClosedLoop::new(16)
+            .think_time(SimDuration::from_millis(2))
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_secs(1));
+        eng.run(&mut load, SimTime::from_secs(30));
+        let report = eng.report();
+        assert!(report.completed > 500, "completed {}", report.completed);
+        assert!(load.issued() >= load.completed());
+        // Sanity: interactive law N = X(R + Z) within slack.
+        let n = 16.0;
+        let x = report.throughput_rps;
+        let r = report.mean_latency.as_secs_f64();
+        let z = 0.002;
+        assert!(
+            (x * (r + z) - n).abs() / n < 0.25,
+            "interactive law violated: X(R+Z) = {}",
+            x * (r + z)
+        );
+    }
+
+    #[test]
+    fn zero_think_time_saturates() {
+        let mut eng = engine(500.0, 1, 2, 2);
+        let mut load = ClosedLoop::new(8)
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(500));
+        eng.run(&mut load, SimTime::from_secs(30));
+        let report = eng.report();
+        // 2 worker threads × ~2000 rps/thread at 500µs.
+        assert!(
+            report.throughput_rps > 2500.0,
+            "rps {}",
+            report.throughput_rps
+        );
+        assert!(
+            report.services[0].avg_busy_cpus > 1.5,
+            "busy {}",
+            report.services[0].avg_busy_cpus
+        );
+    }
+
+    #[test]
+    fn closed_loop_uses_the_mix() {
+        let mut eng = engine(100.0, 2, 8, 3);
+        let mut load = ClosedLoop::new(8)
+            .mix(&[1.0, 3.0])
+            .warmup(SimDuration::from_millis(50))
+            .measure(SimDuration::from_secs(1));
+        eng.run(&mut load, SimTime::from_secs(30));
+        let report = eng.report();
+        let a = report.per_class[0].1 as f64;
+        let b = report.per_class[1].1 as f64;
+        assert!(b > 2.0 * a, "class b ({b}) should be ~3× class a ({a})");
+    }
+
+    #[test]
+    fn open_loop_hits_target_rate() {
+        let mut eng = engine(200.0, 2, 8, 4);
+        let mut load = OpenLoop::new(2_000.0)
+            .warmup(SimDuration::from_millis(200))
+            .measure(SimDuration::from_secs(2));
+        eng.run(&mut load, SimTime::from_secs(30));
+        let report = eng.report();
+        assert!(
+            (report.throughput_rps - 2_000.0).abs() / 2_000.0 < 0.1,
+            "rps {}",
+            report.throughput_rps
+        );
+    }
+
+    #[test]
+    fn warmup_resets_the_window() {
+        let mut eng = engine(200.0, 2, 8, 5);
+        let mut load = ClosedLoop::new(4)
+            .think_time(SimDuration::from_millis(1))
+            .warmup(SimDuration::from_secs(1))
+            .measure(SimDuration::from_secs(1));
+        eng.run(&mut load, SimTime::from_secs(30));
+        let report = eng.report();
+        // The window must be the measurement second, not the whole run.
+        assert!(
+            (report.window.as_secs_f64() - 1.0).abs() < 0.05,
+            "window {}",
+            report.window
+        );
+        assert!(
+            load.completed() > report.completed,
+            "warm-up requests excluded"
+        );
+    }
+
+    #[test]
+    fn measurement_stop_is_respected() {
+        let mut eng = engine(200.0, 1, 4, 6);
+        let mut load = ClosedLoop::new(2)
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(300));
+        eng.run(&mut load, SimTime::from_secs(30));
+        assert!(
+            eng.now() <= SimTime::from_millis(450),
+            "run must stop at warmup+measure, stopped at {}",
+            eng.now()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut eng = engine(300.0, 2, 4, 9);
+            let mut load = ClosedLoop::new(8)
+                .think_time(SimDuration::from_millis(1))
+                .warmup(SimDuration::from_millis(100))
+                .measure(SimDuration::from_secs(1));
+            eng.run(&mut load, SimTime::from_secs(30));
+            (load.issued(), load.completed(), eng.report().completed)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_rejected() {
+        ClosedLoop::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        OpenLoop::new(0.0);
+    }
+}

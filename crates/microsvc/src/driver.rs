@@ -1,0 +1,59 @@
+//! The workload-driver contract between the engine and load generators.
+
+use crate::ids::{ClientId, RequestClassId, RequestId};
+use simcore::{Rng, SimDuration, SimTime};
+
+/// Everything a response callback learns about a completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseInfo {
+    /// The request that completed.
+    pub request: RequestId,
+    /// The client that issued it.
+    pub client: ClientId,
+    /// Its request class.
+    pub class: RequestClassId,
+    /// End-to-end latency, submit to response arrival at the client.
+    pub latency: SimDuration,
+}
+
+/// The engine surface available to drivers from their callbacks.
+///
+/// This is a trait (rather than the concrete engine type) so that load
+/// generators do not depend on the engine's type parameters and can be unit
+/// tested against a mock.
+pub trait EngineCtx {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Schedules [`Driver::on_timer`] to fire with `token` after `after`.
+    fn set_timer(&mut self, after: SimDuration, token: u64);
+
+    /// Submits a request of `class` on behalf of `client`. The response will
+    /// arrive via [`Driver::on_response`].
+    fn submit(&mut self, class: u32, client: u64) -> RequestId;
+
+    /// The driver's dedicated random stream.
+    fn rng(&mut self) -> &mut Rng;
+
+    /// Resets all measurement state (histograms, counters, utilization
+    /// clocks) — called by drivers at the end of warm-up.
+    fn reset_metrics(&mut self);
+
+    /// Asks the engine to stop after the current event.
+    fn request_stop(&mut self);
+
+    /// Requests completed since the last metrics reset.
+    fn completed_requests(&self) -> u64;
+}
+
+/// A workload source. Implemented by the generators in the `loadgen` crate.
+pub trait Driver {
+    /// Called once before the first event; seed initial timers/requests here.
+    fn start(&mut self, ctx: &mut dyn EngineCtx);
+
+    /// A timer set via [`EngineCtx::set_timer`] fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut dyn EngineCtx) {}
+
+    /// A request submitted by this driver completed.
+    fn on_response(&mut self, _resp: ResponseInfo, _ctx: &mut dyn EngineCtx) {}
+}

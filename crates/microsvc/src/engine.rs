@@ -1,0 +1,1583 @@
+//! The discrete-event engine: executes an application on a simulated machine.
+//!
+//! # Execution model
+//!
+//! Worker threads are synchronous (thread-per-request): a worker runs a job's
+//! CPU phases and *blocks* while downstream calls are in flight. CPU work is
+//! tracked in *reference cycles*; the retirement rate of the task running on
+//! a CPU is `nominal_frequency × speed_factor`, where the speed factor comes
+//! from the µarch model and depends on SMT sibling activity, CCX cache
+//! pressure and NUMA locality. Whenever the occupancy of any CPU in an L3
+//! domain changes, every running task in that domain is *re-rated*: its
+//! progress is flushed, a new rate computed, and its completion event
+//! rescheduled.
+//!
+//! # RPC model
+//!
+//! A call from a worker on CPU `c` to an instance whose representative CPU is
+//! `r` pays `rpc_cost(proximity(c, r))`: wire latency before the job arrives,
+//! send cycles at the caller (executed before blocking), receive cycles at
+//! the callee (prepended to the callee job's work). Replies pay the wire
+//! latency again. Client traffic additionally pays a fixed client network
+//! latency each way.
+//!
+//! An instance's *representative CPU* is the CPU one of its workers last ran
+//! on — exact for pinned instances, a moving estimate for unpinned ones.
+
+use crate::app::{AppSpec, Demand};
+use crate::deploy::Deployment;
+use crate::driver::{Driver, EngineCtx, ResponseInfo};
+use crate::ids::{ClientId, InstanceId, RequestClassId, RequestId};
+use crate::lb::{Balancer, Candidate, LbPolicy};
+use crate::metrics::{Metrics, RunReport};
+use crate::trace::{RequestTrace, Tracer};
+use cputopo::{CpuId, NumaId, Topology};
+use oskernel::{Placement, SchedParams, SchedStats, Scheduler, Switch, TaskId, WakeOutcome};
+use simcore::{Calendar, EventToken, Rng, RngFactory, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use uarch::{ExecContext, UarchParams};
+
+/// Engine-level tunables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineParams {
+    /// Microarchitectural model constants.
+    pub uarch: UarchParams,
+    /// Scheduler tunables.
+    pub sched: SchedParams,
+    /// Load-balancing policy applied to every service.
+    pub lb: LbPolicy,
+    /// One-way network latency between clients and the entry service. The
+    /// paper drives TeaStore from a separate load-generator machine.
+    pub client_net_latency: SimDuration,
+    /// Sample every n-th request into a [`RequestTrace`]
+    /// (`None` = tracing off). See [`crate::trace`].
+    pub trace_sample_every: Option<u64>,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            uarch: UarchParams::default(),
+            sched: SchedParams::default(),
+            lb: LbPolicy::RoundRobin,
+            client_net_latency: SimDuration::from_micros(120),
+            trace_sample_every: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- internals
+
+#[derive(Debug, Clone)]
+struct FlatNode {
+    service: usize,
+    pre: Demand,
+    post: Demand,
+    /// Depth in the call tree (root = 0), recorded on trace spans.
+    depth: u8,
+    /// Stages of child node indices (into the class's `nodes`).
+    stages: Vec<Vec<usize>>,
+}
+
+#[derive(Debug, Clone)]
+struct FlatClass {
+    nodes: Vec<FlatNode>,
+}
+
+fn flatten_class(root: &crate::app::CallNode) -> FlatClass {
+    let mut nodes = Vec::with_capacity(root.node_count());
+    fn visit(node: &crate::app::CallNode, depth: u8, nodes: &mut Vec<FlatNode>) -> usize {
+        let idx = nodes.len();
+        nodes.push(FlatNode {
+            service: node.service.index(),
+            pre: node.pre,
+            post: node.post,
+            depth,
+            stages: Vec::new(),
+        });
+        let mut stages = Vec::with_capacity(node.stages.len());
+        for stage in &node.stages {
+            assert!(
+                !stage.parallel.is_empty(),
+                "call stages must contain at least one call"
+            );
+            let children: Vec<usize> = stage
+                .parallel
+                .iter()
+                .map(|c| visit(c, depth.saturating_add(1), nodes))
+                .collect();
+            stages.push(children);
+        }
+        nodes[idx].stages = stages;
+        idx
+    }
+    visit(root, 0, &mut nodes);
+    FlatClass { nodes }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Running the node's `pre` demand plus RPC receive work.
+    Pre,
+    /// Running the send work of stage `s`.
+    StageSend(usize),
+    /// Blocked awaiting the replies of stage `s`.
+    WaitStage(usize),
+    /// Running the node's `post` demand.
+    Post,
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    request: u64,
+    class: usize,
+    node: usize,
+    instance: usize,
+    parent: Option<u64>,
+    phase: Phase,
+    pending: usize,
+    remaining_cycles: f64,
+    enqueued_at: SimTime,
+    /// Trace span index when the owning request is sampled.
+    span: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct RequestInfo {
+    class: usize,
+    client: u64,
+    submitted_at: SimTime,
+}
+
+#[derive(Debug)]
+struct Instance {
+    service: usize,
+    mem_node: NumaId,
+    rep_cpu: CpuId,
+    idle_workers: Vec<usize>,
+    pending: VecDeque<u64>,
+    outstanding: usize,
+}
+
+#[derive(Debug)]
+struct Worker {
+    task: TaskId,
+    instance: usize,
+    job: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CpuExec {
+    worker: usize,
+    /// Effective retirement rate, reference cycles per nanosecond.
+    rate: f64,
+    /// Wall clock rate (boosted frequency), cycles per nanosecond.
+    wall_rate: f64,
+    /// The context the rate was computed from (reused for counter synthesis).
+    ctx: ExecContext,
+    since: SimTime,
+    gen: u64,
+    done_token: EventToken,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Timer(u64),
+    WorkDone { cpu: u32, gen: u64 },
+    Quantum { cpu: u32, gen: u64 },
+    JobArrive { job: u64 },
+    ReplyArrive { parent: u64 },
+    ClientReply { request: u64 },
+}
+
+/// The simulation engine. See the [module docs](self) for the model.
+#[derive(Debug)]
+pub struct Engine {
+    topo: Arc<Topology>,
+    params: EngineParams,
+    app: AppSpec,
+    classes: Vec<FlatClass>,
+    cal: Calendar<Event>,
+    sched: Scheduler,
+    instances: Vec<Instance>,
+    per_service_instances: Vec<Vec<usize>>,
+    balancers: Vec<Balancer>,
+    workers: Vec<Worker>,
+    jobs: Vec<Job>,
+    requests: Vec<RequestInfo>,
+    exec: Vec<Option<CpuExec>>,
+    next_gen: u64,
+    metrics: Metrics,
+    sched_stats_baseline: SchedStats,
+    demand_rng: Rng,
+    driver_rng: Rng,
+    cycles_per_us: f64,
+    stop_requested: bool,
+    tracer: Tracer,
+    /// Quantized machine-occupancy bucket driving the boost multiplier.
+    boost_bucket: u32,
+}
+
+impl Engine {
+    /// Builds an engine for `app` deployed as `deployment` on `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment is invalid for the application/machine (see
+    /// [`Deployment::validate`]) or a call stage is empty.
+    pub fn new(
+        topo: Arc<Topology>,
+        params: EngineParams,
+        app: AppSpec,
+        deployment: Deployment,
+        seed: u64,
+    ) -> Self {
+        deployment.validate(&app, &topo);
+        let classes: Vec<FlatClass> = app
+            .classes()
+            .iter()
+            .map(|c| flatten_class(&c.root))
+            .collect();
+        let mut sched = Scheduler::new(topo.clone(), params.sched.clone());
+        let mut instances = Vec::new();
+        let mut per_service_instances = vec![Vec::new(); app.services().len()];
+        let mut workers = Vec::new();
+        for (service, config) in deployment.iter() {
+            let inst_idx = instances.len();
+            per_service_instances[service.index()].push(inst_idx);
+            let mut worker_ids = Vec::with_capacity(config.threads);
+            for _ in 0..config.threads {
+                let task = sched.spawn(config.affinity.clone());
+                let worker_idx = workers.len();
+                assert_eq!(
+                    task.index(),
+                    worker_idx,
+                    "tasks and workers are parallel arrays"
+                );
+                workers.push(Worker {
+                    task,
+                    instance: inst_idx,
+                    job: None,
+                });
+                worker_ids.push(worker_idx);
+            }
+            instances.push(Instance {
+                service: service.index(),
+                mem_node: config.effective_mem_node(&topo),
+                rep_cpu: config.affinity.first().expect("validated non-empty"),
+                idle_workers: worker_ids,
+                pending: VecDeque::new(),
+                outstanding: 0,
+            });
+        }
+        let factory = RngFactory::new(seed);
+        let metrics = Metrics::new(&app, SimTime::ZERO);
+        let balancers = (0..app.services().len())
+            .map(|_| Balancer::new(params.lb))
+            .collect();
+        let cycles_per_us = topo.freq_hz() / 1e6 / 1e3 * 1e3; // GHz × 1000 cycles/µs
+        let ncpus = topo.num_cpus();
+        let params_trace = params.trace_sample_every;
+        Engine {
+            topo,
+            params,
+            app,
+            classes,
+            cal: Calendar::new(),
+            sched,
+            instances,
+            per_service_instances,
+            balancers,
+            workers,
+            jobs: Vec::new(),
+            requests: Vec::new(),
+            exec: vec![None; ncpus],
+            next_gen: 0,
+            metrics,
+            sched_stats_baseline: SchedStats::default(),
+            demand_rng: factory.stream("demand"),
+            driver_rng: factory.stream("driver"),
+            cycles_per_us,
+            stop_requested: false,
+            tracer: Tracer::new(params_trace),
+            boost_bucket: 0,
+        }
+    }
+
+    /// The machine this engine simulates.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The application being executed.
+    pub fn app(&self) -> &AppSpec {
+        &self.app
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    /// Sampled request traces collected so far (see
+    /// [`EngineParams::trace_sample_every`]).
+    pub fn traces(&self) -> &[RequestTrace] {
+        self.tracer.traces()
+    }
+
+    /// Runs the simulation until `until` (simulated), the event calendar
+    /// drains, or the driver requests a stop.
+    ///
+    /// `driver.start` is invoked at the beginning of every `run` call, so an
+    /// engine should be driven by one `run` per driver.
+    pub fn run(&mut self, driver: &mut dyn Driver, until: SimTime) {
+        driver.start(self);
+        while !self.stop_requested {
+            match self.cal.peek_time() {
+                Some(t) if t <= until => {}
+                _ => break,
+            }
+            let (_, event) = self.cal.pop().expect("peeked event exists");
+            self.handle(event, driver);
+        }
+    }
+
+    /// Builds the measurement report for the window since the last
+    /// [`EngineCtx::reset_metrics`] (or the start of the run).
+    pub fn report(&self) -> RunReport {
+        let mut sched = self.sched.stats();
+        let base = self.sched_stats_baseline;
+        sched.wakeups -= base.wakeups;
+        sched.context_switches -= base.context_switches;
+        sched.migrations -= base.migrations;
+        sched.steals -= base.steals;
+        RunReport::build(&self.metrics, &self.app, &self.topo, sched, self.now())
+    }
+
+    // -------------------------------------------------------- event handling
+
+    fn handle(&mut self, event: Event, driver: &mut dyn Driver) {
+        match event {
+            Event::Timer(token) => driver.on_timer(token, self),
+            Event::WorkDone { cpu, gen } => self.on_work_done(CpuId(cpu), gen),
+            Event::Quantum { cpu, gen } => self.on_quantum(CpuId(cpu), gen),
+            Event::JobArrive { job } => self.on_job_arrive(job),
+            Event::ReplyArrive { parent } => self.on_reply_arrive(parent),
+            Event::ClientReply { request } => self.on_client_reply(request, driver),
+        }
+    }
+
+    fn on_client_reply(&mut self, request: u64, driver: &mut dyn Driver) {
+        let now = self.now();
+        self.tracer.complete(RequestId(request), now);
+        let info = &self.requests[request as usize];
+        let latency = self.now() - info.submitted_at;
+        let class = info.class;
+        let client = info.client;
+        self.metrics.completed += 1;
+        self.metrics.latency.record_duration(latency);
+        self.metrics.latency_per_class[class].record_duration(latency);
+        driver.on_response(
+            ResponseInfo {
+                request: RequestId(request),
+                client: ClientId(client),
+                class: RequestClassId(class as u32),
+                latency,
+            },
+            self,
+        );
+    }
+
+    fn on_job_arrive(&mut self, job_id: u64) {
+        let inst_idx = self.jobs[job_id as usize].instance;
+        self.jobs[job_id as usize].enqueued_at = self.now();
+        {
+            let (request, class, node) = {
+                let j = &self.jobs[job_id as usize];
+                (j.request, j.class, j.node)
+            };
+            let flat = &self.classes[class].nodes[node];
+            let now = self.now();
+            let span = self.tracer.open_span(
+                RequestId(request),
+                crate::ids::ServiceId(flat.service as u32),
+                InstanceId(inst_idx as u32),
+                flat.depth,
+                now,
+            );
+            self.jobs[job_id as usize].span = span;
+        }
+        if let Some(worker) = self.instances[inst_idx].idle_workers.pop() {
+            self.assign_job(worker, job_id);
+            let task = self.workers[worker].task;
+            match self.sched.wake_outcome(task) {
+                Some(WakeOutcome::Started(p)) => self.on_placement(p),
+                Some(WakeOutcome::Queued(_)) => {}
+                None => unreachable!("idle workers are blocked"),
+            }
+        } else {
+            self.instances[inst_idx].pending.push_back(job_id);
+        }
+    }
+
+    fn assign_job(&mut self, worker: usize, job_id: u64) {
+        debug_assert!(self.workers[worker].job.is_none());
+        let job = &self.jobs[job_id as usize];
+        let wait = self.now().saturating_since(job.enqueued_at);
+        let service = self.instances[job.instance].service;
+        self.metrics.per_service[service]
+            .queue_wait
+            .record_duration(wait);
+        if let Some(span) = job.span {
+            let (request, now) = (job.request, self.now());
+            self.tracer.span_started(RequestId(request), span, now);
+        }
+        self.workers[worker].job = Some(job_id);
+    }
+
+    fn on_reply_arrive(&mut self, parent_id: u64) {
+        let job = &mut self.jobs[parent_id as usize];
+        debug_assert!(matches!(job.phase, Phase::WaitStage(_)));
+        debug_assert!(job.pending > 0);
+        job.pending -= 1;
+        if job.pending > 0 {
+            return;
+        }
+        let stage = match job.phase {
+            Phase::WaitStage(s) => s,
+            _ => unreachable!(),
+        };
+        // All replies in: run the next send stage or the closing work.
+        let class = job.class;
+        let node = job.node;
+        let next_stage = stage + 1;
+        let has_more = next_stage < self.classes[class].nodes[node].stages.len();
+        if has_more {
+            let n_calls = self.classes[class].nodes[node].stages[next_stage].len();
+            let job = &mut self.jobs[parent_id as usize];
+            job.phase = Phase::StageSend(next_stage);
+            job.remaining_cycles = (n_calls as u64 * self.params.uarch.rpc_endpoint_cycles) as f64;
+        } else {
+            let post = self.classes[class].nodes[node].post;
+            let cycles = post.sample_us(&mut self.demand_rng) * self.cycles_per_us;
+            let job = &mut self.jobs[parent_id as usize];
+            job.phase = Phase::Post;
+            job.remaining_cycles = cycles;
+        }
+        // Wake the worker holding this job.
+        let worker = self
+            .workers
+            .iter()
+            .position(|w| w.job == Some(parent_id))
+            .expect("a waiting job is held by a worker");
+        let task = self.workers[worker].task;
+        match self.sched.wake_outcome(task) {
+            Some(WakeOutcome::Started(p)) => self.on_placement(p),
+            Some(WakeOutcome::Queued(_)) => {}
+            None => unreachable!("waiting workers are blocked"),
+        }
+    }
+
+    fn on_work_done(&mut self, cpu: CpuId, gen: u64) {
+        let Some(exec) = self.exec[cpu.index()] else {
+            return; // stale (exec torn down since scheduling)
+        };
+        if exec.gen != gen {
+            return; // stale (re-rated since scheduling)
+        }
+        self.flush_progress(cpu);
+        let exec = self.exec[cpu.index()].take().expect("checked above");
+        let worker = exec.worker;
+        let job_id = self.workers[worker]
+            .job
+            .expect("running worker holds a job");
+        debug_assert!(self.jobs[job_id as usize].remaining_cycles <= 1.0);
+        self.jobs[job_id as usize].remaining_cycles = 0.0;
+        self.continue_worker(worker, cpu);
+    }
+
+    fn on_quantum(&mut self, cpu: CpuId, gen: u64) {
+        let Some(exec) = self.exec[cpu.index()] else {
+            return;
+        };
+        if exec.gen != gen {
+            return;
+        }
+        if self.sched.runqueue_len(cpu) == 0 {
+            // Nothing to round-robin with; keep ticking.
+            let quantum = self.params.sched.quantum;
+            self.cal
+                .schedule(self.now() + quantum, Event::Quantum { cpu: cpu.0, gen });
+            return;
+        }
+        // Preempt: flush, tear down exec, let the scheduler rotate.
+        let worker = exec.worker;
+        self.release_exec(cpu);
+        self.busy_delta(worker, -1.0);
+        let switch = self
+            .sched
+            .quantum_expired(cpu)
+            .expect("runqueue non-empty implies preemption");
+        self.handle_switch(switch);
+    }
+
+    // ---------------------------------------------------------- job engine
+
+    /// Drives `worker` (already running on `cpu`) forward: starts its job's
+    /// current phase if work remains, otherwise advances the phase machine,
+    /// which may issue RPCs and block, finish the job, or pick up the next
+    /// queued job.
+    fn continue_worker(&mut self, worker: usize, cpu: CpuId) {
+        loop {
+            let job_id = self.workers[worker].job.expect("worker has a job");
+            if self.jobs[job_id as usize].remaining_cycles > 0.5 {
+                self.start_exec(cpu, worker);
+                return;
+            }
+            match self.jobs[job_id as usize].phase {
+                Phase::Pre => {
+                    let (class, node) = {
+                        let j = &self.jobs[job_id as usize];
+                        (j.class, j.node)
+                    };
+                    if self.classes[class].nodes[node].stages.is_empty() {
+                        let post = self.classes[class].nodes[node].post;
+                        let cycles = post.sample_us(&mut self.demand_rng) * self.cycles_per_us;
+                        let j = &mut self.jobs[job_id as usize];
+                        j.phase = Phase::Post;
+                        j.remaining_cycles = cycles;
+                    } else {
+                        let n_calls = self.classes[class].nodes[node].stages[0].len();
+                        let j = &mut self.jobs[job_id as usize];
+                        j.phase = Phase::StageSend(0);
+                        j.remaining_cycles =
+                            (n_calls as u64 * self.params.uarch.rpc_endpoint_cycles) as f64;
+                    }
+                }
+                Phase::StageSend(stage) => {
+                    // Send work done: dispatch the stage's calls and block.
+                    self.issue_stage(job_id, stage, cpu);
+                    let j = &mut self.jobs[job_id as usize];
+                    j.phase = Phase::WaitStage(stage);
+                    self.block_worker(worker, cpu);
+                    return;
+                }
+                Phase::Post => {
+                    if self.finish_job(worker, job_id, cpu) {
+                        continue; // picked up a queued job; keep running
+                    }
+                    return; // worker went idle
+                }
+                Phase::WaitStage(_) | Phase::Done => {
+                    unreachable!("non-executable phase on CPU")
+                }
+            }
+        }
+    }
+
+    /// Issues all calls of `stage`, charging RPC costs by distance from
+    /// `caller_cpu`. Sets the job's pending-reply count.
+    fn issue_stage(&mut self, job_id: u64, stage: usize, caller_cpu: CpuId) {
+        let (class, node, request) = {
+            let j = &self.jobs[job_id as usize];
+            (j.class, j.node, j.request)
+        };
+        let children: Vec<usize> = self.classes[class].nodes[node].stages[stage].clone();
+        self.jobs[job_id as usize].pending = children.len();
+        for child_node in children {
+            let service = self.classes[class].nodes[child_node].service;
+            let instance = self.pick_instance(service, caller_cpu);
+            let proximity = self
+                .topo
+                .proximity(caller_cpu, self.instances[instance].rep_cpu);
+            let cost = self.params.uarch.rpc_cost(proximity);
+            let pre = self.classes[class].nodes[child_node].pre;
+            let cycles = pre.sample_us(&mut self.demand_rng) * self.cycles_per_us
+                + cost.callee_cycles as f64;
+            let child_id = self.jobs.len() as u64;
+            self.jobs.push(Job {
+                request,
+                class,
+                node: child_node,
+                instance,
+                parent: Some(job_id),
+                phase: Phase::Pre,
+                pending: 0,
+                remaining_cycles: cycles,
+                enqueued_at: self.now(),
+                span: None,
+            });
+            self.instances[instance].outstanding += 1;
+            self.cal.schedule(
+                self.now() + cost.latency,
+                Event::JobArrive { job: child_id },
+            );
+        }
+    }
+
+    /// Completes `job_id` on `worker`: sends the reply and either picks up
+    /// the instance's next queued job (returns `true`, worker keeps the CPU)
+    /// or idles the worker (returns `false`, CPU released).
+    fn finish_job(&mut self, worker: usize, job_id: u64, cpu: CpuId) -> bool {
+        let (instance, parent, request) = {
+            let j = &mut self.jobs[job_id as usize];
+            j.phase = Phase::Done;
+            (j.instance, j.parent, j.request)
+        };
+        if let Some(span) = self.jobs[job_id as usize].span {
+            let now = self.now();
+            self.tracer.span_finished(RequestId(request), span, now);
+        }
+        let service = self.instances[instance].service;
+        self.metrics.per_service[service].jobs_completed += 1;
+        self.instances[instance].outstanding -= 1;
+
+        match parent {
+            Some(parent_id) => {
+                let parent_inst = self.jobs[parent_id as usize].instance;
+                let proximity = self
+                    .topo
+                    .proximity(cpu, self.instances[parent_inst].rep_cpu);
+                let latency = self.params.uarch.rpc_cost(proximity).latency;
+                self.cal.schedule(
+                    self.now() + latency,
+                    Event::ReplyArrive { parent: parent_id },
+                );
+            }
+            None => {
+                self.cal.schedule(
+                    self.now() + self.params.client_net_latency,
+                    Event::ClientReply { request },
+                );
+            }
+        }
+
+        self.workers[worker].job = None;
+        if let Some(next_job) = self.instances[instance].pending.pop_front() {
+            self.assign_job(worker, next_job);
+            true
+        } else {
+            self.instances[instance].idle_workers.push(worker);
+            self.block_worker(worker, cpu);
+            false
+        }
+    }
+
+    /// Ingress balancing for client requests: least outstanding, ties by
+    /// instance order rotated via the request counter for fairness.
+    fn pick_entry_instance(&mut self, service: usize) -> usize {
+        let candidates = &self.per_service_instances[service];
+        let start = self.requests.len() % candidates.len();
+        (0..candidates.len())
+            .map(|i| candidates[(start + i) % candidates.len()])
+            .min_by_key(|&i| self.instances[i].outstanding)
+            .expect("deployed services have instances")
+    }
+
+    fn pick_instance(&mut self, service: usize, caller_cpu: CpuId) -> usize {
+        let candidates: Vec<Candidate> = self.per_service_instances[service]
+            .iter()
+            .map(|&i| Candidate {
+                instance: InstanceId(i as u32),
+                outstanding: self.instances[i].outstanding,
+                home_cpu: self.instances[i].rep_cpu,
+            })
+            .collect();
+        self.balancers[service]
+            .pick(&candidates, caller_cpu, &self.topo)
+            .index()
+    }
+
+    // ----------------------------------------------------- CPU / exec state
+
+    /// The contention context of `worker`'s service on `cpu` right now.
+    ///
+    /// CCX pressure counts each *instance's* working set once — worker
+    /// threads of one instance share its heap — plus 15% per additional
+    /// concurrently-running thread of that instance (private stacks,
+    /// connection buffers), capped at 2× the base footprint.
+    fn exec_context(&self, cpu: CpuId, worker: usize) -> ExecContext {
+        let smt_sibling_busy = self
+            .topo
+            .smt_sibling(cpu)
+            .map(|sib| self.exec[sib.index()].is_some())
+            .unwrap_or(false);
+        let l3 = self.topo.caches().l3_bytes as f64;
+        let ccx = self.topo.ccx_of(cpu);
+        // (instance, running thread count) for this CCX; at most 8 entries.
+        let mut running: [(usize, u32); 16] = [(usize::MAX, 0); 16];
+        let mut n_entries = 0;
+        for c in self.topo.cpus_in_ccx(ccx).iter() {
+            let w = if c == cpu {
+                Some(worker)
+            } else {
+                self.exec[c.index()].map(|e| e.worker)
+            };
+            let Some(w) = w else { continue };
+            let inst = self.workers[w].instance;
+            if let Some(entry) = running[..n_entries].iter_mut().find(|e| e.0 == inst) {
+                entry.1 += 1;
+            } else if n_entries < running.len() {
+                running[n_entries] = (inst, 1);
+                n_entries += 1;
+            }
+        }
+        let mut ws_sum = 0.0;
+        for &(inst, k) in &running[..n_entries] {
+            let service = self.instances[inst].service;
+            let base = self.app.services()[service].profile.working_set_bytes as f64;
+            ws_sum += base * (1.0 + 0.15 * (k.saturating_sub(1)) as f64).min(2.0);
+        }
+        let instance = self.workers[worker].instance;
+        let numa_local = self.instances[instance].mem_node == self.topo.numa_of(cpu);
+        ExecContext {
+            smt_sibling_busy,
+            ccx_pressure: ws_sum / l3,
+            numa_local,
+        }
+    }
+
+    /// Current boosted wall-clock rate, cycles per nanosecond.
+    fn wall_rate(&self) -> f64 {
+        let mult = self
+            .params
+            .uarch
+            .boost
+            .multiplier_for_bucket(self.boost_bucket);
+        self.topo.freq_hz() / 1e9 * mult
+    }
+
+    fn rate_for(&self, worker: usize, ctx: &ExecContext) -> f64 {
+        let instance = self.workers[worker].instance;
+        let service = self.instances[instance].service;
+        let profile = &self.app.services()[service].profile;
+        let factor = self.params.uarch.speed_factor(profile, ctx).value();
+        // Reference cycles retired per nanosecond (at the boosted clock).
+        self.wall_rate() * factor
+    }
+
+    /// Puts `worker` into execution on `cpu` and schedules its completion.
+    fn start_exec(&mut self, cpu: CpuId, worker: usize) {
+        debug_assert!(self.exec[cpu.index()].is_none());
+        let ctx = self.exec_context(cpu, worker);
+        let rate = self.rate_for(worker, &ctx);
+        let job_id = self.workers[worker].job.expect("exec requires a job");
+        let remaining = self.jobs[job_id as usize].remaining_cycles;
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let eta = SimDuration::from_nanos((remaining / rate).ceil() as u64);
+        let done_token = self
+            .cal
+            .schedule(self.now() + eta, Event::WorkDone { cpu: cpu.0, gen });
+        self.exec[cpu.index()] = Some(CpuExec {
+            worker,
+            rate,
+            wall_rate: self.wall_rate(),
+            ctx,
+            since: self.now(),
+            gen,
+            done_token,
+        });
+        self.cal.schedule(
+            self.now() + self.params.sched.quantum,
+            Event::Quantum { cpu: cpu.0, gen },
+        );
+        self.instances[self.workers[worker].instance].rep_cpu = cpu;
+        self.rerate_neighbors(cpu);
+    }
+
+    /// Tears down execution on `cpu` (after flushing progress) and re-rates
+    /// the neighborhood that just lost a co-runner.
+    fn release_exec(&mut self, cpu: CpuId) {
+        self.flush_progress(cpu);
+        let exec = self.exec[cpu.index()]
+            .take()
+            .expect("release_exec on idle cpu");
+        self.cal.cancel(exec.done_token);
+        self.rerate_neighbors(cpu);
+    }
+
+    /// Adjusts the busy-CPU utilization clocks for `worker`'s service, and
+    /// re-rates the whole machine if the occupancy crossed into a new
+    /// frequency-boost bucket.
+    fn busy_delta(&mut self, worker: usize, delta: f64) {
+        let service = self.instances[self.workers[worker].instance].service;
+        let now = self.now();
+        self.metrics.per_service[service].busy.add(now, delta);
+        self.metrics.busy_cpus.add(now, delta);
+        if self.params.uarch.boost != uarch::BoostModel::Flat {
+            // Hysteresis: occupancy naturally flutters around a working
+            // point; only re-clock the machine when the active fraction has
+            // moved at least 1.5 bucket widths from the current bucket's
+            // center, otherwise every wake/block would trigger a machine-
+            // wide re-rate.
+            let fraction =
+                (self.metrics.busy_cpus.level() / self.topo.num_cpus() as f64).clamp(0.0, 1.0);
+            let center = (self.boost_bucket as f64 + 0.5) / 20.0;
+            if (fraction - center).abs() > 0.075 {
+                self.boost_bucket = uarch::BoostModel::bucket(fraction);
+                let busy: Vec<CpuId> = self
+                    .topo
+                    .all_cpus()
+                    .iter()
+                    .filter(|c| self.exec[c.index()].is_some())
+                    .collect();
+                for cpu in busy {
+                    self.rerate(cpu);
+                }
+            }
+        }
+    }
+
+    /// Integrates progress on `cpu` since the last update: retires cycles,
+    /// records counters, charges vruntime.
+    fn flush_progress(&mut self, cpu: CpuId) {
+        let Some(exec) = self.exec[cpu.index()] else {
+            return;
+        };
+        let elapsed = self.now() - exec.since;
+        if elapsed.is_zero() {
+            return;
+        }
+        let elapsed_ns = elapsed.as_nanos() as f64;
+        let ref_cycles = exec.rate * elapsed_ns;
+        let actual_cycles = exec.wall_rate * elapsed_ns;
+        let worker = exec.worker;
+        let job_id = self.workers[worker]
+            .job
+            .expect("running worker holds a job");
+        let job = &mut self.jobs[job_id as usize];
+        job.remaining_cycles = (job.remaining_cycles - ref_cycles).max(0.0);
+        if let Some(span) = job.span {
+            let request = job.request;
+            self.tracer.span_cpu(RequestId(request), span, elapsed);
+        }
+        let service = self.instances[self.workers[worker].instance].service;
+        let profile = &self.app.services()[service].profile;
+        self.metrics.per_service[service].counters.record_slice(
+            ref_cycles as u64,
+            actual_cycles as u64,
+            profile,
+            &exec.ctx,
+            &self.params.uarch,
+        );
+        self.sched.account(self.workers[worker].task, elapsed);
+        let now = self.now();
+        if let Some(e) = self.exec[cpu.index()].as_mut() {
+            e.since = now;
+        }
+    }
+
+    /// Re-rates every other running task in `cpu`'s L3 domain (their SMT /
+    /// cache-pressure context may have changed).
+    fn rerate_neighbors(&mut self, cpu: CpuId) {
+        let ccx = self.topo.ccx_of(cpu);
+        let neighbors: Vec<CpuId> = self
+            .topo
+            .cpus_in_ccx(ccx)
+            .iter()
+            .filter(|&c| c != cpu && self.exec[c.index()].is_some())
+            .collect();
+        for c in neighbors {
+            self.rerate(c);
+        }
+    }
+
+    fn rerate(&mut self, cpu: CpuId) {
+        self.flush_progress(cpu);
+        let Some(exec) = self.exec[cpu.index()] else {
+            return;
+        };
+        let ctx = self.exec_context(cpu, exec.worker);
+        let rate = self.rate_for(exec.worker, &ctx);
+        if (rate - exec.rate).abs() < 1e-12 {
+            return;
+        }
+        self.cal.cancel(exec.done_token);
+        let job_id = self.workers[exec.worker]
+            .job
+            .expect("running worker holds a job");
+        let remaining = self.jobs[job_id as usize].remaining_cycles;
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let eta = SimDuration::from_nanos((remaining / rate).ceil().max(1.0) as u64);
+        let done_token = self
+            .cal
+            .schedule(self.now() + eta, Event::WorkDone { cpu: cpu.0, gen });
+        self.cal.schedule(
+            self.now() + self.params.sched.quantum,
+            Event::Quantum { cpu: cpu.0, gen },
+        );
+        self.exec[cpu.index()] = Some(CpuExec {
+            worker: exec.worker,
+            rate,
+            wall_rate: self.wall_rate(),
+            ctx,
+            since: self.now(),
+            gen,
+            done_token,
+        });
+    }
+
+    // ------------------------------------------------------ sched plumbing
+
+    fn on_placement(&mut self, placement: Placement) {
+        let worker = placement.task.index();
+        debug_assert_eq!(self.workers[worker].task, placement.task);
+        self.busy_delta(worker, 1.0);
+        let job_id = self.workers[worker].job.expect("placed workers hold jobs");
+        // Context-switch direct cost: charged as extra work to the incoming
+        // task (its time passes on the CPU) and counted per service.
+        let service = self.instances[self.workers[worker].instance].service;
+        self.metrics.per_service[service].counters.context_switches += 1;
+        let mut extra = self.params.uarch.context_switch_cycles as f64;
+        if let Some(from) = placement.migrated_from {
+            let proximity = self.topo.proximity(from, placement.cpu);
+            extra += self.params.uarch.migration_cost(proximity) as f64;
+            self.metrics.per_service[service]
+                .counters
+                .record_migration();
+        }
+        self.jobs[job_id as usize].remaining_cycles += extra;
+        self.continue_worker(worker, placement.cpu);
+    }
+
+    fn handle_switch(&mut self, switch: Switch) {
+        match switch.next {
+            Some(p) => self.on_placement(p),
+            None => self.try_steal(switch.cpu),
+        }
+    }
+
+    fn block_worker(&mut self, worker: usize, cpu: CpuId) {
+        if self.exec[cpu.index()].map(|e| e.worker) == Some(worker) {
+            self.release_exec(cpu);
+        }
+        self.busy_delta(worker, -1.0);
+        let switch = self.sched.block(self.workers[worker].task);
+        self.handle_switch(switch);
+    }
+
+    fn try_steal(&mut self, cpu: CpuId) {
+        if let Some(p) = self.sched.steal(cpu) {
+            self.on_placement(p);
+        }
+    }
+}
+
+// EngineCtx is how drivers see the engine.
+impl EngineCtx for Engine {
+    fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    fn set_timer(&mut self, after: SimDuration, token: u64) {
+        self.cal.schedule(self.now() + after, Event::Timer(token));
+    }
+
+    fn submit(&mut self, class: u32, client: u64) -> RequestId {
+        let class = class as usize;
+        assert!(class < self.classes.len(), "unknown request class {class}");
+        let request_id = self.requests.len() as u64;
+        self.requests.push(RequestInfo {
+            class,
+            client,
+            submitted_at: self.now(),
+        });
+        let now = self.now();
+        self.tracer.maybe_open(
+            request_id,
+            RequestId(request_id),
+            RequestClassId(class as u32),
+            now,
+        );
+        // Entry job at the class's root service. Clients are remote, so
+        // locality-aware balancing is meaningless for them: ingress always
+        // picks the least-loaded entry instance (what a front-end proxy
+        // does), regardless of the inter-service LB policy.
+        let root_service = self.classes[class].nodes[0].service;
+        let instance = self.pick_entry_instance(root_service);
+        let cost = self.params.uarch.rpc_cost(cputopo::Proximity::SameCcx);
+        let pre = self.classes[class].nodes[0].pre;
+        let cycles =
+            pre.sample_us(&mut self.demand_rng) * self.cycles_per_us + cost.callee_cycles as f64;
+        let job_id = self.jobs.len() as u64;
+        self.jobs.push(Job {
+            request: request_id,
+            class,
+            node: 0,
+            instance,
+            parent: None,
+            phase: Phase::Pre,
+            pending: 0,
+            remaining_cycles: cycles,
+            enqueued_at: self.now(),
+            span: None,
+        });
+        self.instances[instance].outstanding += 1;
+        self.cal.schedule(
+            self.now() + self.params.client_net_latency,
+            Event::JobArrive { job: job_id },
+        );
+        RequestId(request_id)
+    }
+
+    fn rng(&mut self) -> &mut Rng {
+        &mut self.driver_rng
+    }
+
+    fn reset_metrics(&mut self) {
+        let now = self.now();
+        // Flush all in-progress slices so pre-reset work lands in the old
+        // window, then zero the accumulators.
+        let busy: Vec<CpuId> = self
+            .topo
+            .all_cpus()
+            .iter()
+            .filter(|c| self.exec[c.index()].is_some())
+            .collect();
+        for cpu in busy.iter() {
+            self.flush_progress(*cpu);
+        }
+        self.metrics.reset(now);
+        self.sched_stats_baseline = self.sched.stats();
+        // Re-establish current busy levels in the fresh time-weighted clocks.
+        for cpu in busy {
+            let worker = self.exec[cpu.index()].expect("still busy").worker;
+            let service = self.instances[self.workers[worker].instance].service;
+            self.metrics.per_service[service].busy.add(now, 1.0);
+            self.metrics.busy_cpus.add(now, 1.0);
+        }
+    }
+
+    fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    fn completed_requests(&self) -> u64 {
+        self.metrics.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{CallNode, CallStage, ServiceSpec};
+    use crate::ids::ServiceId;
+    use uarch::ServiceProfile;
+
+    fn one_service_app(demand_us: f64) -> (AppSpec, ServiceId) {
+        let mut app = AppSpec::new();
+        let svc = app.add_service(ServiceSpec::new("api", ServiceProfile::light_rpc("api")));
+        app.add_class(
+            "ping",
+            1.0,
+            CallNode::leaf(svc, Demand::fixed_us(demand_us)),
+        );
+        (app, svc)
+    }
+
+    struct CountingDriver {
+        submit_n: u32,
+        done: u32,
+        latencies: Vec<SimDuration>,
+    }
+
+    impl CountingDriver {
+        fn new(n: u32) -> Self {
+            CountingDriver {
+                submit_n: n,
+                done: 0,
+                latencies: Vec::new(),
+            }
+        }
+    }
+
+    impl Driver for CountingDriver {
+        fn start(&mut self, ctx: &mut dyn EngineCtx) {
+            for client in 0..self.submit_n {
+                ctx.submit(0, client as u64);
+            }
+        }
+        fn on_response(&mut self, resp: ResponseInfo, _ctx: &mut dyn EngineCtx) {
+            self.done += 1;
+            self.latencies.push(resp.latency);
+        }
+    }
+
+    fn run_simple(
+        n: u32,
+        demand_us: f64,
+        instances: usize,
+        threads: usize,
+    ) -> (CountingDriver, RunReport) {
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(demand_us);
+        let deployment = Deployment::uniform(&app, &topo, instances, threads);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 7);
+        let mut driver = CountingDriver::new(n);
+        engine.run(&mut driver, SimTime::from_secs(10));
+        let report = engine.report();
+        (driver, report)
+    }
+
+    #[test]
+    fn single_request_completes_with_sane_latency() {
+        let (driver, report) = run_simple(1, 500.0, 1, 1);
+        assert_eq!(driver.done, 1);
+        assert_eq!(report.completed, 1);
+        let lat = driver.latencies[0];
+        // Floor: 2× client latency (120µs each way) + 500µs of work.
+        assert!(lat >= SimDuration::from_micros(740), "latency {lat}");
+        // And it should not be wildly above that on an idle machine.
+        assert!(lat <= SimDuration::from_micros(760), "latency {lat}");
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let (driver, report) = run_simple(64, 300.0, 2, 4);
+        assert_eq!(driver.done, 64);
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.services[0].jobs_completed, 64);
+    }
+
+    #[test]
+    fn thread_pool_limits_concurrency() {
+        // 1 instance × 1 thread: strictly serial service times.
+        let (driver, _) = run_simple(8, 1000.0, 1, 1);
+        let max = driver.latencies.iter().max().expect("has latencies");
+        // The 8th request waits for 7 × 1ms of service ahead of it.
+        assert!(
+            *max >= SimDuration::from_micros(8 * 1000),
+            "serialized tail should exceed 8ms, got {max}"
+        );
+        // 8 threads: near-parallel.
+        let (driver2, _) = run_simple(8, 1000.0, 1, 8);
+        let max2 = driver2.latencies.iter().max().expect("has latencies");
+        assert!(
+            *max2 < SimDuration::from_micros(3500),
+            "parallel tail should be small, got {max2}"
+        );
+    }
+
+    #[test]
+    fn queue_wait_is_measured() {
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(1000.0);
+        let deployment = Deployment::uniform(&app, &topo, 1, 1);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 7);
+        let mut driver = CountingDriver::new(4);
+        engine.run(&mut driver, SimTime::from_secs(10));
+        let report = engine.report();
+        assert!(
+            report.services[0].mean_queue_wait > SimDuration::from_micros(100),
+            "queued requests must record waiting time, got {}",
+            report.services[0].mean_queue_wait
+        );
+    }
+
+    #[test]
+    fn fan_out_calls_run_in_parallel() {
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut app = AppSpec::new();
+        let front = app.add_service(ServiceSpec::new(
+            "front",
+            ServiceProfile::light_rpc("front"),
+        ));
+        let back = app.add_service(ServiceSpec::new("back", ServiceProfile::light_rpc("back")));
+        let fan = CallNode::new(
+            front,
+            Demand::fixed_us(50.0),
+            vec![CallStage {
+                parallel: (0..4)
+                    .map(|_| CallNode::leaf(back, Demand::fixed_us(500.0)))
+                    .collect(),
+            }],
+            Demand::fixed_us(50.0),
+        );
+        app.add_class("fanout", 1.0, fan);
+        let deployment = Deployment::uniform(&app, &topo, 2, 8);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 11);
+        let mut driver = CountingDriver::new(1);
+        engine.run(&mut driver, SimTime::from_secs(5));
+        assert_eq!(driver.done, 1);
+        let lat = driver.latencies[0];
+        // Parallel: ~client RTT + front work + one back leg (+RPC overheads),
+        // far below the ~2.3ms a serial execution of 4×500µs would take.
+        assert!(
+            lat < SimDuration::from_micros(1600),
+            "fan-out should overlap backend work, got {lat}"
+        );
+        let report = engine.report();
+        assert_eq!(report.services[back.index()].jobs_completed, 4);
+    }
+
+    #[test]
+    fn sequential_stages_serialize() {
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut app = AppSpec::new();
+        let front = app.add_service(ServiceSpec::new(
+            "front",
+            ServiceProfile::light_rpc("front"),
+        ));
+        let back = app.add_service(ServiceSpec::new("back", ServiceProfile::light_rpc("back")));
+        let two_stages = CallNode::new(
+            front,
+            Demand::fixed_us(50.0),
+            vec![
+                CallStage {
+                    parallel: vec![CallNode::leaf(back, Demand::fixed_us(500.0))],
+                },
+                CallStage {
+                    parallel: vec![CallNode::leaf(back, Demand::fixed_us(500.0))],
+                },
+            ],
+            Demand::ZERO,
+        );
+        app.add_class("seq", 1.0, two_stages);
+        let deployment = Deployment::uniform(&app, &topo, 2, 8);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 11);
+        let mut driver = CountingDriver::new(1);
+        engine.run(&mut driver, SimTime::from_secs(5));
+        let lat = driver.latencies[0];
+        assert!(
+            lat > SimDuration::from_micros(1200),
+            "two sequential 500µs stages cannot finish in {lat}"
+        );
+    }
+
+    #[test]
+    fn throughput_reflects_parallelism() {
+        // Closed burst of 400 × 200µs requests on 16 logical CPUs.
+        let (_, report) = run_simple(400, 200.0, 4, 8);
+        assert_eq!(report.completed, 400);
+        assert!(report.avg_busy_cpus > 1.0, "work should overlap");
+        assert!(
+            report.throughput_rps > 1000.0,
+            "rps {}",
+            report.throughput_rps
+        );
+    }
+
+    #[test]
+    fn utilization_and_counters_populate() {
+        let (_, report) = run_simple(200, 400.0, 2, 8);
+        let svc = &report.services[0];
+        assert!(svc.avg_busy_cpus > 0.0);
+        assert!(svc.counters.instructions > 0);
+        assert!(svc.metrics.ipc > 0.5 && svc.metrics.ipc < 1.5);
+        assert!(report.machine_metrics.kernel_frac > 0.0);
+        assert!(report.cpu_utilization > 0.0 && report.cpu_utilization <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (d1, r1) = run_simple(100, 300.0, 2, 4);
+        let (d2, r2) = run_simple(100, 300.0, 2, 4);
+        assert_eq!(d1.latencies, d2.latencies);
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.sched.context_switches, r2.sched.context_switches);
+        assert_eq!(
+            r1.services[0].counters.instructions,
+            r2.services[0].counters.instructions
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut lats = Vec::new();
+        for seed in [1u64, 2] {
+            let mut app = AppSpec::new();
+            let svc = app.add_service(ServiceSpec::new("api", ServiceProfile::light_rpc("api")));
+            app.add_class(
+                "ping",
+                1.0,
+                CallNode::leaf(svc, Demand::lognormal_us(300.0, 0.5)),
+            );
+            let deployment = Deployment::uniform(&app, &topo, 1, 4);
+            let mut engine =
+                Engine::new(topo.clone(), EngineParams::default(), app, deployment, seed);
+            let mut driver = CountingDriver::new(50);
+            engine.run(&mut driver, SimTime::from_secs(5));
+            lats.push(driver.latencies.clone());
+        }
+        assert_ne!(lats[0], lats[1]);
+    }
+
+    #[test]
+    fn reset_metrics_opens_fresh_window() {
+        struct TwoPhase {
+            phase2: bool,
+        }
+        impl Driver for TwoPhase {
+            fn start(&mut self, ctx: &mut dyn EngineCtx) {
+                for c in 0..20 {
+                    ctx.submit(0, c);
+                }
+                ctx.set_timer(SimDuration::from_millis(50), 1);
+            }
+            fn on_timer(&mut self, _token: u64, ctx: &mut dyn EngineCtx) {
+                self.phase2 = true;
+                ctx.reset_metrics();
+                for c in 0..5 {
+                    ctx.submit(0, c);
+                }
+            }
+        }
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(200.0);
+        let deployment = Deployment::uniform(&app, &topo, 2, 8);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 3);
+        let mut driver = TwoPhase { phase2: false };
+        engine.run(&mut driver, SimTime::from_secs(2));
+        assert!(driver.phase2);
+        let report = engine.report();
+        assert_eq!(report.completed, 5, "only post-reset completions count");
+    }
+
+    #[test]
+    fn driver_timers_fire_in_order() {
+        struct TimerDriver {
+            fired: Vec<u64>,
+        }
+        impl Driver for TimerDriver {
+            fn start(&mut self, ctx: &mut dyn EngineCtx) {
+                ctx.set_timer(SimDuration::from_millis(2), 2);
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                ctx.set_timer(SimDuration::from_millis(3), 3);
+            }
+            fn on_timer(&mut self, token: u64, _ctx: &mut dyn EngineCtx) {
+                self.fired.push(token);
+            }
+        }
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(100.0);
+        let deployment = Deployment::uniform(&app, &topo, 1, 1);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 3);
+        let mut driver = TimerDriver { fired: Vec::new() };
+        engine.run(&mut driver, SimTime::from_secs(1));
+        assert_eq!(driver.fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn request_stop_halts_engine() {
+        struct Stopper;
+        impl Driver for Stopper {
+            fn start(&mut self, ctx: &mut dyn EngineCtx) {
+                ctx.submit(0, 0);
+                ctx.set_timer(SimDuration::from_nanos(1), 0);
+            }
+            fn on_timer(&mut self, _token: u64, ctx: &mut dyn EngineCtx) {
+                ctx.request_stop();
+            }
+        }
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(100.0);
+        let deployment = Deployment::uniform(&app, &topo, 1, 1);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 3);
+        let mut driver = Stopper;
+        engine.run(&mut driver, SimTime::from_secs(1));
+        assert_eq!(engine.report().completed, 0, "stopped before completion");
+        assert!(engine.now() < SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn pinned_deployment_stays_on_its_cpus() {
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, svc) = one_service_app(500.0);
+        let ccx0 = topo.cpus_in_ccx(cputopo::CcxId(0)).clone();
+        let mut deployment = Deployment::empty(&app);
+        deployment.add_instance(
+            svc,
+            crate::deploy::InstanceConfig {
+                affinity: ccx0,
+                threads: 8,
+                mem_node: None,
+            },
+        );
+        let mut engine = Engine::new(topo.clone(), EngineParams::default(), app, deployment, 9);
+        let mut driver = CountingDriver::new(100);
+        engine.run(&mut driver, SimTime::from_secs(10));
+        assert_eq!(driver.done, 100);
+        // No CPU outside CCX 0 may ever have executed: utilization says ≤ 8.
+        let report = engine.report();
+        assert!(report.services[0].peak_busy_cpus <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn frequency_boost_speeds_up_an_idle_machine() {
+        let run = |boost: uarch::BoostModel| {
+            let topo = Arc::new(Topology::desktop_8c());
+            let (app, _) = one_service_app(2_000.0);
+            let deployment = Deployment::uniform(&app, &topo, 1, 2);
+            let mut params = EngineParams::default();
+            params.uarch.boost = boost;
+            let mut engine = Engine::new(topo, params, app, deployment, 3);
+            let mut driver = CountingDriver::new(1);
+            engine.run(&mut driver, SimTime::from_secs(5));
+            driver.latencies[0]
+        };
+        let flat = run(uarch::BoostModel::Flat);
+        let boosted = run(uarch::BoostModel::zen2_like());
+        // One task on an otherwise idle machine runs in the full-boost
+        // bucket: its 2 ms of work shrinks by ~1/1.25.
+        assert!(
+            boosted < flat,
+            "boost must shorten idle-machine latency: {boosted} vs {flat}"
+        );
+        let ratio = flat.as_nanos() as f64 / boosted.as_nanos() as f64;
+        assert!(ratio > 1.1 && ratio < 1.3, "boost ratio {ratio}");
+    }
+
+    #[test]
+    fn cross_socket_calls_cost_more_than_local_ones() {
+        // front → back, both pinned; back either on the same CCX or on the
+        // other socket of a 2P machine.
+        let topo = Arc::new(Topology::zen2_2p_128c());
+        let run = |back_cpu_base: u32| {
+            let mut app = AppSpec::new();
+            let front = app.add_service(ServiceSpec::new(
+                "front",
+                ServiceProfile::light_rpc("front"),
+            ));
+            let back = app.add_service(ServiceSpec::new("back", ServiceProfile::light_rpc("back")));
+            app.add_class(
+                "call",
+                1.0,
+                CallNode::new(
+                    front,
+                    Demand::fixed_us(100.0),
+                    vec![CallStage {
+                        parallel: vec![CallNode::leaf(back, Demand::fixed_us(100.0))],
+                    }],
+                    Demand::ZERO,
+                ),
+            );
+            let mut deployment = Deployment::empty(&app);
+            deployment.add_instance(
+                front,
+                crate::deploy::InstanceConfig {
+                    affinity: topo.cpus_in_ccx(cputopo::CcxId(0)).clone(),
+                    threads: 4,
+                    mem_node: None,
+                },
+            );
+            deployment.add_instance(
+                back,
+                crate::deploy::InstanceConfig {
+                    affinity: topo.cpus_in_ccx(topo.ccx_of(CpuId(back_cpu_base))).clone(),
+                    threads: 4,
+                    mem_node: None,
+                },
+            );
+            let mut engine = Engine::new(topo.clone(), EngineParams::default(), app, deployment, 5);
+            let mut driver = CountingDriver::new(1);
+            engine.run(&mut driver, SimTime::from_secs(5));
+            driver.latencies[0]
+        };
+        let local = run(1); // ccx 0 (same as front)
+        let remote = run(64); // first core of socket 1
+                              // Two extra cross-socket legs plus heavier endpoint work.
+        assert!(
+            remote > local + SimDuration::from_micros(25),
+            "cross-socket call must be visibly slower: {local} vs {remote}"
+        );
+    }
+
+    #[test]
+    fn self_call_trees_deadlock_like_real_containers() {
+        // A service that synchronously calls itself with an exhausted pool
+        // deadlocks: the root job holds the only worker while its child
+        // waits for one. Servlet containers behave identically; the engine
+        // reproduces it rather than papering over it.
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut app = AppSpec::new();
+        let svc = app.add_service(
+            ServiceSpec::new("reentrant", ServiceProfile::light_rpc("reentrant")).with_threads(1),
+        );
+        let self_call = CallNode::new(
+            svc,
+            Demand::fixed_us(50.0),
+            vec![CallStage {
+                parallel: vec![CallNode::leaf(svc, Demand::fixed_us(50.0))],
+            }],
+            Demand::ZERO,
+        );
+        app.add_class("self", 1.0, self_call);
+        let mut deployment = Deployment::empty(&app);
+        deployment.add_instance(
+            svc,
+            crate::deploy::InstanceConfig {
+                affinity: topo.all_cpus().clone(),
+                threads: 1,
+                mem_node: None,
+            },
+        );
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 1);
+        let mut driver = CountingDriver::new(1);
+        engine.run(&mut driver, SimTime::from_secs(2));
+        assert_eq!(
+            driver.done, 0,
+            "self-call with a 1-thread pool must deadlock"
+        );
+        // With two threads the same tree completes.
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut app = AppSpec::new();
+        let svc = app.add_service(
+            ServiceSpec::new("reentrant", ServiceProfile::light_rpc("reentrant")).with_threads(2),
+        );
+        let self_call = CallNode::new(
+            svc,
+            Demand::fixed_us(50.0),
+            vec![CallStage {
+                parallel: vec![CallNode::leaf(svc, Demand::fixed_us(50.0))],
+            }],
+            Demand::ZERO,
+        );
+        app.add_class("self", 1.0, self_call);
+        let deployment = Deployment::uniform(&app, &topo, 1, 2);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 1);
+        let mut driver = CountingDriver::new(1);
+        engine.run(&mut driver, SimTime::from_secs(2));
+        assert_eq!(driver.done, 1, "two threads break the cycle");
+    }
+
+    #[test]
+    fn smt_contention_stretches_latency() {
+        // Two tasks pinned to the two hyperthreads of one core run slower
+        // than two tasks on two different cores.
+        let topo = Arc::new(Topology::desktop_8c());
+        let run = |cpu_a: u32, cpu_b: u32| -> SimDuration {
+            let mut app = AppSpec::new();
+            let svc = app.add_service(
+                ServiceSpec::new("api", ServiceProfile::light_rpc("api")).with_threads(1),
+            );
+            app.add_class("ping", 1.0, CallNode::leaf(svc, Demand::fixed_us(2000.0)));
+            let mut deployment = Deployment::empty(&app);
+            for cpu in [cpu_a, cpu_b] {
+                deployment.add_instance(
+                    svc,
+                    crate::deploy::InstanceConfig {
+                        affinity: [CpuId(cpu)].into_iter().collect(),
+                        threads: 1,
+                        mem_node: None,
+                    },
+                );
+            }
+            let mut engine = Engine::new(topo.clone(), EngineParams::default(), app, deployment, 5);
+            let mut driver = CountingDriver::new(2);
+            engine.run(&mut driver, SimTime::from_secs(5));
+            *driver.latencies.iter().max().expect("ran")
+        };
+        let separate = run(0, 1); // two cores of ccx0
+        let siblings = run(0, 8); // hyperthreads of core 0
+        assert!(
+            siblings > separate.mul_f64(1.3),
+            "SMT co-run {siblings} should be ≫ separate cores {separate}"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Measurement state and end-of-run reports.
+
+use crate::app::AppSpec;
+use cputopo::Topology;
+use oskernel::SchedStats;
+use serde::{Deserialize, Serialize};
+use simcore::stats::{LogHistogram, TimeWeighted};
+use simcore::{SimDuration, SimTime};
+use uarch::{DerivedMetrics, PerfCounters};
+
+/// Live measurement state, owned by the engine.
+#[derive(Debug, Clone)]
+pub(crate) struct Metrics {
+    pub(crate) window_start: SimTime,
+    pub(crate) completed: u64,
+    pub(crate) latency: LogHistogram,
+    pub(crate) latency_per_class: Vec<LogHistogram>,
+    pub(crate) per_service: Vec<ServiceMetrics>,
+    /// Busy logical CPUs machine-wide (time-weighted).
+    pub(crate) busy_cpus: TimeWeighted,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ServiceMetrics {
+    /// Busy CPUs running this service (time-weighted).
+    pub(crate) busy: TimeWeighted,
+    pub(crate) counters: PerfCounters,
+    pub(crate) jobs_completed: u64,
+    /// Time jobs spent waiting for a worker thread, ns.
+    pub(crate) queue_wait: LogHistogram,
+}
+
+impl Metrics {
+    pub(crate) fn new(app: &AppSpec, now: SimTime) -> Self {
+        Metrics {
+            window_start: now,
+            completed: 0,
+            latency: LogHistogram::new(),
+            latency_per_class: vec![LogHistogram::new(); app.classes().len()],
+            per_service: app
+                .services()
+                .iter()
+                .map(|_| ServiceMetrics {
+                    busy: TimeWeighted::new(now, 0.0),
+                    counters: PerfCounters::new(),
+                    jobs_completed: 0,
+                    queue_wait: LogHistogram::new(),
+                })
+                .collect(),
+            busy_cpus: TimeWeighted::new(now, 0.0),
+        }
+    }
+
+    pub(crate) fn reset(&mut self, now: SimTime) {
+        self.window_start = now;
+        self.completed = 0;
+        self.latency.reset();
+        for h in &mut self.latency_per_class {
+            h.reset();
+        }
+        for s in &mut self.per_service {
+            // Zero the level before restarting integration: the engine
+            // re-establishes current occupancy right after the reset.
+            s.busy.set(now, 0.0);
+            s.busy.reset(now);
+            s.counters = PerfCounters::new();
+            s.jobs_completed = 0;
+            s.queue_wait.reset();
+        }
+        self.busy_cpus.set(now, 0.0);
+        self.busy_cpus.reset(now);
+    }
+}
+
+/// Per-service results in a [`RunReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceReport {
+    /// Service name.
+    pub name: String,
+    /// Average busy logical CPUs over the window.
+    pub avg_busy_cpus: f64,
+    /// Peak busy logical CPUs.
+    pub peak_busy_cpus: f64,
+    /// Jobs (service invocations) completed.
+    pub jobs_completed: u64,
+    /// Mean wait for a worker thread.
+    pub mean_queue_wait: SimDuration,
+    /// p99 wait for a worker thread.
+    pub p99_queue_wait: SimDuration,
+    /// Synthesized counter-derived metrics.
+    pub metrics: DerivedMetrics,
+    /// Raw counters (for custom analysis).
+    pub counters: PerfCounters,
+}
+
+/// End-of-run measurement summary returned by the engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Length of the measurement window.
+    pub window: SimDuration,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency.
+    pub mean_latency: SimDuration,
+    /// Latency percentiles: p50, p90, p95, p99.
+    pub latency_p50: SimDuration,
+    /// 90th percentile latency.
+    pub latency_p90: SimDuration,
+    /// 95th percentile latency.
+    pub latency_p95: SimDuration,
+    /// 99th percentile latency.
+    pub latency_p99: SimDuration,
+    /// Per-class mean latency and completion counts, in class order.
+    pub per_class: Vec<(String, u64, SimDuration)>,
+    /// Per-service results.
+    pub services: Vec<ServiceReport>,
+    /// Average busy logical CPUs machine-wide.
+    pub avg_busy_cpus: f64,
+    /// Machine-wide CPU utilization in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Scheduler event counts over the window.
+    pub sched: SchedStats,
+    /// Machine-wide counter-derived metrics.
+    pub machine_metrics: DerivedMetrics,
+}
+
+impl RunReport {
+    pub(crate) fn build(
+        metrics: &Metrics,
+        app: &AppSpec,
+        topo: &Topology,
+        sched: SchedStats,
+        now: SimTime,
+    ) -> Self {
+        let window = now.saturating_since(metrics.window_start);
+        let secs = window.as_secs_f64();
+        let mut machine_counters = PerfCounters::new();
+        let services: Vec<ServiceReport> = metrics
+            .per_service
+            .iter()
+            .zip(app.services())
+            .map(|(m, spec)| {
+                machine_counters.merge(&m.counters);
+                ServiceReport {
+                    name: spec.name.clone(),
+                    avg_busy_cpus: m.busy.average(now),
+                    peak_busy_cpus: m.busy.peak(),
+                    jobs_completed: m.jobs_completed,
+                    mean_queue_wait: m.queue_wait.mean_duration(),
+                    p99_queue_wait: m.queue_wait.quantile_duration(0.99),
+                    metrics: m.counters.derive(),
+                    counters: m.counters,
+                }
+            })
+            .collect();
+        let avg_busy = metrics.busy_cpus.average(now);
+        RunReport {
+            window,
+            completed: metrics.completed,
+            throughput_rps: if secs > 0.0 {
+                metrics.completed as f64 / secs
+            } else {
+                0.0
+            },
+            mean_latency: metrics.latency.mean_duration(),
+            latency_p50: metrics.latency.quantile_duration(0.50),
+            latency_p90: metrics.latency.quantile_duration(0.90),
+            latency_p95: metrics.latency.quantile_duration(0.95),
+            latency_p99: metrics.latency.quantile_duration(0.99),
+            per_class: metrics
+                .latency_per_class
+                .iter()
+                .zip(app.classes())
+                .map(|(h, c)| (c.name.clone(), h.count(), h.mean_duration()))
+                .collect(),
+            services,
+            avg_busy_cpus: avg_busy,
+            cpu_utilization: avg_busy / topo.num_cpus() as f64,
+            sched,
+            machine_metrics: machine_counters.derive(),
+        }
+    }
+
+    /// A compact multi-line textual summary.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "window {:.2}s | {} req | {:.0} req/s | lat mean {} p50 {} p95 {} p99 {} | {:.1} busy CPUs ({:.0}% util)\n",
+            self.window.as_secs_f64(),
+            self.completed,
+            self.throughput_rps,
+            self.mean_latency,
+            self.latency_p50,
+            self.latency_p95,
+            self.latency_p99,
+            self.avg_busy_cpus,
+            self.cpu_utilization * 100.0,
+        );
+        for s in &self.services {
+            out.push_str(&format!(
+                "  {:<14} busy {:>6.2} cpus | {:>8} jobs | IPC {:.2} | qwait {} (p99 {})\n",
+                s.name,
+                s.avg_busy_cpus,
+                s.jobs_completed,
+                s.metrics.ipc,
+                s.mean_queue_wait,
+                s.p99_queue_wait,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{CallNode, Demand, ServiceSpec};
+    use uarch::ServiceProfile;
+
+    fn app() -> AppSpec {
+        let mut app = AppSpec::new();
+        let a = app.add_service(ServiceSpec::new("a", ServiceProfile::light_rpc("a")));
+        app.add_service(ServiceSpec::new("b", ServiceProfile::data_tier("b")));
+        app.add_class("c", 1.0, CallNode::leaf(a, Demand::fixed_us(10.0)));
+        app
+    }
+
+    #[test]
+    fn fresh_metrics_build_an_empty_report() {
+        let app = app();
+        let topo = Topology::desktop_8c();
+        let metrics = Metrics::new(&app, SimTime::ZERO);
+        let report = RunReport::build(
+            &metrics,
+            &app,
+            &topo,
+            SchedStats::default(),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.throughput_rps, 0.0);
+        assert_eq!(report.services.len(), 2);
+        assert_eq!(report.per_class.len(), 1);
+        assert_eq!(report.cpu_utilization, 0.0);
+        assert_eq!(report.mean_latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn report_computes_throughput_and_quantiles() {
+        let app = app();
+        let topo = Topology::desktop_8c();
+        let mut metrics = Metrics::new(&app, SimTime::ZERO);
+        for i in 1..=100u64 {
+            metrics.completed += 1;
+            metrics
+                .latency
+                .record_duration(SimDuration::from_micros(i * 10));
+            metrics.latency_per_class[0].record_duration(SimDuration::from_micros(i * 10));
+        }
+        metrics.busy_cpus.add(SimTime::ZERO, 8.0);
+        let now = SimTime::from_secs(2);
+        let report = RunReport::build(&metrics, &app, &topo, SchedStats::default(), now);
+        assert!((report.throughput_rps - 50.0).abs() < 1e-9);
+        assert!(report.latency_p50 <= report.latency_p99);
+        assert!((report.avg_busy_cpus - 8.0).abs() < 1e-9);
+        assert!((report.cpu_utilization - 0.5).abs() < 1e-9);
+        assert_eq!(report.per_class[0].1, 100);
+        let summary = report.summary();
+        assert!(summary.contains("req/s"));
+        assert!(summary.contains("100 req"));
+    }
+
+    #[test]
+    fn reset_zeroes_everything_including_busy_levels() {
+        let app = app();
+        let mut metrics = Metrics::new(&app, SimTime::ZERO);
+        metrics.completed = 5;
+        metrics.latency.record(100);
+        metrics.busy_cpus.add(SimTime::ZERO, 4.0);
+        metrics.per_service[0].busy.add(SimTime::ZERO, 2.0);
+        metrics.per_service[0].jobs_completed = 9;
+        let at = SimTime::from_secs(1);
+        metrics.reset(at);
+        assert_eq!(metrics.completed, 0);
+        assert_eq!(metrics.latency.count(), 0);
+        assert_eq!(metrics.per_service[0].jobs_completed, 0);
+        // Levels were zeroed, so the post-reset average is 0 until the
+        // engine re-establishes occupancy.
+        assert_eq!(metrics.busy_cpus.average(SimTime::from_secs(2)), 0.0);
+        assert_eq!(
+            metrics.per_service[0].busy.average(SimTime::from_secs(2)),
+            0.0
+        );
+    }
+}

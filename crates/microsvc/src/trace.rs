@@ -1,0 +1,316 @@
+//! Sampled distributed tracing: per-request span waterfalls.
+//!
+//! Scale-up analysis keeps asking *where a request's time goes*: thread-pool
+//! wait vs. CPU vs. downstream fan-out vs. wire. The engine can record a
+//! sampled subset of requests as [`RequestTrace`]s — one [`Span`] per
+//! service invocation with enqueue/start/finish timestamps and accumulated
+//! CPU time — exactly the data a Zipkin/Jaeger deployment would collect from
+//! the real TeaStore.
+//!
+//! Enable by setting [`trace_sample_every`](crate::EngineParams) on the
+//! engine parameters to `Some(n)`; every n-th request is traced (capped
+//! at [`Tracer::MAX_TRACES`]). Retrieve with
+//! [`Engine::traces`](crate::Engine::traces).
+
+use crate::ids::{InstanceId, RequestClassId, RequestId, ServiceId};
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// One service invocation within a traced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// The service invoked.
+    pub service: ServiceId,
+    /// The instance that served it.
+    pub instance: InstanceId,
+    /// Depth in the call tree (root = 0).
+    pub depth: u8,
+    /// When the job arrived at the instance.
+    pub enqueued: SimTime,
+    /// When a worker thread picked it up.
+    pub started: SimTime,
+    /// When the reply left the instance.
+    pub finished: SimTime,
+    /// Wall time the job actually occupied a CPU.
+    pub cpu_time: SimDuration,
+}
+
+impl Span {
+    /// Time waiting for a worker thread.
+    pub fn queue_wait(&self) -> SimDuration {
+        self.started.saturating_since(self.enqueued)
+    }
+
+    /// Residency: worker-held time (includes blocking on children).
+    pub fn residency(&self) -> SimDuration {
+        self.finished.saturating_since(self.started)
+    }
+}
+
+/// A fully traced request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// The request.
+    pub request: RequestId,
+    /// Its class.
+    pub class: RequestClassId,
+    /// Submission instant at the client.
+    pub submitted: SimTime,
+    /// Response arrival at the client (set when complete).
+    pub completed: Option<SimTime>,
+    /// Spans in creation order (root first).
+    pub spans: Vec<Span>,
+}
+
+impl RequestTrace {
+    /// End-to-end latency, if the request completed.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completed.map(|c| c.saturating_since(self.submitted))
+    }
+
+    /// Aggregates `(queue_wait, cpu_time)` per service id into `out`
+    /// (indexed by service).
+    pub fn breakdown_into(&self, out: &mut [(SimDuration, SimDuration)]) {
+        for span in &self.spans {
+            let slot = &mut out[span.service.index()];
+            slot.0 += span.queue_wait();
+            slot.1 += span.cpu_time;
+        }
+    }
+
+    /// Renders a text waterfall: one line per span, indented by call depth,
+    /// with times relative to submission.
+    ///
+    /// `service_names` maps service ids to names (pass the app's services).
+    pub fn waterfall(&self, service_names: &[&str]) -> String {
+        let mut out = format!(
+            "{} ({}): latency {}\n",
+            self.request,
+            self.class,
+            self.latency()
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "incomplete".to_owned()),
+        );
+        let rel = |t: SimTime| t.saturating_since(self.submitted);
+        for span in &self.spans {
+            let name = service_names
+                .get(span.service.index())
+                .copied()
+                .unwrap_or("?");
+            out.push_str(&format!(
+                "{:indent$}{:<14} [{} → {}] wait {} cpu {} ({})\n",
+                "",
+                name,
+                rel(span.enqueued),
+                rel(span.finished),
+                span.queue_wait(),
+                span.cpu_time,
+                span.instance,
+                indent = span.depth as usize * 2,
+            ));
+        }
+        out
+    }
+}
+
+/// Collects sampled request traces for the engine.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    /// Sample every n-th request (None = tracing disabled).
+    sample_every: Option<u64>,
+    /// In-flight and finished traces, keyed implicitly by insertion.
+    traces: Vec<RequestTrace>,
+    /// request id → trace index for in-flight requests.
+    index: std::collections::HashMap<u64, usize>,
+}
+
+impl Tracer {
+    /// Upper bound on retained traces; sampling stops beyond it.
+    pub const MAX_TRACES: usize = 1024;
+
+    /// Creates a tracer sampling every `sample_every`-th request.
+    pub fn new(sample_every: Option<u64>) -> Self {
+        Tracer {
+            sample_every,
+            traces: Vec::new(),
+            index: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Should this request (by ordinal) be traced? If so, opens the trace.
+    pub fn maybe_open(
+        &mut self,
+        ordinal: u64,
+        request: RequestId,
+        class: RequestClassId,
+        now: SimTime,
+    ) -> bool {
+        let Some(every) = self.sample_every else {
+            return false;
+        };
+        if !ordinal.is_multiple_of(every) || self.traces.len() >= Self::MAX_TRACES {
+            return false;
+        }
+        self.index.insert(request.0, self.traces.len());
+        self.traces.push(RequestTrace {
+            request,
+            class,
+            submitted: now,
+            completed: None,
+            spans: Vec::new(),
+        });
+        true
+    }
+
+    /// Opens a span on a traced request, returning its span index.
+    pub fn open_span(
+        &mut self,
+        request: RequestId,
+        service: ServiceId,
+        instance: InstanceId,
+        depth: u8,
+        enqueued: SimTime,
+    ) -> Option<u32> {
+        let &trace_idx = self.index.get(&request.0)?;
+        let spans = &mut self.traces[trace_idx].spans;
+        spans.push(Span {
+            service,
+            instance,
+            depth,
+            enqueued,
+            started: enqueued,
+            finished: enqueued,
+            cpu_time: SimDuration::ZERO,
+        });
+        Some((spans.len() - 1) as u32)
+    }
+
+    fn span_mut(&mut self, request: RequestId, span: u32) -> Option<&mut Span> {
+        let &trace_idx = self.index.get(&request.0)?;
+        self.traces[trace_idx].spans.get_mut(span as usize)
+    }
+
+    /// Marks a span as started (worker acquired).
+    pub fn span_started(&mut self, request: RequestId, span: u32, now: SimTime) {
+        if let Some(s) = self.span_mut(request, span) {
+            s.started = now;
+        }
+    }
+
+    /// Adds CPU occupancy to a span.
+    pub fn span_cpu(&mut self, request: RequestId, span: u32, cpu: SimDuration) {
+        if let Some(s) = self.span_mut(request, span) {
+            s.cpu_time += cpu;
+        }
+    }
+
+    /// Marks a span finished (reply sent).
+    pub fn span_finished(&mut self, request: RequestId, span: u32, now: SimTime) {
+        if let Some(s) = self.span_mut(request, span) {
+            s.finished = now;
+        }
+    }
+
+    /// Completes a request's trace (response reached the client).
+    pub fn complete(&mut self, request: RequestId, now: SimTime) {
+        if let Some(&trace_idx) = self.index.get(&request.0) {
+            self.traces[trace_idx].completed = Some(now);
+            self.index.remove(&request.0);
+        }
+    }
+
+    /// All collected traces (completed ones have `completed = Some(..)`).
+    pub fn traces(&self) -> &[RequestTrace] {
+        &self.traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_tracer_samples_nothing() {
+        let mut tracer = Tracer::new(None);
+        assert!(!tracer.maybe_open(0, RequestId(0), RequestClassId(0), t(0)));
+        assert!(tracer.traces().is_empty());
+    }
+
+    #[test]
+    fn samples_every_nth() {
+        let mut tracer = Tracer::new(Some(3));
+        let opened: Vec<bool> = (0..7)
+            .map(|i| tracer.maybe_open(i, RequestId(i), RequestClassId(0), t(i)))
+            .collect();
+        assert_eq!(opened, vec![true, false, false, true, false, false, true]);
+        assert_eq!(tracer.traces().len(), 3);
+    }
+
+    #[test]
+    fn span_lifecycle_and_breakdown() {
+        let mut tracer = Tracer::new(Some(1));
+        let req = RequestId(5);
+        tracer.maybe_open(0, req, RequestClassId(1), t(0));
+        let root = tracer
+            .open_span(req, ServiceId(0), InstanceId(2), 0, t(100))
+            .expect("traced");
+        tracer.span_started(req, root, t(150));
+        tracer.span_cpu(req, root, SimDuration::from_micros(40));
+        let child = tracer
+            .open_span(req, ServiceId(1), InstanceId(7), 1, t(200))
+            .expect("traced");
+        tracer.span_started(req, child, t(230));
+        tracer.span_cpu(req, child, SimDuration::from_micros(20));
+        tracer.span_finished(req, child, t(300));
+        tracer.span_finished(req, root, t(400));
+        tracer.complete(req, t(500));
+
+        let trace = &tracer.traces()[0];
+        assert_eq!(trace.latency(), Some(SimDuration::from_micros(500)));
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].queue_wait(), SimDuration::from_micros(50));
+        assert_eq!(trace.spans[1].residency(), SimDuration::from_micros(70));
+
+        let mut breakdown = vec![(SimDuration::ZERO, SimDuration::ZERO); 2];
+        trace.breakdown_into(&mut breakdown);
+        assert_eq!(breakdown[0].1, SimDuration::from_micros(40));
+        assert_eq!(breakdown[1].0, SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn waterfall_renders_indented() {
+        let mut tracer = Tracer::new(Some(1));
+        let req = RequestId(1);
+        tracer.maybe_open(0, req, RequestClassId(0), t(0));
+        let root = tracer
+            .open_span(req, ServiceId(0), InstanceId(0), 0, t(10))
+            .expect("traced");
+        let child = tracer
+            .open_span(req, ServiceId(1), InstanceId(1), 1, t(20))
+            .expect("traced");
+        tracer.span_finished(req, child, t(30));
+        tracer.span_finished(req, root, t(40));
+        tracer.complete(req, t(50));
+        let text = tracer.traces()[0].waterfall(&["front", "back"]);
+        assert!(text.contains("front"));
+        assert!(text.contains("  back"), "child must be indented: {text}");
+        assert!(text.contains("latency 50.00µs"));
+    }
+
+    #[test]
+    fn updates_to_untraced_requests_are_ignored() {
+        let mut tracer = Tracer::new(Some(2));
+        tracer.maybe_open(1, RequestId(1), RequestClassId(0), t(0)); // not sampled
+        assert_eq!(
+            tracer.open_span(RequestId(1), ServiceId(0), InstanceId(0), 0, t(1)),
+            None
+        );
+        tracer.span_cpu(RequestId(1), 0, SimDuration::from_micros(1));
+        tracer.complete(RequestId(1), t(2));
+        assert!(tracer.traces().is_empty());
+    }
+}

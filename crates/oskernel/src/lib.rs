@@ -1,0 +1,43 @@
+//! A discrete-event simulation of an OS CPU scheduler.
+//!
+//! This crate models the part of Linux that the paper's tuning fights with:
+//! where runnable threads land on a 256-logical-CPU machine. It is not a
+//! cycle-accurate kernel; it reproduces the *decisions* that matter for
+//! scale-up behaviour:
+//!
+//! * per-CPU runqueues with vruntime (CFS-style) fair ordering,
+//! * wake-time placement that searches for an idle CPU outward through the
+//!   topology (core → CCX → CCD → NUMA → socket → machine), preferring
+//!   whole-idle cores over the sibling of a busy one,
+//! * affinity masks (the simulation's `taskset`/cgroup cpuset),
+//! * quantum-based preemption when a runqueue holds more than one task,
+//! * idle stealing (load balancing) with the same outward search, and
+//! * accounting of context switches and migrations, which the µarch model
+//!   prices.
+//!
+//! The scheduler is *passive*: it never advances time itself. The simulation
+//! engine calls [`Scheduler::wake`], [`Scheduler::block`],
+//! [`Scheduler::quantum_expired`] etc. as its events fire, and each call
+//! returns the set of CPUs whose occupancy changed so the engine can
+//! re-evaluate execution rates and schedule completion events.
+//!
+//! # Example
+//!
+//! ```
+//! use cputopo::Topology;
+//! use oskernel::{Scheduler, SchedParams};
+//! use simcore::SimTime;
+//!
+//! let topo = std::sync::Arc::new(Topology::desktop_8c());
+//! let mut sched = Scheduler::new(topo.clone(), SchedParams::default());
+//! let t = sched.spawn(topo.all_cpus().clone());
+//! let placement = sched.wake(t, SimTime::ZERO).expect("machine is idle");
+//! assert_eq!(sched.running_on(placement.cpu), Some(t));
+//! ```
+
+pub mod runqueue;
+pub mod sched;
+pub mod task;
+
+pub use sched::{Placement, SchedParams, SchedStats, Scheduler, Switch, WakeOutcome};
+pub use task::{TaskId, TaskState};

@@ -1,0 +1,117 @@
+//! Per-CPU runqueues with vruntime ordering.
+
+use crate::task::TaskId;
+use simcore::SimDuration;
+use std::collections::BTreeSet;
+
+/// A single CPU's queue of runnable tasks, ordered by `(vruntime, arrival)`.
+///
+/// The lowest-vruntime task runs next (CFS-style fairness); the arrival
+/// sequence breaks ties deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct RunQueue {
+    queue: BTreeSet<(SimDuration, u64, TaskId)>,
+    next_arrival: u64,
+}
+
+impl RunQueue {
+    /// Creates an empty runqueue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a task with its current vruntime.
+    pub fn push(&mut self, task: TaskId, vruntime: SimDuration) {
+        let seq = self.next_arrival;
+        self.next_arrival += 1;
+        let inserted = self.queue.insert((vruntime, seq, task));
+        debug_assert!(inserted, "task {task} double-enqueued");
+    }
+
+    /// Removes and returns the fairest (lowest-vruntime) task.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        let entry = *self.queue.iter().next()?;
+        self.queue.remove(&entry);
+        Some(entry.2)
+    }
+
+    /// Removes a specific task (e.g. on steal or termination).
+    ///
+    /// Returns `true` if the task was queued here.
+    pub fn remove(&mut self, task: TaskId) -> bool {
+        let found = self.queue.iter().find(|&&(_, _, t)| t == task).copied();
+        match found {
+            Some(entry) => {
+                self.queue.remove(&entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates queued tasks in scheduling order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.queue.iter().map(|&(_, _, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn pops_lowest_vruntime_first() {
+        let mut rq = RunQueue::new();
+        rq.push(TaskId(1), d(30));
+        rq.push(TaskId(2), d(10));
+        rq.push(TaskId(3), d(20));
+        assert_eq!(rq.pop(), Some(TaskId(2)));
+        assert_eq!(rq.pop(), Some(TaskId(3)));
+        assert_eq!(rq.pop(), Some(TaskId(1)));
+        assert_eq!(rq.pop(), None);
+    }
+
+    #[test]
+    fn equal_vruntime_breaks_by_arrival() {
+        let mut rq = RunQueue::new();
+        rq.push(TaskId(9), d(5));
+        rq.push(TaskId(3), d(5));
+        assert_eq!(rq.pop(), Some(TaskId(9)), "first arrival wins ties");
+        assert_eq!(rq.pop(), Some(TaskId(3)));
+    }
+
+    #[test]
+    fn remove_specific_task() {
+        let mut rq = RunQueue::new();
+        rq.push(TaskId(1), d(1));
+        rq.push(TaskId(2), d(2));
+        assert!(rq.remove(TaskId(1)));
+        assert!(!rq.remove(TaskId(1)));
+        assert_eq!(rq.len(), 1);
+        assert_eq!(rq.pop(), Some(TaskId(2)));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut rq = RunQueue::new();
+        rq.push(TaskId(5), d(50));
+        rq.push(TaskId(6), d(5));
+        let order: Vec<TaskId> = rq.iter().collect();
+        assert_eq!(order, vec![TaskId(6), TaskId(5)]);
+        assert!(!rq.is_empty());
+    }
+}

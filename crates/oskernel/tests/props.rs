@@ -1,0 +1,187 @@
+//! Property tests: scheduler invariants under arbitrary operation sequences.
+//!
+//! The model: drive the scheduler with random wake/block/quantum/steal/
+//! terminate operations and assert after every step that its internal
+//! bookkeeping stays coherent — every CPU runs at most one task, a running
+//! task's CPU agrees with the running table, affinity is never violated, and
+//! nothing is lost (every non-terminated task is exactly one of running,
+//! queued, or blocked).
+
+use cputopo::{CpuId, CpuSet, Topology, TopologyBuilder};
+use oskernel::{SchedParams, Scheduler, TaskId, TaskState};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Wake(u8),
+    Block(u8),
+    Quantum(u8),
+    Steal(u8),
+    Terminate(u8),
+    Account(u8, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>()).prop_map(Op::Wake),
+        (any::<u8>()).prop_map(Op::Block),
+        (any::<u8>()).prop_map(Op::Quantum),
+        (any::<u8>()).prop_map(Op::Steal),
+        (any::<u8>()).prop_map(Op::Terminate),
+        (any::<u8>(), 0u32..10_000).prop_map(|(t, us)| Op::Account(t, us)),
+    ]
+}
+
+fn check_invariants(sched: &Scheduler, topo: &Topology, tasks: &[TaskId]) {
+    // 1. Each CPU runs at most one task, and that task points back at it.
+    let mut seen_running = std::collections::HashSet::new();
+    for cpu in topo.all_cpus().iter() {
+        if let Some(task) = sched.running_on(cpu) {
+            assert_eq!(sched.state(task), TaskState::Running);
+            assert_eq!(sched.cpu_of(task), Some(cpu), "{task} CPU mismatch");
+            assert!(seen_running.insert(task), "{task} running on two CPUs");
+            // 2. Affinity is respected.
+            assert!(
+                sched.affinity_of(task).contains(cpu),
+                "{task} runs outside its affinity"
+            );
+        }
+    }
+    // 3. State table is consistent: running tasks are on CPUs; others not.
+    for &task in tasks {
+        match sched.state(task) {
+            TaskState::Running => {
+                let cpu = sched.cpu_of(task).expect("running implies a CPU");
+                assert_eq!(sched.running_on(cpu), Some(task));
+            }
+            TaskState::Runnable | TaskState::Blocked | TaskState::Terminated => {
+                assert_eq!(sched.cpu_of(task), None);
+                assert!(!seen_running.contains(&task));
+            }
+        }
+    }
+    // 4. Queued counts equal the number of Runnable tasks.
+    let queued = sched.queued_count_in(topo.all_cpus());
+    let runnable = tasks
+        .iter()
+        .filter(|&&t| sched.state(t) == TaskState::Runnable)
+        .count();
+    assert_eq!(queued, runnable, "runqueues disagree with task states");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scheduler_invariants_hold_under_random_ops(
+        cores in 1u32..4,
+        smt in 1u32..3,
+        n_tasks in 1usize..12,
+        pin_mask in any::<u16>(),
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+    ) {
+        let topo = Arc::new(
+            TopologyBuilder::new("prop")
+                .sockets(1)
+                .ccxs_per_ccd(2)
+                .cores_per_ccx(cores)
+                .threads_per_core(smt)
+                .build(),
+        );
+        let mut sched = Scheduler::new(topo.clone(), SchedParams::default());
+        let tasks: Vec<TaskId> = (0..n_tasks)
+            .map(|i| {
+                // Some tasks pinned to one CPU, some roam freely.
+                let affinity: CpuSet = if pin_mask & (1 << (i % 16)) != 0 {
+                    [CpuId((i % topo.num_cpus()) as u32)].into_iter().collect()
+                } else {
+                    topo.all_cpus().clone()
+                };
+                sched.spawn(affinity)
+            })
+            .collect();
+
+        for op in ops {
+            match op {
+                Op::Wake(t) => {
+                    let task = tasks[t as usize % tasks.len()];
+                    // Waking a non-blocked task must be a rejected no-op.
+                    let was = sched.state(task);
+                    let outcome = sched.wake_outcome(task);
+                    if was != TaskState::Blocked {
+                        prop_assert!(outcome.is_none());
+                    }
+                }
+                Op::Block(t) => {
+                    let task = tasks[t as usize % tasks.len()];
+                    if sched.state(task) == TaskState::Running {
+                        sched.block(task);
+                    }
+                }
+                Op::Quantum(c) => {
+                    let cpu = CpuId(c as u32 % topo.num_cpus() as u32);
+                    sched.quantum_expired(cpu);
+                }
+                Op::Steal(c) => {
+                    let cpu = CpuId(c as u32 % topo.num_cpus() as u32);
+                    if !sched.is_busy(cpu) {
+                        sched.steal(cpu);
+                    }
+                }
+                Op::Terminate(t) => {
+                    let task = tasks[t as usize % tasks.len()];
+                    sched.terminate(task);
+                }
+                Op::Account(t, us) => {
+                    let task = tasks[t as usize % tasks.len()];
+                    sched.account(task, SimDuration::from_micros(us as u64));
+                }
+            }
+            check_invariants(&sched, &topo, &tasks);
+        }
+    }
+
+    #[test]
+    fn stats_only_grow(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut sched = Scheduler::new(topo.clone(), SchedParams::default());
+        let tasks: Vec<TaskId> = (0..4).map(|_| sched.spawn(topo.all_cpus().clone())).collect();
+        let mut last = sched.stats();
+        for op in ops {
+            match op {
+                Op::Wake(t) => {
+                    let _ = sched.wake(tasks[t as usize % tasks.len()], SimTime::ZERO);
+                }
+                Op::Block(t) => {
+                    let task = tasks[t as usize % tasks.len()];
+                    if sched.state(task) == TaskState::Running {
+                        sched.block(task);
+                    }
+                }
+                Op::Quantum(c) => {
+                    sched.quantum_expired(CpuId(c as u32 % topo.num_cpus() as u32));
+                }
+                Op::Steal(c) => {
+                    let cpu = CpuId(c as u32 % topo.num_cpus() as u32);
+                    if !sched.is_busy(cpu) {
+                        sched.steal(cpu);
+                    }
+                }
+                Op::Terminate(t) => {
+                    sched.terminate(tasks[t as usize % tasks.len()]);
+                }
+                Op::Account(..) => {}
+            }
+            let now = sched.stats();
+            prop_assert!(now.wakeups >= last.wakeups);
+            prop_assert!(now.context_switches >= last.context_switches);
+            prop_assert!(now.migrations >= last.migrations);
+            prop_assert!(now.steals >= last.steals);
+            last = now;
+        }
+    }
+}

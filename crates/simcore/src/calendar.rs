@@ -1,0 +1,297 @@
+//! The event calendar: a cancellable, deterministic priority queue of
+//! timestamped events.
+//!
+//! [`Calendar`] is the single ordering authority of a simulation. Events
+//! scheduled for the same instant pop in FIFO order (stable tie-breaking by
+//! insertion sequence), which makes runs bit-reproducible regardless of heap
+//! internals.
+//!
+//! Cancellation is supported through [`EventToken`]s: cancelling marks the
+//! entry dead and it is skipped (and its payload dropped) when it surfaces.
+//! This "lazy deletion" keeps both scheduling and cancellation at O(log n)
+//! amortized.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, used to cancel it before it fires.
+///
+/// Tokens are unique per [`Calendar`] for the lifetime of the calendar; they
+/// are never reused, so a stale token is harmless (cancelling an event that
+/// already fired is a no-op that returns `false`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventToken(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: Option<E>,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, cancellable event queue keyed by [`SimTime`].
+///
+/// # Example
+///
+/// ```
+/// use simcore::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime::from_nanos(20), "second");
+/// let tok = cal.schedule(SimTime::from_nanos(10), "first");
+/// cal.schedule(SimTime::from_nanos(10), "also-first-but-later");
+/// assert!(cal.cancel(tok));
+/// assert_eq!(cal.pop(), Some((SimTime::from_nanos(10), "also-first-but-later")));
+/// assert_eq!(cal.pop(), Some((SimTime::from_nanos(20), "second")));
+/// assert_eq!(cal.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    // Sequence numbers currently live in the heap. Cancellation moves a seq
+    // from `pending` to `cancelled`; pop skips entries found in `cancelled`.
+    pending: std::collections::HashSet<u64>,
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Creates an empty calendar positioned at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The instant of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (not cancelled) events still pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedules `payload` to fire at `at`, returning a token that can cancel it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the calendar's current time: scheduling
+    /// into the past would break causality.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} < now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            payload: Some(payload),
+        });
+        self.pending.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Cancels a pending event.
+    ///
+    /// Returns `true` if the event was still pending (it will now never
+    /// fire), `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if self.pending.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the earliest live event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the calendar is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(mut entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // cancelled: drop payload and keep searching
+            }
+            self.pending.remove(&entry.seq);
+            self.now = entry.at;
+            let payload = entry.payload.take().expect("calendar entry popped twice");
+            return Some((entry.at, payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Purge dead entries from the top so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&entry.seq);
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_nanos(30), 3);
+        cal.schedule(SimTime::from_nanos(10), 1);
+        cal.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            cal.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_micros(7), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_micros(10), ());
+        cal.pop();
+        cal.schedule(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut cal = Calendar::new();
+        let tok = cal.schedule(SimTime::from_nanos(1), "dead");
+        cal.schedule(SimTime::from_nanos(2), "alive");
+        assert!(cal.cancel(tok));
+        assert!(!cal.cancel(tok), "double cancel must report false");
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(2), "alive")));
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut cal = Calendar::new();
+        let tok = cal.schedule(SimTime::from_nanos(1), ());
+        cal.pop();
+        assert!(!cal.cancel(tok));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        let a = cal.schedule(SimTime::from_nanos(1), ());
+        let _b = cal.schedule(SimTime::from_nanos(2), ());
+        assert_eq!(cal.len(), 2);
+        cal.cancel(a);
+        assert_eq!(cal.len(), 1);
+        cal.pop();
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut cal = Calendar::new();
+        let tok = cal.schedule(SimTime::from_nanos(1), 1);
+        cal.schedule(SimTime::from_nanos(5), 2);
+        cal.cancel(tok);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_nanos(5)));
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(5), 2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_respects_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_nanos(10), 'a');
+        let (t, e) = cal.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_nanos(10), 'a'));
+        cal.schedule(t + SimDuration::from_nanos(5), 'b');
+        cal.schedule(t + SimDuration::from_nanos(1), 'c');
+        assert_eq!(cal.pop().unwrap().1, 'c');
+        assert_eq!(cal.pop().unwrap().1, 'b');
+    }
+
+    #[test]
+    fn cancel_after_fire_with_others_pending_is_noop() {
+        // Regression: cancelling an already-fired token while another event
+        // is still pending must not disturb the pending event.
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_nanos(1), 'a');
+        cal.schedule(SimTime::from_nanos(2), 'b');
+        cal.pop();
+        assert!(!cal.cancel(a));
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(2), 'b')));
+    }
+
+    #[test]
+    fn stale_token_from_future_is_rejected() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(!cal.cancel(EventToken(99)));
+    }
+}

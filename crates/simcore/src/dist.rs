@@ -1,0 +1,432 @@
+//! Random variate distributions used by workload and service-time models.
+//!
+//! Every distribution implements [`Distribution`], which samples `f64`
+//! values, plus a convenience [`Distribution::sample_duration`] that
+//! interprets the value as nanoseconds.
+//!
+//! The implementations are deliberately self-contained (inverse transform
+//! for [`Exp`], Box–Muller for [`Normal`]/[`LogNormal`]) so that variate
+//! streams are reproducible independently of external crates.
+
+use crate::rng::Rng;
+use crate::time::SimDuration;
+
+/// A source of random `f64` variates.
+pub trait Distribution {
+    /// Draws one variate.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// Draws one variate and interprets it as a non-negative duration in
+    /// nanoseconds (values below zero clamp to zero).
+    fn sample_duration(&self, rng: &mut Rng) -> SimDuration {
+        let x = self.sample(rng).max(0.0);
+        SimDuration::from_nanos(x.round() as u64)
+    }
+
+    /// The theoretical mean of the distribution, if finite.
+    fn mean(&self) -> f64;
+}
+
+/// The degenerate distribution: always returns the same value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Distribution for Constant {
+    fn sample(&self, _rng: &mut Rng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform bounds [{lo}, {hi})"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Exponential distribution, parameterized by rate λ (events per nanosecond
+/// when used for durations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `rate` (mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive, got {rate}"
+        );
+        Exp { rate }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
+        Exp { rate: 1.0 / mean }
+    }
+
+    /// Creates an exponential distribution of durations with the given mean.
+    pub fn from_mean_duration(mean: SimDuration) -> Self {
+        Self::from_mean(mean.as_nanos() as f64)
+    }
+}
+
+impl Distribution for Exp {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.next_f64_open().ln() / self.rate
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Normal (Gaussian) distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid normal params ({mu}, {sigma})"
+        );
+        Normal { mu, sigma }
+    }
+
+    fn standard_sample(rng: &mut Rng) -> f64 {
+        let u1 = rng.next_f64_open();
+        let u2 = rng.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.mu + self.sigma * Self::standard_sample(rng)
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+}
+
+/// Log-normal distribution parameterized by the mean and coefficient of
+/// variation of the *resulting* (not underlying) distribution.
+///
+/// Service times in real systems are right-skewed; TeaStore service demands
+/// are modeled as log-normal with a modest CV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,    // mean of underlying normal
+    sigma: f64, // stddev of underlying normal
+    mean: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose samples have mean `mean` and coefficient of
+    /// variation `cv` (σ/μ of the samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `cv < 0`, or either is not finite.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
+        assert!(
+            cv.is_finite() && cv >= 0.0,
+            "cv must be non-negative, got {cv}"
+        );
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+            mean,
+        }
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * Normal::standard_sample(rng)).exp()
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Bounded Pareto distribution on `[lo, hi]` with shape `alpha`.
+///
+/// Used for heavy-tailed object sizes (e.g. product images).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[lo, hi]` with tail index `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(
+            lo > 0.0 && hi > lo && alpha > 0.0,
+            "invalid bounded-pareto ({lo}, {hi}, {alpha})"
+        );
+        BoundedPareto { lo, hi, alpha }
+    }
+}
+
+impl Distribution for BoundedPareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        let u = rng.next_f64_open();
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        let a = self.alpha;
+        if (a - 1.0).abs() < 1e-12 {
+            // α = 1: mean = ln(hi/lo) · lo·hi / (hi − lo)
+            (self.hi / self.lo).ln() * self.lo * self.hi / (self.hi - self.lo)
+        } else {
+            let la = self.lo.powf(a);
+            (la / (1.0 - (self.lo / self.hi).powf(a)))
+                * (a / (a - 1.0))
+                * (1.0 / self.lo.powf(a - 1.0) - 1.0 / self.hi.powf(a - 1.0))
+        }
+    }
+}
+
+/// A discrete distribution over indices `0..weights.len()` with the given
+/// relative weights, sampled by cumulative inversion.
+///
+/// Used for request-class mixes (e.g. the TeaStore browse profile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Creates a weighted index over `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        WeightedIndex { cumulative }
+    }
+
+    /// Samples an index in `0..len`.
+    pub fn sample_index(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if there are no categories (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean<D: Distribution>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::seed_from(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Constant(4.2);
+        let mut rng = Rng::seed_from(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 4.2);
+        }
+        assert_eq!(d.mean(), 4.2);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Uniform::new(2.0, 6.0);
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..6.0).contains(&x));
+        }
+        assert!((sample_mean(&d, 100_000, 2) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let d = Exp::from_mean(250.0);
+        assert!((sample_mean(&d, 200_000, 3) - 250.0).abs() < 5.0);
+        assert!((Exp::from_rate(0.004).mean() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_samples_are_positive() {
+        let d = Exp::from_mean(1.0);
+        let mut rng = Rng::seed_from(4);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let d = Normal::new(10.0, 2.0);
+        let mut rng = Rng::seed_from(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_hits_requested_mean_and_cv() {
+        let d = LogNormal::from_mean_cv(100.0, 0.5);
+        let mut rng = Rng::seed_from(6);
+        let n = 300_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!(
+            (var.sqrt() / mean - 0.5).abs() < 0.02,
+            "cv {}",
+            var.sqrt() / mean
+        );
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let d = BoundedPareto::new(1.0, 1000.0, 1.3);
+        let mut rng = Rng::seed_from(7);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_mean_matches_formula() {
+        let d = BoundedPareto::new(2.0, 500.0, 1.5);
+        let empirical = sample_mean(&d, 400_000, 17);
+        assert!(
+            (empirical - d.mean()).abs() / d.mean() < 0.03,
+            "empirical {empirical} vs analytic {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let d = WeightedIndex::new(&[1.0, 0.0, 3.0]);
+        let mut rng = Rng::seed_from(8);
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[d.sample_index(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight class must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn weighted_index_rejects_all_zero() {
+        WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_duration_clamps_negatives() {
+        let d = Normal::new(-100.0, 0.0);
+        let mut rng = Rng::seed_from(9);
+        assert_eq!(d.sample_duration(&mut rng), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,215 @@
+//! Windowed time series: sampling a quantity over fixed intervals.
+//!
+//! Experiments often need a quantity *over time* (throughput per 100 ms
+//! bucket, queue depth every tick) rather than a single end-of-run scalar.
+//! [`TimeSeries`] accumulates events or samples into fixed-width windows
+//! keyed by [`SimTime`] and exposes them as `(window_start, value)` points.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How values landing in the same window combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Agg {
+    /// Sum of values (e.g. completed requests → per-window throughput).
+    Sum,
+    /// Arithmetic mean of samples (e.g. sampled queue depth).
+    Mean,
+    /// Maximum sample.
+    Max,
+}
+
+/// A fixed-window time series.
+///
+/// ```
+/// use simcore::series::{Agg, TimeSeries};
+/// use simcore::{SimDuration, SimTime};
+///
+/// let mut ts = TimeSeries::new(SimDuration::from_millis(100), Agg::Sum);
+/// ts.record(SimTime::from_millis(30), 1.0);
+/// ts.record(SimTime::from_millis(80), 1.0);
+/// ts.record(SimTime::from_millis(150), 1.0);
+/// let pts = ts.points();
+/// assert_eq!(pts[0], (SimTime::ZERO, 2.0));
+/// assert_eq!(pts[1], (SimTime::from_millis(100), 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    window: SimDuration,
+    agg: Agg,
+    // (sum, count, max) per consecutive window starting at `origin`.
+    buckets: Vec<(f64, u64, f64)>,
+    origin: SimTime,
+    started: bool,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given window width and aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration, agg: Agg) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        TimeSeries {
+            window,
+            agg,
+            buckets: Vec::new(),
+            origin: SimTime::ZERO,
+            started: false,
+        }
+    }
+
+    /// The window width.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records a value at `now`. The first record pins the series origin to
+    /// the start of `now`'s window; earlier records then panic (series are
+    /// causal, like everything else in the simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the origin established by the first record.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        if !self.started {
+            let w = self.window.as_nanos();
+            self.origin = SimTime::from_nanos((now.as_nanos() / w) * w);
+            self.started = true;
+        }
+        let offset = now
+            .checked_since(self.origin)
+            .expect("time series recorded into the past");
+        let idx = (offset.as_nanos() / self.window.as_nanos()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, (0.0, 0, f64::NEG_INFINITY));
+        }
+        let bucket = &mut self.buckets[idx];
+        bucket.0 += value;
+        bucket.1 += 1;
+        bucket.2 = bucket.2.max(value);
+    }
+
+    /// Counts an event (records 1.0); with [`Agg::Sum`] this yields
+    /// per-window event counts.
+    pub fn tick(&mut self, now: SimTime) {
+        self.record(now, 1.0);
+    }
+
+    /// The aggregated `(window_start, value)` points; empty windows between
+    /// populated ones report 0 (Sum), or are skipped (Mean/Max).
+    pub fn points(&self) -> Vec<(SimTime, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(sum, count, max))| {
+                let at = self.origin + self.window * (i as u64);
+                match self.agg {
+                    Agg::Sum => Some((at, sum)),
+                    Agg::Mean if count > 0 => Some((at, sum / count as f64)),
+                    Agg::Max if count > 0 => Some((at, max)),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Values only, in window order (convenience for plotting).
+    pub fn values(&self) -> Vec<f64> {
+        self.points().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Number of populated-or-interior windows.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn sum_counts_events_per_window() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10), Agg::Sum);
+        for t in [1u64, 2, 3, 11, 25] {
+            ts.tick(ms(t));
+        }
+        assert_eq!(
+            ts.values(),
+            vec![3.0, 1.0, 1.0],
+            "windows [0,10) [10,20) [20,30)"
+        );
+    }
+
+    #[test]
+    fn mean_averages_samples() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10), Agg::Mean);
+        ts.record(ms(0), 2.0);
+        ts.record(ms(5), 4.0);
+        ts.record(ms(12), 10.0);
+        assert_eq!(ts.values(), vec![3.0, 10.0]);
+    }
+
+    #[test]
+    fn max_takes_peaks_and_skips_empty() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10), Agg::Max);
+        ts.record(ms(0), 2.0);
+        ts.record(ms(1), 7.0);
+        ts.record(ms(25), 1.0);
+        let pts = ts.points();
+        assert_eq!(pts.len(), 2, "the empty middle window is skipped");
+        assert_eq!(pts[0].1, 7.0);
+        assert_eq!(pts[1], (ms(20), 1.0));
+    }
+
+    #[test]
+    fn sum_reports_zero_for_interior_gaps() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10), Agg::Sum);
+        ts.tick(ms(0));
+        ts.tick(ms(29));
+        assert_eq!(ts.values(), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn origin_snaps_to_window_boundary() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10), Agg::Sum);
+        ts.tick(ms(25));
+        assert_eq!(ts.points()[0].0, ms(20));
+        // A later event in the same window accumulates there.
+        ts.tick(ms(27));
+        assert_eq!(ts.values(), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded into the past")]
+    fn rejects_out_of_order_before_origin() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10), Agg::Sum);
+        ts.tick(ms(50));
+        ts.tick(ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        TimeSeries::new(SimDuration::ZERO, Agg::Sum);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(SimDuration::from_millis(10), Agg::Sum);
+        assert!(ts.is_empty());
+        assert_eq!(ts.len(), 0);
+        assert!(ts.points().is_empty());
+    }
+}

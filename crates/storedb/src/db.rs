@@ -1,0 +1,166 @@
+//! The database: a set of named tables.
+
+use crate::schema::Schema;
+use crate::table::{OpStats, Row, Table};
+use crate::value::Value;
+use crate::StoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named collection of [`Table`]s with pass-through, cost-accounted
+/// operations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a table from `schema`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::TableExists`] if the name is taken.
+    pub fn create_table(&mut self, schema: Schema) -> Result<(), StoreError> {
+        let name = schema.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(StoreError::TableExists(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_owned()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of rows in `table`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchTable`] if absent.
+    pub fn row_count(&self, table: &str) -> Result<usize, StoreError> {
+        Ok(self.table(table)?.len())
+    }
+
+    /// Inserts a row into `table`. See [`Table::insert`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors; [`StoreError::NoSuchTable`] if absent.
+    pub fn insert(
+        &mut self,
+        table: &str,
+        key: u64,
+        values: Vec<Value>,
+    ) -> Result<OpStats, StoreError> {
+        self.table_mut(table)?.insert(key, values)
+    }
+
+    /// Fetches a row by primary key. See [`Table::get`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors; [`StoreError::NoSuchTable`] if absent.
+    pub fn get(&self, table: &str, key: u64) -> Result<(Row, OpStats), StoreError> {
+        self.table(table)?.get(key)
+    }
+
+    /// Paged equality select. See [`Table::select_eq`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors; [`StoreError::NoSuchTable`] if absent.
+    pub fn select_eq(
+        &self,
+        table: &str,
+        column: &str,
+        value: &Value,
+        offset: usize,
+        limit: usize,
+    ) -> Result<(Vec<Row>, OpStats), StoreError> {
+        self.table(table)?.select_eq(column, value, offset, limit)
+    }
+
+    /// Indexed count. See [`Table::count_eq`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors; [`StoreError::NoSuchTable`] if absent.
+    pub fn count_eq(
+        &self,
+        table: &str,
+        column: &str,
+        value: &Value,
+    ) -> Result<(usize, OpStats), StoreError> {
+        self.table(table)?.count_eq(column, value)
+    }
+
+    /// Single-column update. See [`Table::update`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates table errors; [`StoreError::NoSuchTable`] if absent.
+    pub fn update(
+        &mut self,
+        table: &str,
+        key: u64,
+        column: &str,
+        value: Value,
+    ) -> Result<OpStats, StoreError> {
+        self.table_mut(table)?.update(key, column, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_route() {
+        let mut db = Database::new();
+        db.create_table(Schema::new("a", &["x"])).expect("fresh");
+        db.create_table(Schema::new("b", &["y"]).index_on("y"))
+            .expect("fresh");
+        assert_eq!(db.table_names(), vec!["a", "b"]);
+        assert_eq!(
+            db.create_table(Schema::new("a", &["z"])),
+            Err(StoreError::TableExists("a".to_owned()))
+        );
+        db.insert("a", 1, vec![Value::Int(10)]).expect("insert");
+        assert_eq!(db.row_count("a").expect("exists"), 1);
+        assert_eq!(db.get("a", 1).expect("row").0.values[0], Value::Int(10));
+        assert!(matches!(db.get("zzz", 1), Err(StoreError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn cross_table_isolation() {
+        let mut db = Database::new();
+        db.create_table(Schema::new("a", &["x"]).index_on("x"))
+            .expect("fresh");
+        db.create_table(Schema::new("b", &["x"]).index_on("x"))
+            .expect("fresh");
+        db.insert("a", 1, vec![Value::Int(5)]).expect("insert");
+        let (rows, _) = db
+            .select_eq("b", "x", &Value::Int(5), 0, 10)
+            .expect("query");
+        assert!(rows.is_empty(), "tables must not leak into each other");
+    }
+}

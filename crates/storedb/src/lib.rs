@@ -1,0 +1,90 @@
+//! An embedded in-memory relational store.
+//!
+//! TeaStore runs against MySQL; a scale-up simulation cannot, so this crate
+//! provides the stand-in: typed tables with a primary key, secondary B-tree
+//! indexes, paged equality scans, and — the part the simulation feeds on —
+//! **per-operation cost accounting**. Every operation returns [`OpStats`]
+//! (rows touched, index probes, bytes moved), which the `teastore` crate
+//! converts into CPU demands, so "how expensive is the category page query"
+//! is *derived from data shape* instead of guessed.
+//!
+//! The store is deliberately simple (single-threaded, no transactions, no
+//! durability): its job is faithful *cost structure*, not ACID. Concurrency
+//! effects are the simulator's department — the store-db service's thread
+//! pool and CPU contention come from the engine, as they do for every other
+//! service.
+//!
+//! # Example
+//!
+//! ```
+//! use storedb::{Database, Schema, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table(Schema::new("products", &["category_id", "name", "price"])
+//!     .index_on("category_id"))
+//!     .expect("fresh table");
+//! for i in 0..100u64 {
+//!     db.insert("products", i, vec![
+//!         Value::Int((i % 10) as i64),
+//!         Value::text(format!("tea-{i}")),
+//!         Value::Int(250),
+//!     ]).expect("insert");
+//! }
+//! let (rows, stats) = db
+//!     .select_eq("products", "category_id", &Value::Int(3), 0, 20)
+//!     .expect("query");
+//! assert_eq!(rows.len(), 10);
+//! assert!(stats.rows_read >= 10);
+//! ```
+
+pub mod db;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use db::Database;
+pub use schema::Schema;
+pub use table::{OpStats, Row, Table};
+pub use value::Value;
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// A table with that name already exists.
+    TableExists(String),
+    /// The named column does not exist in the schema.
+    NoSuchColumn(String),
+    /// The named column has no secondary index.
+    NotIndexed(String),
+    /// A row with that primary key already exists.
+    DuplicateKey(u64),
+    /// No row with that primary key.
+    NoSuchKey(u64),
+    /// The row width does not match the schema.
+    WrongArity {
+        /// Columns the schema defines.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StoreError::NoSuchTable(t) => write!(f, "no such table {t:?}"),
+            StoreError::TableExists(t) => write!(f, "table {t:?} already exists"),
+            StoreError::NoSuchColumn(c) => write!(f, "no such column {c:?}"),
+            StoreError::NotIndexed(c) => write!(f, "column {c:?} has no index"),
+            StoreError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            StoreError::NoSuchKey(k) => write!(f, "no row with primary key {k}"),
+            StoreError::WrongArity { expected, got } => {
+                write!(f, "row has {got} values, schema has {expected} columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,135 @@
+//! Reference profiles for conventional server workloads.
+//!
+//! The paper's characterization argues that microservices look nothing like
+//! the workloads server CPUs are usually designed against. This module
+//! provides that contrast class: profiles in the spirit of SPEC-CPU-rate
+//! integer/floating-point suites, a bandwidth streamer, and a classic
+//! monolithic web tier, run through the same counter synthesis as the
+//! microservices.
+
+use crate::counters::PerfCounters;
+use crate::params::{ExecContext, UarchParams};
+use crate::profile::ServiceProfile;
+
+/// A SPECint-rate-class compiled compute kernel: high IPC, small kernel
+/// share, warm instruction cache.
+pub fn spec_int_like() -> ServiceProfile {
+    ServiceProfile {
+        name: "spec-int-like".to_owned(),
+        base_ipc: 1.70,
+        working_set_bytes: 4 << 20,
+        mem_sensitivity: 0.40,
+        branch_mpki: 4.5,
+        l2_mpki: 6.0,
+        l3_mpki: 1.5,
+        frontend_bound: 0.08,
+        kernel_frac: 0.01,
+    }
+}
+
+/// A SPECfp-rate-class numeric kernel: very high IPC, streaming data.
+pub fn spec_fp_like() -> ServiceProfile {
+    ServiceProfile {
+        name: "spec-fp-like".to_owned(),
+        base_ipc: 2.10,
+        working_set_bytes: 16 << 20,
+        mem_sensitivity: 0.65,
+        branch_mpki: 0.8,
+        l2_mpki: 9.0,
+        l3_mpki: 3.0,
+        frontend_bound: 0.04,
+        kernel_frac: 0.01,
+    }
+}
+
+/// A STREAM-class bandwidth benchmark: IPC limited by DRAM.
+pub fn stream_like() -> ServiceProfile {
+    ServiceProfile {
+        name: "stream-like".to_owned(),
+        base_ipc: 0.45,
+        working_set_bytes: 64 << 20,
+        mem_sensitivity: 1.0,
+        branch_mpki: 0.2,
+        l2_mpki: 40.0,
+        l3_mpki: 30.0,
+        frontend_bound: 0.02,
+        kernel_frac: 0.01,
+    }
+}
+
+/// A traditional monolithic web application (single large JVM): between the
+/// microservices and the compute suites.
+pub fn monolith_web_like() -> ServiceProfile {
+    ServiceProfile {
+        name: "monolith-web-like".to_owned(),
+        base_ipc: 1.05,
+        working_set_bytes: 24 << 20,
+        mem_sensitivity: 0.60,
+        branch_mpki: 6.0,
+        l2_mpki: 14.0,
+        l3_mpki: 3.0,
+        frontend_bound: 0.25,
+        kernel_frac: 0.12,
+    }
+}
+
+/// All reference workloads, for iteration in reports.
+pub fn all_reference_workloads() -> Vec<ServiceProfile> {
+    vec![
+        spec_int_like(),
+        spec_fp_like(),
+        stream_like(),
+        monolith_web_like(),
+    ]
+}
+
+/// Synthesizes the counter readings of a reference workload running alone
+/// for `ref_cycles` of work — the "solo run" column of the characterization
+/// table.
+pub fn solo_run(profile: &ServiceProfile, ref_cycles: u64, params: &UarchParams) -> PerfCounters {
+    let mut counters = PerfCounters::new();
+    counters.record_slice(
+        ref_cycles,
+        ref_cycles,
+        profile,
+        &ExecContext::unloaded(),
+        params,
+    );
+    counters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_profiles_validate() {
+        for p in all_reference_workloads() {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn compute_suites_out_ipc_microservices() {
+        let micro = ServiceProfile::web_frontend("webui");
+        assert!(spec_int_like().base_ipc > 1.5 * micro.base_ipc);
+        assert!(spec_fp_like().base_ipc > 2.0 * micro.base_ipc);
+    }
+
+    #[test]
+    fn microservices_are_more_frontend_and_kernel_bound() {
+        let micro = ServiceProfile::web_frontend("webui");
+        for reference in [spec_int_like(), spec_fp_like(), stream_like()] {
+            assert!(micro.frontend_bound > 3.0 * reference.frontend_bound);
+            assert!(micro.kernel_frac > 10.0 * reference.kernel_frac);
+        }
+    }
+
+    #[test]
+    fn solo_run_matches_profile_signature() {
+        let params = UarchParams::default();
+        let m = solo_run(&spec_int_like(), 10_000_000, &params).derive();
+        assert!((m.ipc - 1.70).abs() < 0.02);
+        assert!(m.kernel_frac < 0.02);
+    }
+}

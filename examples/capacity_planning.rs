@@ -1,0 +1,68 @@
+//! Capacity planning: find the load knee and tune replica counts.
+//!
+//! Sweeps the offered closed-loop load over the TeaStore deployment,
+//! locates the knee (where p95 latency departs from its floor), then runs
+//! the bottleneck-driven replica tuner — the workflow an operator would use
+//! before buying bigger machines.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use scaleup::{placement::Policy, tuner, Lab};
+use simcore::SimDuration;
+use teastore::TeaStore;
+
+fn main() {
+    let lab = Lab::paper_machine(7);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 32);
+    println!("deployment: replicas {replicas:?} (proportional seeding, budget 32)\n");
+
+    println!("load sweep:");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>7}",
+        "users", "req/s", "mean", "p95", "util%"
+    );
+    let mut knee: Option<u64> = None;
+    let mut floor_p95: Option<SimDuration> = None;
+    for users in [128u64, 256, 512, 1024, 2048, 4096] {
+        let report = lab
+            .clone()
+            .with_users(users)
+            .run_policy(&store, Policy::Unpinned, &replicas);
+        println!(
+            "{:>7} {:>10.0} {:>10} {:>10} {:>7.1}",
+            users,
+            report.throughput_rps,
+            report.mean_latency,
+            report.latency_p95,
+            report.cpu_utilization * 100.0
+        );
+        let p95 = report.latency_p95;
+        match floor_p95 {
+            None => floor_p95 = Some(p95),
+            Some(floor) => {
+                if knee.is_none() && p95 > floor.mul_f64(2.0) {
+                    knee = Some(users);
+                }
+            }
+        }
+    }
+    match knee {
+        Some(users) => println!("\nknee: p95 doubles somewhere below {users} users"),
+        None => println!("\nno knee found in the swept range"),
+    }
+
+    println!("\nrunning the bottleneck-driven tuner (3 rounds)...");
+    let outcome = tuner::tune(&lab.clone().with_users(2048), &store, &replicas, 3);
+    println!("tuned replicas: {:?}", outcome.replicas);
+    println!(
+        "throughput trajectory: {:?} req/s",
+        outcome
+            .throughput_history
+            .iter()
+            .map(|t| t.round())
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,64 @@
+//! Characterization: synthesize the perf-counter view of TeaStore under
+//! load and contrast it with conventional server workloads — the paper's
+//! "microservices are different" argument.
+//!
+//! ```text
+//! cargo run --release --example characterize
+//! ```
+
+use scaleup::{placement::Policy, tuner, Lab};
+use teastore::TeaStore;
+use uarch::comparison;
+
+fn main() {
+    let lab = Lab::paper_machine(11).with_users(2048);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 64);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+
+    println!("TeaStore services under load ({}):", lab.topo.spec().name);
+    println!(
+        "{:<14} {:>6} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "workload", "IPC", "L2MPKI", "L3MPKI", "BRMPKI", "FEbound%", "kernel%"
+    );
+    for s in &report.services {
+        if s.counters.instructions == 0 {
+            continue;
+        }
+        let m = s.metrics;
+        println!(
+            "{:<14} {:>6.2} {:>8.1} {:>8.2} {:>8.1} {:>9.1} {:>8.1}",
+            s.name,
+            m.ipc,
+            m.l2_mpki,
+            m.l3_mpki,
+            m.branch_mpki,
+            m.frontend_bound * 100.0,
+            m.kernel_frac * 100.0
+        );
+    }
+
+    println!("\nconventional reference workloads (solo):");
+    let params = lab.engine_params.uarch.clone();
+    for profile in comparison::all_reference_workloads() {
+        let m = comparison::solo_run(&profile, 1_000_000_000, &params).derive();
+        println!(
+            "{:<14} {:>6.2} {:>8.1} {:>8.2} {:>8.1} {:>9.1} {:>8.1}",
+            profile.name,
+            m.ipc,
+            m.l2_mpki,
+            m.l3_mpki,
+            m.branch_mpki,
+            m.frontend_bound * 100.0,
+            m.kernel_frac * 100.0
+        );
+    }
+
+    println!(
+        "\nmachine-wide under load: IPC {:.2}, kernel {:.0}%, {:.0} context switches/s — \
+         a signature no SPEC-rate run produces.",
+        report.machine_metrics.ipc,
+        report.machine_metrics.kernel_frac * 100.0,
+        report.sched.context_switches as f64 / report.window.as_secs_f64(),
+    );
+}

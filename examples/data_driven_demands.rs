@@ -1,0 +1,70 @@
+//! Data-driven demands: grow the catalog, watch the store get slower.
+//!
+//! TeaStore's query costs depend on its data. This example generates three
+//! catalog sizes in the embedded relational store (`storedb`), derives the
+//! query demands from *measured* operation costs, builds a TeaStore whose
+//! store-db demands come from that data, and compares end-to-end results.
+//!
+//! ```text
+//! cargo run --release --example data_driven_demands
+//! ```
+
+use scaleup::{placement::Policy, tuner, Lab};
+use simcore::Rng;
+use teastore::catalog::{Catalog, CostModel, PAGE_SIZE};
+use teastore::demands::DemandTable;
+use teastore::TeaStore;
+
+fn main() {
+    let model = CostModel::default();
+
+    println!("catalog scaling: measured cost of the category-page query");
+    println!(
+        "{:>12} {:>14} {:>12} {:>14}",
+        "products", "rows/page-read", "page cost µs", "last-page µs"
+    );
+    for products_per_category in [40usize, 100, 400] {
+        let catalog = Catalog::generate(&mut Rng::seed_from(42), 16, products_per_category, 1_000);
+        let first = catalog.op_category_page(3, 0);
+        let last_page = products_per_category / PAGE_SIZE - 1;
+        let last = catalog.op_category_page(3, last_page);
+        println!(
+            "{:>12} {:>14} {:>12.0} {:>14.0}",
+            products_per_category,
+            first.rows_read,
+            model.demand_us(first),
+            model.demand_us(last),
+        );
+    }
+
+    println!("\nhand-calibrated vs data-derived query demands (standard catalog):");
+    let mut catalog = Catalog::standard(&mut Rng::seed_from(42));
+    let hand = DemandTable::standard();
+    let derived = DemandTable::with_catalog_queries(&mut catalog, &model, 1.0);
+    println!("{:<16} {:>10} {:>10}", "query", "hand µs", "derived µs");
+    for (name, h, d) in [
+        ("light lookup", hand.query_light, derived.query_light),
+        ("category page", hand.query_products, derived.query_products),
+        ("order insert", hand.query_order, derived.query_order),
+    ] {
+        println!("{:<16} {:>10.0} {:>10.0}", name, h.mean_us, d.mean_us);
+    }
+
+    // End-to-end: the derived demands run through the full simulation.
+    println!("\nfull simulation with data-derived store demands (1P machine):");
+    let mut lab = Lab::paper_machine(7).with_users(1024);
+    lab.topo = std::sync::Arc::new(cputopo::Topology::zen2_1p_64c());
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 32);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    println!("{}", report.summary());
+    println!(
+        "(store-db busy: {:.1} CPUs — compare with E5 after editing the catalog size)",
+        report
+            .services
+            .iter()
+            .find(|s| s.name == "store-db")
+            .expect("teastore has a db tier")
+            .avg_busy_cpus
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: simulate TeaStore on a small machine and print a report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use loadgen::ClosedLoop;
+use microsvc::{Deployment, Engine, EngineParams};
+use simcore::{SimDuration, SimTime};
+use std::sync::Arc;
+use teastore::TeaStore;
+
+fn main() {
+    // 1. A machine: 8 cores / 16 hardware threads, two L3 domains.
+    let topo = Arc::new(cputopo::Topology::desktop_8c());
+    println!("{}\n", topo.summary());
+
+    // 2. The application: TeaStore with the browse-profile request mix.
+    let store = TeaStore::browse();
+    println!("{}", store.service_table());
+    let mix = store.mix();
+    let app = store.into_app();
+
+    // 3. A deployment: 2 unpinned instances of each service, 8 threads each.
+    let deployment = Deployment::uniform(&app, &topo, 2, 8);
+
+    // 4. Load: 64 closed-loop users with 10 ms think time; 300 ms warm-up,
+    //    one measured second.
+    let mut load = ClosedLoop::new(64)
+        .think_time(SimDuration::from_millis(10))
+        .mix(&mix)
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_secs(1));
+
+    // 5. Run and report.
+    let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, 42);
+    engine.run(&mut load, SimTime::from_secs(30));
+    let report = engine.report();
+    println!("{}", report.summary());
+    println!(
+        "issued {} requests, completed {} within the run",
+        load.issued(),
+        load.completed()
+    );
+}

@@ -1,0 +1,67 @@
+//! Request anatomy: trace sampled requests through TeaStore and show where
+//! their time goes — worker-pool wait vs. CPU vs. downstream fan-out.
+//!
+//! ```text
+//! cargo run --release --example request_anatomy
+//! ```
+
+use loadgen::ClosedLoop;
+use microsvc::{Deployment, Engine, EngineParams};
+use simcore::{SimDuration, SimTime};
+use std::sync::Arc;
+use teastore::TeaStore;
+
+fn main() {
+    let topo = Arc::new(cputopo::Topology::zen2_2p_128c());
+    let store = TeaStore::browse();
+    let mix = store.mix();
+    let service_names: Vec<String> = store
+        .app()
+        .services()
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    let app = store.into_app();
+    let deployment = Deployment::uniform(&app, &topo, 8, 16);
+
+    let params = EngineParams {
+        trace_sample_every: Some(500), // every 500th request
+        ..EngineParams::default()
+    };
+
+    let mut engine = Engine::new(topo, params, app, deployment, 7);
+    let mut load = ClosedLoop::new(1024)
+        .think_time(SimDuration::from_millis(10))
+        .mix(&mix)
+        .warmup(SimDuration::from_millis(500))
+        .measure(SimDuration::from_secs(1));
+    engine.run(&mut load, SimTime::from_secs(30));
+
+    let names: Vec<&str> = service_names.iter().map(String::as_str).collect();
+    let complete: Vec<_> = engine
+        .traces()
+        .iter()
+        .filter(|t| t.completed.is_some())
+        .collect();
+    println!("collected {} complete traces\n", complete.len());
+
+    // Show three representative waterfalls.
+    for trace in complete.iter().take(3) {
+        println!("{}", trace.waterfall(&names));
+    }
+
+    // Aggregate: where does a request's time go, per service?
+    let mut breakdown = vec![(SimDuration::ZERO, SimDuration::ZERO); names.len()];
+    for trace in &complete {
+        trace.breakdown_into(&mut breakdown);
+    }
+    let n = complete.len().max(1) as u64;
+    println!("average per request (over {} traces):", complete.len());
+    println!("{:<14} {:>12} {:>12}", "service", "pool wait", "cpu time");
+    for (i, (wait, cpu)) in breakdown.iter().enumerate() {
+        if cpu.is_zero() && wait.is_zero() {
+            continue;
+        }
+        println!("{:<14} {:>12} {:>12}", names[i], *wait / n, *cpu / n);
+    }
+}

@@ -1,0 +1,93 @@
+//! What-if capacity planning with the analytic model.
+//!
+//! The simulator answers "what happens"; the analytic MVA model in
+//! `scaleup::qnmodel` answers "what would queueing theory predict" in
+//! microseconds of compute. This example builds the model from TeaStore's
+//! demands, sweeps populations, asks what-if questions (double the WebUI
+//! pool? halve the think time?), and draws the curves as ASCII plots.
+//!
+//! ```text
+//! cargo run --release --example whatif_capacity
+//! ```
+
+use scaleup::qnmodel::{ClosedModel, Station};
+use scaleup::report::ascii_plot;
+use simcore::SimDuration;
+use teastore::TeaStore;
+
+fn teastore_model(store: &TeaStore, webui_pool: usize) -> ClosedModel {
+    let app = store.app();
+    let demand = app.mean_demand_per_service_us();
+    let mut model =
+        ClosedModel::new(SimDuration::from_millis(10)).with_delay(SimDuration::from_micros(400)); // client + RPC wire time
+    for (svc, spec) in app.services().iter().enumerate() {
+        if demand[svc] <= 0.0 {
+            continue;
+        }
+        let servers = if spec.name == "webui" {
+            webui_pool
+        } else {
+            8 * spec.default_threads
+        };
+        model = model.station(Station::new(
+            &spec.name,
+            SimDuration::from_micros_f64(demand[svc]),
+            servers,
+        ));
+    }
+    model
+}
+
+fn main() {
+    let store = TeaStore::browse();
+    let populations: Vec<usize> = (0..12)
+        .map(|i| {
+            let base = 64usize << (i / 2);
+            base + (base / 2) * (i % 2)
+        })
+        .collect();
+
+    println!("baseline: webui pool = 128 threads");
+    let base = teastore_model(&store, 128);
+    let mut base_pts = Vec::new();
+    for &n in &populations {
+        let sol = base.solve(n);
+        base_pts.push((n as f64, sol.throughput_rps));
+    }
+    println!(
+        "{}",
+        ascii_plot("throughput vs users (MVA, baseline)", &base_pts, 60, 12)
+    );
+    println!(
+        "bottleneck bound: {:.0} req/s\n",
+        base.bottleneck_bound_rps()
+    );
+
+    println!("what-if #1: double the WebUI pool (128 → 256 threads)");
+    let big = teastore_model(&store, 256);
+    for &n in &[512usize, 2048, 8192] {
+        let b = base.solve(n).throughput_rps;
+        let w = big.solve(n).throughput_rps;
+        println!(
+            "  users {n:>5}: {b:>8.0} → {w:>8.0} req/s ({:+.1}%)",
+            100.0 * (w / b - 1.0)
+        );
+    }
+
+    println!("\nwhat-if #2: impatient users (think time 10 ms → 2 ms)");
+    let mut fast = teastore_model(&store, 128);
+    fast.think = SimDuration::from_millis(2);
+    for &n in &[512usize, 2048] {
+        let b = base.solve(n).throughput_rps;
+        let f = fast.solve(n).throughput_rps;
+        println!(
+            "  users {n:>5}: {b:>8.0} → {f:>8.0} req/s ({:+.1}%)",
+            100.0 * (f / b - 1.0)
+        );
+    }
+
+    println!(
+        "\ncross-check these predictions against the simulator with:\n  \
+         cargo run --release -p scaleup-bench --bin repro -- e15"
+    );
+}

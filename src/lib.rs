@@ -1,0 +1,57 @@
+//! Umbrella crate for the TeaStore scale-up laboratory.
+//!
+//! This crate re-exports every subsystem of the reproduction of
+//! *"Characterizing the Scale-Up Performance of Microservices using
+//! TeaStore"* (IISWC 2020) so downstream code can depend on one crate:
+//!
+//! * [`simcore`] — the deterministic discrete-event engine.
+//! * [`cputopo`] — the machine: sockets / NUMA / CCD / CCX / cores / SMT.
+//! * [`oskernel`] — the OS scheduler simulation.
+//! * [`uarch`] — the microarchitectural contention and counter model.
+//! * [`storedb`] — the embedded relational store (MySQL stand-in).
+//! * [`microsvc`] — the microservice runtime and simulation engine.
+//! * [`teastore`] — the TeaStore application model.
+//! * [`loadgen`] — closed/open-loop, shaped and replayed load.
+//! * [`scaleup`] — the paper's contribution: scale-up analysis, placement
+//!   policies, tuning, USL fitting, analytic validation, reporting.
+//!
+//! # Example
+//!
+//! The headline experiment in six lines:
+//!
+//! ```no_run
+//! use teastore_scaleup::scaleup::{placement::Policy, tuner, Lab};
+//! use teastore_scaleup::teastore::TeaStore;
+//!
+//! let lab = Lab::paper_machine(42);
+//! let store = TeaStore::browse();
+//! let replicas = tuner::proportional_replicas(store.app(), 64);
+//! let baseline = lab.run_policy(&store, Policy::Unpinned, &replicas);
+//! let optimized = lab.run_policy(&store, Policy::TopologyAware { ccxs: None }, &[]);
+//! assert!(optimized.throughput_rps > baseline.throughput_rps);
+//! ```
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the system inventory and
+//! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use cputopo;
+pub use loadgen;
+pub use microsvc;
+pub use oskernel;
+pub use scaleup;
+pub use simcore;
+pub use storedb;
+pub use teastore;
+pub use uarch;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_line_up() {
+        // The re-exports must expose the same types (not parallel copies):
+        // a Topology built here is accepted by the scheduler there.
+        let topo = std::sync::Arc::new(cputopo::Topology::desktop_8c());
+        let sched = oskernel::Scheduler::new(topo.clone(), oskernel::SchedParams::default());
+        assert_eq!(sched.topology().num_cpus(), 16);
+    }
+}

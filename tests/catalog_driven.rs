@@ -1,0 +1,62 @@
+//! Cross-crate integration: the relational store drives the simulation.
+//!
+//! `storedb` → `teastore::catalog` → derived demand table → full engine run.
+
+use scaleup::{placement::Policy, tuner, Lab};
+use simcore::Rng;
+use teastore::catalog::{Catalog, CostModel};
+use teastore::demands::DemandTable;
+use teastore::{MixProfile, TeaStore};
+
+fn catalog_store(products_per_category: usize) -> TeaStore {
+    let mut catalog = Catalog::generate(&mut Rng::seed_from(42), 16, products_per_category, 1_000);
+    let table = DemandTable::with_catalog_queries(&mut catalog, &CostModel::default(), 1.0);
+    TeaStore::with_demand_table(MixProfile::Browse, table)
+}
+
+#[test]
+fn catalog_driven_teastore_runs_end_to_end() {
+    let lab = Lab::small(3).with_users(32);
+    let store = catalog_store(100);
+    let replicas = tuner::proportional_replicas(store.app(), 10);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    assert!(report.completed > 100, "completed {}", report.completed);
+    // The db tier did real (derived-cost) work.
+    let db = store.services().db.index();
+    assert!(report.services[db].jobs_completed > 0);
+}
+
+#[test]
+fn catalog_demands_track_hand_calibration_end_to_end() {
+    // Running with the data-derived table should land within ~25% of the
+    // hand-calibrated table's throughput: the derivation is a recalibration,
+    // not a different workload.
+    let lab = Lab::small(5).with_users(64);
+    let replicas = vec![4, 1, 2, 1, 2, 1, 2];
+    let hand = lab.run_policy(&TeaStore::browse(), Policy::Unpinned, &replicas);
+    let derived = lab.run_policy(&catalog_store(100), Policy::Unpinned, &replicas);
+    let ratio = derived.throughput_rps / hand.throughput_rps;
+    assert!(
+        (0.75..=1.35).contains(&ratio),
+        "derived-vs-hand throughput ratio {ratio:.2} ({} vs {})",
+        derived.throughput_rps,
+        hand.throughput_rps
+    );
+}
+
+#[test]
+fn larger_catalogs_do_not_change_paged_query_costs() {
+    // TeaStore paginates its product listings precisely so catalog growth
+    // does not blow up page-query cost; the derived demands must reflect
+    // that (the first-page query reads one page regardless of table size).
+    let small = catalog_store(40);
+    let large = catalog_store(400);
+    let s = small.app().mean_demand_per_service_us();
+    let l = large.app().mean_demand_per_service_us();
+    let db = small.services().db.index();
+    let ratio = l[db] / s[db];
+    assert!(
+        (0.9..=1.2).contains(&ratio),
+        "db demand should be page-stable across catalog sizes, ratio {ratio:.2}"
+    );
+}

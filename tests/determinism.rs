@@ -1,0 +1,41 @@
+//! Reproducibility: identical seeds give identical simulations across the
+//! whole stack; different seeds differ.
+
+use scaleup::{placement::Policy, tuner, Lab};
+use simcore::SimDuration;
+use teastore::TeaStore;
+
+fn run(seed: u64) -> (u64, u64, u64, u64) {
+    let mut lab = Lab::paper_machine(seed).with_users(512);
+    lab.warmup = SimDuration::from_millis(300);
+    lab.measure = SimDuration::from_millis(600);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 32);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    (
+        report.completed,
+        report.mean_latency.as_nanos(),
+        report.sched.context_switches,
+        report.services[0].counters.instructions,
+    )
+}
+
+#[test]
+fn same_seed_bitwise_identical() {
+    assert_eq!(run(1234), run(1234));
+}
+
+#[test]
+fn different_seed_differs() {
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn experiment_harness_is_deterministic() {
+    use scaleup_bench::experiments;
+    use scaleup_bench::Config;
+    let a = experiments::e8(&Config::quick(5));
+    let b = experiments::e8(&Config::quick(5));
+    assert_eq!(a.table, b.table);
+    assert_eq!(a.uplift_pct, b.uplift_pct);
+}

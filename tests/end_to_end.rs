@@ -1,0 +1,139 @@
+//! Cross-crate integration: the full TeaStore stack on the paper machine.
+//!
+//! These tests exercise every crate at once — topology → scheduler → µarch
+//! model → microservice engine → load generator → analysis — and assert the
+//! *shapes* the study depends on.
+
+use scaleup::{placement::Policy, tuner, Lab};
+use simcore::SimDuration;
+use teastore::TeaStore;
+
+/// A short-window paper-machine lab for integration testing.
+fn lab(seed: u64, users: u64) -> Lab {
+    let mut lab = Lab::paper_machine(seed).with_users(users);
+    lab.warmup = SimDuration::from_millis(400);
+    lab.measure = SimDuration::from_millis(800);
+    lab
+}
+
+#[test]
+fn full_stack_runs_and_reports() {
+    let lab = lab(1, 512);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 40);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+
+    assert!(report.completed > 1_000, "completed {}", report.completed);
+    assert!(report.throughput_rps > 1_000.0);
+    assert!(report.cpu_utilization > 0.02 && report.cpu_utilization <= 1.0);
+    // Latency percentiles are ordered.
+    assert!(report.latency_p50 <= report.latency_p90);
+    assert!(report.latency_p90 <= report.latency_p95);
+    assert!(report.latency_p95 <= report.latency_p99);
+    // Every demanded service did work; the registry did none.
+    let registry = store.services().registry.index();
+    for (i, s) in report.services.iter().enumerate() {
+        if i == registry {
+            assert_eq!(s.jobs_completed, 0, "registry is off the hot path");
+        } else {
+            assert!(s.jobs_completed > 0, "{} did no work", s.name);
+        }
+    }
+}
+
+#[test]
+fn interactive_response_time_law_holds() {
+    // Closed-loop sanity: N = X · (R + Z) within tolerance.
+    let users = 512u64;
+    let lab = lab(2, users);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 40);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    let x = report.throughput_rps;
+    let r = report.mean_latency.as_secs_f64();
+    let z = lab.think.as_secs_f64();
+    let n_est = x * (r + z);
+    let err = (n_est - users as f64).abs() / users as f64;
+    assert!(
+        err < 0.2,
+        "interactive law: X(R+Z) = {n_est:.0} vs N = {users} (err {err:.2})"
+    );
+}
+
+#[test]
+fn webui_is_the_busiest_service_under_browse_mix() {
+    let lab = lab(3, 1024);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 40);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    let webui = store.services().webui.index();
+    let busiest = report
+        .services
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.avg_busy_cpus
+                .partial_cmp(&b.1.avg_busy_cpus)
+                .expect("finite")
+        })
+        .map(|(i, _)| i)
+        .expect("services exist");
+    assert_eq!(busiest, webui, "webui must dominate CPU consumption");
+}
+
+#[test]
+fn saturation_throughput_is_load_independent() {
+    // Past the knee, adding users must not change throughput much.
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 64);
+    let x1 = lab(4, 2048)
+        .run_policy(&store, Policy::Unpinned, &replicas)
+        .throughput_rps;
+    let x2 = lab(4, 4096)
+        .run_policy(&store, Policy::Unpinned, &replicas)
+        .throughput_rps;
+    let ratio = x2 / x1;
+    assert!(
+        (0.93..1.07).contains(&ratio),
+        "saturated throughput moved with load: {x1:.0} → {x2:.0}"
+    );
+}
+
+#[test]
+fn request_classes_complete_in_mix_proportions() {
+    let lab = lab(5, 512);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 40);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    let total: u64 = report.per_class.iter().map(|(_, n, _)| n).sum();
+    assert!(total > 0);
+    for ((_, n, _), class) in report.per_class.iter().zip(store.app().classes()) {
+        let frac = *n as f64 / total as f64;
+        assert!(
+            (frac - class.weight).abs() < 0.05,
+            "class {} completed {frac:.3} of traffic, mix says {:.3}",
+            class.name,
+            class.weight
+        );
+    }
+}
+
+#[test]
+fn machine_ipc_is_microservice_like() {
+    // The characterization claim end-to-end: the machine-wide IPC under the
+    // browse mix sits well below compute-suite levels.
+    let lab = lab(6, 2048);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 64);
+    let report = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    let ipc = report.machine_metrics.ipc;
+    assert!((0.2..1.2).contains(&ipc), "machine IPC {ipc}");
+    assert!(
+        report.machine_metrics.kernel_frac > 0.1,
+        "kernel share too low"
+    );
+    assert!(
+        report.sched.context_switches > 10_000,
+        "context-switch heavy workload expected"
+    );
+}

@@ -1,0 +1,114 @@
+//! Cross-crate integration: placement policies and the headline result.
+
+use cputopo::Topology;
+use scaleup::{placement::Policy, tuner, Lab};
+use simcore::SimDuration;
+use teastore::TeaStore;
+
+fn lab(seed: u64, users: u64) -> Lab {
+    let mut lab = Lab::paper_machine(seed).with_users(users);
+    lab.warmup = SimDuration::from_millis(400);
+    lab.measure = SimDuration::from_millis(1000);
+    lab
+}
+
+#[test]
+fn every_policy_yields_a_valid_runnable_deployment() {
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 24);
+    for topo in [
+        Topology::zen2_2p_128c(),
+        Topology::zen2_1p_64c(),
+        Topology::desktop_8c(),
+    ] {
+        for policy in [
+            Policy::Unpinned,
+            Policy::Packed,
+            Policy::SpreadSockets,
+            Policy::CcxAware,
+            Policy::NumaAware,
+            Policy::TopologyAware { ccxs: None },
+        ] {
+            let reps = if matches!(policy, Policy::TopologyAware { .. }) {
+                vec![]
+            } else {
+                replicas.clone()
+            };
+            let placed = policy.deploy(store.app(), &topo, &reps);
+            placed.deployment.validate(store.app(), &topo);
+        }
+    }
+}
+
+#[test]
+fn headline_topology_aware_beats_tuned_baseline() {
+    // The paper's claim, in-band: +22% throughput over the tuned baseline.
+    // With the shortened integration-test window we accept +10%..+40%.
+    let lab = lab(42, 4096);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 64);
+    let baseline = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    let optimized = lab.run_policy(&store, Policy::TopologyAware { ccxs: None }, &[]);
+    let uplift = optimized.throughput_rps / baseline.throughput_rps - 1.0;
+    assert!(
+        (0.10..0.40).contains(&uplift),
+        "topology-aware uplift {:.1}% outside the expected band (baseline {:.0}, topo {:.0})",
+        uplift * 100.0,
+        baseline.throughput_rps,
+        optimized.throughput_rps
+    );
+    // And latency improves alongside.
+    assert!(
+        optimized.mean_latency < baseline.mean_latency,
+        "latency must improve: {} vs {}",
+        optimized.mean_latency,
+        baseline.mean_latency
+    );
+}
+
+#[test]
+fn pinning_reduces_migrations() {
+    let lab = lab(7, 1024);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 40);
+    let unpinned = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    let ccx = lab.run_policy(&store, Policy::CcxAware, &replicas);
+    let m_unpinned = unpinned.sched.migrations as f64 / unpinned.window.as_secs_f64();
+    let m_ccx = ccx.sched.migrations as f64 / ccx.window.as_secs_f64();
+    assert!(
+        m_ccx < 0.7 * m_unpinned,
+        "CCX pinning should slash migrations: {m_unpinned:.0}/s → {m_ccx:.0}/s"
+    );
+}
+
+#[test]
+fn numa_aware_keeps_memory_local_and_helps() {
+    let lab = lab(8, 2048);
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 64);
+    let unpinned = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    let numa = lab.run_policy(&store, Policy::NumaAware, &replicas);
+    assert!(
+        numa.throughput_rps > unpinned.throughput_rps,
+        "NUMA-aware should beat unpinned: {:.0} vs {:.0}",
+        numa.throughput_rps,
+        unpinned.throughput_rps
+    );
+}
+
+#[test]
+fn topology_aware_works_on_one_socket_too() {
+    let mut lab = lab(9, 2048);
+    lab.topo = std::sync::Arc::new(Topology::zen2_1p_64c());
+    let store = TeaStore::browse();
+    let replicas = tuner::proportional_replicas(store.app(), 32);
+    let baseline = lab.run_policy(&store, Policy::Unpinned, &replicas);
+    let optimized = lab.run_policy(&store, Policy::TopologyAware { ccxs: None }, &[]);
+    // One socket removes the NUMA term; cache and locality still help.
+    assert!(
+        optimized.throughput_rps > baseline.throughput_rps,
+        "{:.0} vs {:.0}",
+        optimized.throughput_rps,
+        baseline.throughput_rps
+    );
+}

@@ -1,0 +1,242 @@
+//! Property-based tests over cross-crate invariants.
+
+use cputopo::{CpuId, CpuSet, Proximity, Topology, TopologyBuilder};
+use microsvc::{
+    AppSpec, CallNode, CallStage, Demand, Deployment, Driver, Engine, EngineCtx, EngineParams,
+    ResponseInfo, ServiceSpec,
+};
+use proptest::prelude::*;
+use simcore::{Calendar, SimTime};
+use std::sync::Arc;
+use uarch::ServiceProfile;
+
+// ---------------------------------------------------------------- topology
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (1u32..=2, 1u32..=2, 1u32..=4, 1u32..=2, 1u32..=4, 1u32..=2).prop_map(
+        |(sockets, numa, ccds, ccxs, cores, threads)| {
+            TopologyBuilder::new("prop")
+                .sockets(sockets)
+                .numa_per_socket(numa)
+                .ccds_per_numa(ccds)
+                .ccxs_per_ccd(ccxs)
+                .cores_per_ccx(cores)
+                .threads_per_core(threads)
+                .build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topology_domains_partition_and_nest(topo in topo_strategy()) {
+        // Every CPU appears in exactly one set per level, and domains nest.
+        for cpu in topo.all_cpus().iter() {
+            let domains = topo.domains_of(cpu);
+            for w in domains.windows(2) {
+                prop_assert!(w[0].is_subset(w[1]));
+            }
+            prop_assert!(domains[0].contains(cpu));
+            // Level memberships are consistent with the id accessors.
+            prop_assert!(topo.cpus_in_ccx(topo.ccx_of(cpu)).contains(cpu));
+            prop_assert!(topo.cpus_in_numa(topo.numa_of(cpu)).contains(cpu));
+            prop_assert!(topo.cpus_in_socket(topo.socket_of(cpu)).contains(cpu));
+        }
+        // Socket sets partition the machine.
+        let total: usize = (0..topo.num_sockets() as u32)
+            .map(|s| topo.cpus_in_socket(cputopo::SocketId(s)).len())
+            .sum();
+        prop_assert_eq!(total, topo.num_cpus());
+    }
+
+    #[test]
+    fn proximity_is_symmetric_and_reflexive(topo in topo_strategy(), a_raw in 0u32..64, b_raw in 0u32..64) {
+        let a = CpuId(a_raw % topo.num_cpus() as u32);
+        let b = CpuId(b_raw % topo.num_cpus() as u32);
+        prop_assert_eq!(topo.proximity(a, a), Proximity::SameCpu);
+        prop_assert_eq!(topo.proximity(a, b), topo.proximity(b, a));
+    }
+
+    #[test]
+    fn enumeration_orders_are_permutations(topo in topo_strategy()) {
+        use cputopo::enumerate;
+        for order in [
+            enumerate::linear(&topo),
+            enumerate::cores_first(&topo),
+            enumerate::smt_packed(&topo),
+            enumerate::ccx_round_robin(&topo),
+            enumerate::socket_round_robin(&topo),
+        ] {
+            prop_assert_eq!(order.len(), topo.num_cpus());
+            let set: CpuSet = order.iter().copied().collect();
+            prop_assert_eq!(set.len(), topo.num_cpus());
+        }
+    }
+
+    #[test]
+    fn cpuset_matches_hashset_model(ops in proptest::collection::vec((0u8..4, 0u32..200), 1..200)) {
+        use std::collections::HashSet;
+        let mut set = CpuSet::empty();
+        let mut model: HashSet<u32> = HashSet::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(set.insert(CpuId(v)), model.insert(v));
+                }
+                1 => {
+                    prop_assert_eq!(set.remove(CpuId(v)), model.remove(&v));
+                }
+                2 => {
+                    prop_assert_eq!(set.contains(CpuId(v)), model.contains(&v));
+                }
+                _ => {
+                    prop_assert_eq!(set.len(), model.len());
+                }
+            }
+        }
+        let from_iter: Vec<u32> = set.iter().map(|c| c.0).collect();
+        let mut from_model: Vec<u32> = model.into_iter().collect();
+        from_model.sort_unstable();
+        prop_assert_eq!(from_iter, from_model);
+    }
+}
+
+// ----------------------------------------------------------------- calendar
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calendar_pops_sorted_and_complete(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, i)) = cal.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            last = t;
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+}
+
+// -------------------------------------------------------------- USL fitting
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn usl_fit_reproduces_noiseless_curves(
+        lambda in 10.0f64..500.0,
+        sigma in 0.0f64..0.3,
+        kappa in 0.0f64..0.01,
+    ) {
+        let ns = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let pts: Vec<(f64, f64)> = ns
+            .iter()
+            .map(|&n| {
+                (n, lambda * n / (1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0)))
+            })
+            .collect();
+        let fit = scaleup::usl::fit(&pts);
+        for &(n, x) in &pts {
+            let err = (fit.predict(n) - x).abs() / x.max(1e-9);
+            prop_assert!(err < 0.05, "predict({n}) off by {err}");
+        }
+        prop_assert!(fit.r_squared > 0.99);
+    }
+}
+
+// ------------------------------------------------- engine request conservation
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    depth: u8,
+    fanout: u8,
+    demand_us: f64,
+}
+
+// One service per tree level: synchronous workers hold their thread while
+// waiting on children, so a service calling itself can deadlock when the
+// pool is small (exactly like real servlet containers — see the
+// `self_call_trees_deadlock_like_real_containers` test in `microsvc`).
+// Non-reentrant trees must always complete; that is the property.
+fn build_tree(services: &[microsvc::ServiceId], spec: &TreeSpec, level: u8) -> CallNode {
+    let service = services[level as usize];
+    if level >= spec.depth {
+        return CallNode::leaf(service, Demand::fixed_us(spec.demand_us));
+    }
+    let children: Vec<CallNode> = (0..spec.fanout)
+        .map(|_| build_tree(services, spec, level + 1))
+        .collect();
+    CallNode::new(
+        service,
+        Demand::fixed_us(spec.demand_us),
+        vec![CallStage { parallel: children }],
+        Demand::fixed_us(spec.demand_us / 2.0),
+    )
+}
+
+struct Burst {
+    to_issue: u32,
+    done: u32,
+}
+
+impl Driver for Burst {
+    fn start(&mut self, ctx: &mut dyn EngineCtx) {
+        for c in 0..self.to_issue {
+            ctx.submit(0, c as u64);
+        }
+    }
+    fn on_response(&mut self, _resp: ResponseInfo, _ctx: &mut dyn EngineCtx) {
+        self.done += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_request_completes_exactly_once(
+        depth in 0u8..3,
+        fanout in 1u8..3,
+        demand_us in 20.0f64..500.0,
+        replicas in 1usize..3,
+        threads in 1usize..5,
+        burst in 1u32..40,
+        seed in 0u64..1000,
+    ) {
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut app = AppSpec::new();
+        let services: Vec<microsvc::ServiceId> = (0..=depth as usize)
+            .map(|i| {
+                app.add_service(ServiceSpec::new(
+                    &format!("s{i}"),
+                    ServiceProfile::light_rpc(&format!("s{i}")),
+                ))
+            })
+            .collect();
+        let spec = TreeSpec { depth, fanout, demand_us };
+        let root = build_tree(&services, &spec, 0);
+        let jobs_per_request = root.node_count() as u64;
+        app.add_class("prop", 1.0, root);
+        let deployment = Deployment::uniform(&app, &topo, replicas, threads);
+        let mut engine = Engine::new(topo, EngineParams::default(), app, deployment, seed);
+        let mut driver = Burst { to_issue: burst, done: 0 };
+        engine.run(&mut driver, SimTime::from_secs(120));
+
+        // Conservation: every submitted request completed exactly once, and
+        // the per-service job counts sum to requests × tree size.
+        prop_assert_eq!(driver.done, burst);
+        let report = engine.report();
+        prop_assert_eq!(report.completed, burst as u64);
+        let total_jobs: u64 = report.services.iter().map(|s| s.jobs_completed).sum();
+        prop_assert_eq!(total_jobs, burst as u64 * jobs_per_request);
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-crate integration: distributed tracing through the full stack.
+
+use cputopo::Topology;
+use loadgen::ClosedLoop;
+use microsvc::{Deployment, Engine, EngineParams};
+use simcore::{SimDuration, SimTime};
+use std::sync::Arc;
+use teastore::TeaStore;
+
+fn run_traced(sample_every: u64) -> (Engine, usize) {
+    let topo = Arc::new(Topology::desktop_8c());
+    let store = TeaStore::with_demand_scale(0.25);
+    let mix = store.mix();
+    let app = store.into_app();
+    let deployment = Deployment::uniform(&app, &topo, 2, 8);
+    let params = EngineParams {
+        trace_sample_every: Some(sample_every),
+        ..EngineParams::default()
+    };
+    let mut engine = Engine::new(topo, params, app, deployment, 5);
+    let mut load = ClosedLoop::new(32)
+        .think_time(SimDuration::from_millis(5))
+        .mix(&mix)
+        .warmup(SimDuration::from_millis(100))
+        .measure(SimDuration::from_millis(800));
+    engine.run(&mut load, SimTime::from_secs(30));
+    let complete = engine
+        .traces()
+        .iter()
+        .filter(|t| t.completed.is_some())
+        .count();
+    (engine, complete)
+}
+
+#[test]
+fn traces_are_collected_and_complete() {
+    let (engine, complete) = run_traced(20);
+    assert!(complete > 10, "only {complete} complete traces");
+    // Sampling keeps collection bounded.
+    assert!(engine.traces().len() <= microsvc::Tracer::MAX_TRACES);
+}
+
+#[test]
+fn spans_are_causally_ordered() {
+    let (engine, _) = run_traced(10);
+    for trace in engine.traces().iter().filter(|t| t.completed.is_some()) {
+        let latency = trace.latency().expect("complete");
+        assert!(latency > SimDuration::ZERO);
+        let root = &trace.spans[0];
+        assert_eq!(root.depth, 0, "first span is the entry service");
+        for span in &trace.spans {
+            assert!(span.enqueued <= span.started, "queue precedes start");
+            assert!(span.started <= span.finished, "start precedes finish");
+            assert!(
+                span.enqueued >= trace.submitted,
+                "no span before submission"
+            );
+            assert!(
+                span.finished <= trace.completed.expect("complete"),
+                "no span after completion"
+            );
+            assert!(span.cpu_time <= span.residency(), "CPU time fits residency");
+        }
+        // Child spans nest within the root span's residency window.
+        for span in trace.spans.iter().skip(1) {
+            assert!(span.depth >= 1);
+            assert!(span.enqueued >= root.started);
+            assert!(span.finished <= root.finished);
+        }
+    }
+}
+
+#[test]
+fn trace_cpu_time_is_plausible() {
+    let (engine, _) = run_traced(10);
+    let mut any_cpu = false;
+    for trace in engine.traces().iter().filter(|t| t.completed.is_some()) {
+        for span in &trace.spans {
+            if span.cpu_time > SimDuration::ZERO {
+                any_cpu = true;
+            }
+        }
+    }
+    assert!(any_cpu, "spans must record CPU occupancy");
+}
+
+#[test]
+fn tracing_does_not_perturb_results() {
+    // Tracing is observability: identical seeds with and without tracing
+    // must produce identical workload outcomes.
+    let topo = Arc::new(Topology::desktop_8c());
+    let run = |sample: Option<u64>| {
+        let store = TeaStore::with_demand_scale(0.25);
+        let mix = store.mix();
+        let app = store.into_app();
+        let deployment = Deployment::uniform(&app, &topo, 2, 8);
+        let params = EngineParams {
+            trace_sample_every: sample,
+            ..EngineParams::default()
+        };
+        let mut engine = Engine::new(topo.clone(), params, app, deployment, 9);
+        let mut load = ClosedLoop::new(16)
+            .think_time(SimDuration::from_millis(5))
+            .mix(&mix)
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(500));
+        engine.run(&mut load, SimTime::from_secs(30));
+        let r = engine.report();
+        (r.completed, r.mean_latency, r.sched.context_switches)
+    };
+    assert_eq!(run(None), run(Some(7)));
+}
