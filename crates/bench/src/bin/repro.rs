@@ -7,7 +7,7 @@
 //! repro --csv results e4 e8    # also write plot-ready CSV files
 //! ```
 //!
-//! Experiments: e1 … e17 (e14–e17 are extensions/validation),
+//! Experiments: e1 … e19 (e14–e19 are extensions/validation),
 //! ablations: a1 (packing objective) a2 (LB) a3 (steal scope) a4 (quantum).
 
 use scaleup_bench::experiments as exp;
@@ -16,12 +16,12 @@ use std::time::Instant;
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "a1", "a2", "a3", "a4",
+    "e16", "e17", "e18", "e19", "a1", "a2", "a3", "a4",
 ];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--csv DIR] [--html FILE] <e1..e17 | a1..a4 | all>...\n\
+        "usage: repro [--quick] [--seed N] [--csv DIR] [--html FILE] <e1..e19 | a1..a4 | all>...\n\
          e1  platform table          e8  placement comparison (+22% headline)\n\
          e2  TeaStore table          e9  latency at fixed load (−18% headline)\n\
          e3  load curve              e10 SMT study\n\
@@ -30,7 +30,8 @@ fn usage() -> ! {
          e6  per-service USL         e13 scheduler behaviour\n\
          e7  replica tuning          e14 frequency-boost extension\n\
          e15 MVA validation          e16 mix-sensitivity extension\n\
-         e17 enumeration orders      a1..a4 ablations"
+         e17 enumeration orders      e18 slow-replica tail (faults)\n\
+         e19 crash & recovery        a1..a4 ablations"
     );
     std::process::exit(2);
 }
@@ -229,6 +230,48 @@ fn main() {
                             r.points.iter().map(|&(u, _, m)| (u as f64, m)).collect(),
                         ),
                     );
+                }
+                r.table
+            }
+            "e18" => {
+                let r = exp::e18(&config);
+                csv = Some(("e18_slow_replica.csv".into(), exp::csv_fault_study(&r)));
+                if let Some(report) = html.as_mut() {
+                    let rows: Vec<Vec<String>> = r
+                        .rows
+                        .iter()
+                        .map(|(name, rep)| {
+                            vec![
+                                name.clone(),
+                                format!("{:.0}", rep.throughput_rps),
+                                rep.mean_latency.to_string(),
+                                rep.latency_p99.to_string(),
+                                rep.requests_timed_out.to_string(),
+                                rep.requests_shed.to_string(),
+                            ]
+                        })
+                        .collect();
+                    report.table(
+                        "E18: slow-replica tail amplification",
+                        &["config", "req/s", "mean", "p99", "timed out", "shed"],
+                        rows,
+                    );
+                }
+                r.table
+            }
+            "e19" => {
+                let r = exp::e19(&config);
+                csv = Some(("e19_crash_recovery.csv".into(), exp::csv_e19_series(&r)));
+                if let Some(report) = html.as_mut() {
+                    let mut chart = scaleup::html::LineChart::new(
+                        "throughput through a crash/restart of one replica",
+                        "seconds since measurement start",
+                        "req/s",
+                    );
+                    for (name, rep) in &r.rows {
+                        chart = chart.series(name, rep.throughput_series.clone());
+                    }
+                    report.chart("E19: crash and recovery", chart);
                 }
                 r.table
             }

@@ -6,13 +6,13 @@
 
 use cputopo::{enumerate, TopologyBuilder};
 use microsvc::{
-    AppSpec, CallNode, Demand, Deployment, InstanceConfig, LbPolicy, RunReport, ServiceId,
-    ServiceSpec,
+    AppSpec, BreakerPolicy, CallNode, Demand, Deployment, FaultPlan, InstanceConfig, InstanceId,
+    LbPolicy, ResilienceParams, RunReport, ServiceId, ServiceSpec,
 };
 use scaleup::placement::{self, Objective, Policy};
 use scaleup::scaling::{self, ScalePoint};
 use scaleup::{tuner, Lab, UslFit};
-use simcore::SimDuration;
+use simcore::{SimDuration, SimTime};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use teastore::TeaStore;
@@ -959,6 +959,204 @@ pub fn e17(config: &Config) -> String {
     out
 }
 
+// --------------------------------------------------------------- E18 / E19
+
+/// The first instance index of the most-replicated service under the tuned
+/// baseline — the natural victim for single-replica fault injection: the
+/// tier has spare replicas, so resilience has somewhere to route around.
+fn fault_victim(replicas: &[usize]) -> (usize, InstanceId) {
+    let service = replicas
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &r)| r)
+        .map(|(s, _)| s)
+        .expect("baseline has services");
+    let first_instance: usize = replicas[..service].iter().sum();
+    (service, InstanceId(first_instance as u32))
+}
+
+/// A resilience configuration derived from the fault-free baseline: calls
+/// time out at 4× the baseline's end-to-end p99 — a budget generous enough
+/// that healthy calls (even whole healthy requests) never exhaust it, so
+/// only pathologically slow or lost calls trip it. Deriving it from the
+/// measured baseline keeps the experiment meaningful under both `--quick`
+/// and paper configurations without hand-tuned constants.
+fn derived_resilience(baseline: &RunReport, with_breaker: bool) -> ResilienceParams {
+    let timeout = baseline.latency_p99.mul_f64(4.0);
+    // The breaker stays open for several timeout budgets: long enough that
+    // half-open probes against a persistently sick replica stay below the
+    // p99 population share, short enough that recovery after a restart is
+    // detected within a fraction of a second.
+    let breaker = with_breaker.then(|| BreakerPolicy {
+        open_for: timeout.mul_f64(8.0),
+        ..BreakerPolicy::default()
+    });
+    ResilienceParams::default()
+        .with_timeout(timeout)
+        .with_breaker(breaker)
+}
+
+/// The lab for the fault studies (plus its fault-free baseline report). The
+/// scale-up experiments drive the machine to saturation; there a lost replica
+/// barely moves window throughput, because the surviving capacity is still
+/// the bottleneck and the remaining users still fill it. The fault studies
+/// need a *user-bound* regime, where stranded users and ejected replicas show
+/// up directly in throughput and tail latency: probe at half the tuned
+/// population and, if that still saturates the machine, resize for ~60%
+/// utilization using the measured capacity.
+fn fault_lab(config: &Config) -> (Lab, RunReport) {
+    let replicas = config.baseline_replicas();
+    let half = config.lab.clone().with_users(config.lab.users / 2);
+    let report = half.run_policy(&config.store, Policy::Unpinned, &replicas);
+    if report.cpu_utilization < 0.8 {
+        return (half, report);
+    }
+    let capacity_rps = report.throughput_rps / report.cpu_utilization;
+    let users = ((0.6 * capacity_rps * config.lab.think.as_secs_f64()) as u64).max(16);
+    let lab = config.lab.clone().with_users(users);
+    let report = lab.run_policy(&config.store, Policy::Unpinned, &replicas);
+    (lab, report)
+}
+
+/// E18/E19 result: one run per fault/resilience configuration.
+#[derive(Debug, Clone)]
+pub struct FaultStudy {
+    /// `(configuration name, report)` in presentation order.
+    pub rows: Vec<(String, RunReport)>,
+    /// Rendered table.
+    pub table: String,
+}
+
+fn fault_study_table(title: &str, note: &str, rows: &[(String, RunReport)]) -> String {
+    let mut out = format!(
+        "{title}\nconfig                         req/s     mean      p99   timeout    shed\n"
+    );
+    for (name, r) in rows {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>10.0} {:>8} {:>8} {:>9} {:>7}",
+            name, r.throughput_rps, r.mean_latency, r.latency_p99, r.requests_timed_out,
+            r.requests_shed,
+        );
+    }
+    out.push_str(note);
+    out.push('\n');
+    out
+}
+
+/// E18 — (extension) slow-replica tail amplification.
+///
+/// A third of the most-replicated tier serves every request 40× slower
+/// (a die-off GC loop, a throttled rack). Least-outstanding balancing alone
+/// cannot save the tail: the slow replicas still receive traffic. Timeouts
+/// and retries bound the damage per request; the circuit breaker ejects
+/// the sick replicas entirely and restores the tail to near-baseline.
+pub fn e18(config: &Config) -> FaultStudy {
+    let replicas = config.baseline_replicas();
+    let (victim_service, victim) = fault_victim(&replicas);
+    let (fault_lab, baseline) = fault_lab(config);
+    let n_slow = (replicas[victim_service] / 3).max(1);
+    let mut faults = FaultPlan::none();
+    for k in 0..n_slow as u32 {
+        faults = faults.slowdown(InstanceId(victim.0 + k), SimTime::ZERO, SimTime::MAX, 40.0);
+    }
+    let run = |faults: FaultPlan, resilience: Option<ResilienceParams>| {
+        let mut lab = fault_lab.clone();
+        lab.engine_params.faults = faults;
+        lab.engine_params.resilience = resilience;
+        lab.run_policy(&config.store, Policy::Unpinned, &replicas)
+    };
+    let rows = vec![
+        ("no faults".to_owned(), baseline.clone()),
+        ("slow replica".to_owned(), run(faults.clone(), None)),
+        (
+            "slow + timeout/retry".to_owned(),
+            run(faults.clone(), Some(derived_resilience(&baseline, false))),
+        ),
+        (
+            "slow + retry + breaker".to_owned(),
+            run(faults, Some(derived_resilience(&baseline, true))),
+        ),
+    ];
+    let table = fault_study_table(
+        &format!(
+            "E18: slow-replica tail amplification ({n_slow} of {} {} replicas 40× slower)",
+            replicas[victim_service],
+            config.store.app().services()[victim_service].name,
+        ),
+        "(timeout+retry alone is metastable near saturation: abandoned work still burns CPU\n\
+         and every retry adds load, so the tier congests until no attempt beats the timeout\n\
+         — a retry storm. The breaker ejects the sick replicas and the tail returns toward\n\
+         the fault-free p99.)",
+        &rows,
+    );
+    FaultStudy { rows, table }
+}
+
+/// E19 — (extension) crash and recovery under load.
+///
+/// One replica of the most-replicated tier crashes a third into the
+/// measurement window and restarts after a sixth of it. Without resilience,
+/// its queued and in-flight requests are simply lost — closed-loop users
+/// blocked on them never come back, permanently deflating throughput. With
+/// timeouts + retries the lost calls are replayed against the survivors and
+/// the throughput dip recovers with the replica.
+pub fn e19(config: &Config) -> FaultStudy {
+    let replicas = config.baseline_replicas();
+    let (_, victim) = fault_victim(&replicas);
+    let (fault_lab, baseline) = fault_lab(config);
+    let crash_at = SimTime::ZERO + fault_lab.warmup + fault_lab.measure.mul_f64(1.0 / 3.0);
+    let down_for = fault_lab.measure.mul_f64(1.0 / 6.0);
+    let faults = FaultPlan::none().crash(victim, crash_at, down_for);
+    let run = |resilience: Option<ResilienceParams>| {
+        let mut lab = fault_lab.clone();
+        lab.engine_params.faults = faults.clone();
+        lab.engine_params.resilience = resilience;
+        lab.run_policy(&config.store, Policy::Unpinned, &replicas)
+    };
+    let rows = vec![
+        ("no faults".to_owned(), baseline.clone()),
+        ("crash, no resilience".to_owned(), run(None)),
+        (
+            "crash + resilience".to_owned(),
+            run(Some(derived_resilience(&baseline, true))),
+        ),
+    ];
+    let mut table = fault_study_table(
+        &format!(
+            "E19: crash and recovery ({victim} down at +{} for {})",
+            fault_lab.measure.mul_f64(1.0 / 3.0),
+            down_for
+        ),
+        "(lost work: see the dropped replies / rejected arrivals in the fault counters)",
+        &rows,
+    );
+    for (name, r) in &rows {
+        let _ = writeln!(
+            table,
+            "  {:<26} {} dropped replies, {} rejected arrivals, min bucket {:.0} req/s",
+            name,
+            r.replies_dropped,
+            r.rejected_arrivals,
+            min_throughput_bucket(r),
+        );
+    }
+    FaultStudy { rows, table }
+}
+
+/// The lowest whole-bucket throughput inside the measurement window — the
+/// depth of a crash-induced dip. Ignores the last (possibly partial) bucket.
+pub fn min_throughput_bucket(report: &RunReport) -> f64 {
+    let series = &report.throughput_series;
+    if series.len() < 2 {
+        return 0.0;
+    }
+    series[..series.len() - 1]
+        .iter()
+        .map(|&(_, rps)| rps)
+        .fold(f64::INFINITY, f64::min)
+}
+
 // -------------------------------------------------------------- CSV export
 
 /// CSV of a [`ScalePoint`] series (used by E4/E6/E7 exports).
@@ -1079,6 +1277,44 @@ pub fn csv_e15(result: &MvaValidation) -> String {
     let mut csv = scaleup::report::Csv::new(&["users", "sim_rps", "mva_rps"]);
     for &(users, sim, mva) in &result.points {
         csv.row_f64(&[users as f64, sim, mva]);
+    }
+    csv.finish()
+}
+
+/// CSV of an E18/E19 fault study (one row per configuration).
+pub fn csv_fault_study(result: &FaultStudy) -> String {
+    let mut csv = scaleup::report::Csv::new(&[
+        "config",
+        "throughput_rps",
+        "mean_latency_us",
+        "p99_latency_us",
+        "timed_out",
+        "shed",
+        "replies_dropped",
+        "rejected_arrivals",
+    ]);
+    for (name, r) in &result.rows {
+        csv.row(&[
+            name,
+            &format!("{:.1}", r.throughput_rps),
+            &format!("{:.1}", r.mean_latency.as_micros_f64()),
+            &format!("{:.1}", r.latency_p99.as_micros_f64()),
+            &r.requests_timed_out.to_string(),
+            &r.requests_shed.to_string(),
+            &r.replies_dropped.to_string(),
+            &r.rejected_arrivals.to_string(),
+        ]);
+    }
+    csv.finish()
+}
+
+/// CSV of the E19 per-bucket throughput traces (long format).
+pub fn csv_e19_series(result: &FaultStudy) -> String {
+    let mut csv = scaleup::report::Csv::new(&["config", "t_secs", "throughput_rps"]);
+    for (name, r) in &result.rows {
+        for &(t, rps) in &r.throughput_series {
+            csv.row(&[name, &format!("{t:.3}"), &format!("{rps:.1}")]);
+        }
     }
     csv.finish()
 }
@@ -1291,5 +1527,57 @@ mod tests {
         let c = quick();
         assert!(ablate_lb(&c).contains("locality-aware"));
         assert!(ablate_quantum(&c).contains("ms"));
+    }
+
+    #[test]
+    fn e18_breaker_tames_the_tail() {
+        let c = quick();
+        let study = e18(&c);
+        assert_eq!(study.rows.len(), 4);
+        let p99 = |i: usize| study.rows[i].1.latency_p99;
+        let (healthy, slow, breaker) = (p99(0), p99(1), p99(3));
+        // The fault must bite, and the breaker must claw most of it back —
+        // the acceptance criterion of the resilience layer.
+        assert!(
+            slow > healthy.mul_f64(3.0),
+            "slow replica did not amplify the tail: {slow} vs {healthy}"
+        );
+        assert!(
+            breaker < slow.mul_f64(0.5),
+            "breaker failed to reduce tail amplification: {breaker} vs {slow}"
+        );
+        assert!(
+            study.rows[3].1.throughput_rps > study.rows[1].1.throughput_rps,
+            "breaker should also recover throughput"
+        );
+    }
+
+    #[test]
+    fn e19_resilience_recovers_the_crash_dip() {
+        let c = quick();
+        let study = e19(&c);
+        assert_eq!(study.rows.len(), 3);
+        let baseline = &study.rows[0].1;
+        let bare = &study.rows[1].1;
+        let resilient = &study.rows[2].1;
+        // Without resilience the dead replica black-holes closed-loop users.
+        assert!(
+            bare.throughput_rps < baseline.throughput_rps * 0.7,
+            "no-resilience crash should depress throughput: {} vs {}",
+            bare.throughput_rps,
+            baseline.throughput_rps
+        );
+        assert!(bare.rejected_arrivals > 0, "crash never refused an arrival");
+        // With timeouts+retries+breaker the window average stays close.
+        assert!(
+            resilient.throughput_rps > baseline.throughput_rps * 0.9,
+            "resilience failed to recover the dip: {} vs {}",
+            resilient.throughput_rps,
+            baseline.throughput_rps
+        );
+        assert!(
+            min_throughput_bucket(resilient) > min_throughput_bucket(bare),
+            "resilient dip must be shallower than the bare one"
+        );
     }
 }

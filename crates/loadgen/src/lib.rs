@@ -66,6 +66,7 @@ pub struct ClosedLoop {
     mix: Vec<f64>,
     issued: u64,
     completed: u64,
+    errors: u64,
     measuring: bool,
 }
 
@@ -86,6 +87,7 @@ impl ClosedLoop {
             mix: vec![1.0],
             issued: 0,
             completed: 0,
+            errors: 0,
             measuring: false,
         }
     }
@@ -134,6 +136,13 @@ impl ClosedLoop {
         self.completed
     }
 
+    /// Error responses (timeouts, sheds) over the whole run. Users carry on
+    /// after an error — a browser showing an error page still lets the
+    /// shopper retry — so the closed-loop population never leaks.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
     fn submit_for(&mut self, user: u64, ctx: &mut dyn EngineCtx) {
         let mix = WeightedIndex::new(&self.mix);
         let class = mix.sample_index(ctx.rng()) as u32;
@@ -170,6 +179,9 @@ impl Driver for ClosedLoop {
 
     fn on_response(&mut self, resp: ResponseInfo, ctx: &mut dyn EngineCtx) {
         self.completed += 1;
+        if resp.outcome != microsvc::Outcome::Ok {
+            self.errors += 1;
+        }
         let user = resp.client.0;
         if self.think_mean.is_zero() {
             self.submit_for(user, ctx);

@@ -3,6 +3,18 @@
 use crate::ids::{ClientId, RequestClassId, RequestId};
 use simcore::{Rng, SimDuration, SimTime};
 
+/// How a request ended, from the client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Outcome {
+    /// A response arrived.
+    #[default]
+    Ok,
+    /// The retry budget was exhausted; the client saw a timeout error.
+    TimedOut,
+    /// No entry instance was accepting work; the request was refused.
+    Shed,
+}
+
 /// Everything a response callback learns about a completed request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResponseInfo {
@@ -12,8 +24,13 @@ pub struct ResponseInfo {
     pub client: ClientId,
     /// Its request class.
     pub class: RequestClassId,
-    /// End-to-end latency, submit to response arrival at the client.
+    /// End-to-end latency, submit to response (or error) arrival at the
+    /// client. For non-[`Ok`](Outcome::Ok) outcomes this is the time until
+    /// the client learned of the failure.
     pub latency: SimDuration,
+    /// Whether the request succeeded; always [`Ok`](Outcome::Ok) unless
+    /// fault injection or resilience is enabled.
+    pub outcome: Outcome,
 }
 
 /// The engine surface available to drivers from their callbacks.

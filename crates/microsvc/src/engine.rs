@@ -26,12 +26,14 @@
 
 use crate::app::{AppSpec, Demand};
 use crate::deploy::Deployment;
-use crate::driver::{Driver, EngineCtx, ResponseInfo};
-use crate::ids::{ClientId, InstanceId, RequestClassId, RequestId};
+use crate::driver::{Driver, EngineCtx, Outcome, ResponseInfo};
+use crate::fault::{FaultCause, FaultPlan};
+use crate::ids::{ClientId, InstanceId, RequestClassId, RequestId, ServiceId};
 use crate::lb::{Balancer, Candidate, LbPolicy};
 use crate::metrics::{Metrics, RunReport};
+use crate::resilience::{backoff_delay, CircuitBreaker, ResilienceParams, Transition};
 use crate::trace::{RequestTrace, Tracer};
-use cputopo::{CpuId, NumaId, Topology};
+use cputopo::{CpuId, NumaId, Proximity, Topology};
 use oskernel::{Placement, SchedParams, SchedStats, Scheduler, Switch, TaskId, WakeOutcome};
 use simcore::{Calendar, EventToken, Rng, RngFactory, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -53,6 +55,14 @@ pub struct EngineParams {
     /// Sample every n-th request into a [`RequestTrace`]
     /// (`None` = tracing off). See [`crate::trace`].
     pub trace_sample_every: Option<u64>,
+    /// Client-side resilience (timeouts, retries, circuit breaking).
+    /// `None` (the default) reproduces the legacy engine exactly: calls
+    /// wait forever and no instance is ever ejected.
+    pub resilience: Option<ResilienceParams>,
+    /// Deterministic fault schedule. [`FaultPlan::none`] (the default)
+    /// injects nothing and leaves runs bit-identical to a fault-free
+    /// engine.
+    pub faults: FaultPlan,
 }
 
 impl Default for EngineParams {
@@ -63,6 +73,8 @@ impl Default for EngineParams {
             lb: LbPolicy::RoundRobin,
             client_net_latency: SimDuration::from_micros(120),
             trace_sample_every: None,
+            resilience: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -143,6 +155,12 @@ struct Job {
     enqueued_at: SimTime,
     /// Trace span index when the owning request is sampled.
     span: Option<u32>,
+    /// Delivery attempt of the call this job serves (0 = first try).
+    attempt: u8,
+    /// The caller's deadline fired; any produced reply is discarded.
+    abandoned: bool,
+    /// Pending caller-side timeout, cancelled when the reply arrives.
+    timeout_token: Option<EventToken>,
 }
 
 #[derive(Debug, Clone)]
@@ -150,6 +168,11 @@ struct RequestInfo {
     class: usize,
     client: u64,
     submitted_at: SimTime,
+    /// The current root job serving this request (changes on root retry).
+    root_job: u64,
+    /// The client has received a response or an error; late replies for
+    /// the request are discarded.
+    resolved: bool,
 }
 
 #[derive(Debug)]
@@ -160,6 +183,10 @@ struct Instance {
     idle_workers: Vec<usize>,
     pending: VecDeque<u64>,
     outstanding: usize,
+    /// `false` while crashed: arrivals are refused, replies are lost.
+    up: bool,
+    /// CPU-demand multiplier from an active slow-replica fault window.
+    demand_factor: f64,
 }
 
 #[derive(Debug)]
@@ -189,8 +216,25 @@ enum Event {
     WorkDone { cpu: u32, gen: u64 },
     Quantum { cpu: u32, gen: u64 },
     JobArrive { job: u64 },
-    ReplyArrive { parent: u64 },
-    ClientReply { request: u64 },
+    /// A child job's reply reached its parent (carries the child so late
+    /// replies of abandoned calls can be recognized and discarded).
+    ReplyArrive { child: u64 },
+    /// A root job's reply reached the client.
+    ClientReply { job: u64 },
+    /// The caller-side deadline of a call elapsed.
+    CallTimeout { job: u64 },
+    /// The client is informed that its request failed.
+    ClientFail { request: u64, cause: FaultCause },
+    /// Scheduled fault: an instance goes down.
+    CrashStart { instance: u32 },
+    /// Scheduled fault: a crashed instance accepts work again.
+    CrashEnd { instance: u32 },
+    /// Scheduled fault: a slow-replica window opens (`slowdown` indexes
+    /// `EngineParams::faults.slowdowns`; the factor itself is `f64` and
+    /// cannot live in an `Eq` event payload).
+    SlowStart { instance: u32, slowdown: u32 },
+    /// Scheduled fault: a slow-replica window closes.
+    SlowEnd { instance: u32 },
 }
 
 /// The simulation engine. See the [module docs](self) for the model.
@@ -214,6 +258,20 @@ pub struct Engine {
     sched_stats_baseline: SchedStats,
     demand_rng: Rng,
     driver_rng: Rng,
+    /// Random stream for injected-fault decisions (reply drops). Never
+    /// drawn from unless a fault window is active.
+    fault_rng: Rng,
+    /// Random stream for resilience decisions (backoff jitter). Never
+    /// drawn from unless a retry is dispatched.
+    resil_rng: Rng,
+    /// One circuit breaker per instance; empty when breaking is disabled
+    /// (every breaker helper is then a no-op).
+    breakers: Vec<CircuitBreaker>,
+    /// Per-service call timeout; empty when resilience is disabled.
+    timeouts: Vec<SimDuration>,
+    /// Faults or resilience are configured: load balancing must consult
+    /// instance availability. `false` keeps the legacy fast paths.
+    fault_aware: bool,
     cycles_per_us: f64,
     stop_requested: bool,
     tracer: Tracer,
@@ -271,8 +329,41 @@ impl Engine {
                 idle_workers: worker_ids,
                 pending: VecDeque::new(),
                 outstanding: 0,
+                up: true,
+                demand_factor: 1.0,
             });
         }
+        params.faults.validate(instances.len());
+        // Pre-schedule the deterministic fault timeline (crashes first, then
+        // slowdowns, in plan order) so fault events need no further state.
+        let mut cal = Calendar::new();
+        for c in &params.faults.crashes {
+            let instance = c.instance.0;
+            cal.schedule(c.at, Event::CrashStart { instance });
+            cal.schedule(c.at + c.restart_after, Event::CrashEnd { instance });
+        }
+        for (idx, s) in params.faults.slowdowns.iter().enumerate() {
+            let instance = s.instance.0;
+            cal.schedule(
+                s.from,
+                Event::SlowStart {
+                    instance,
+                    slowdown: idx as u32,
+                },
+            );
+            cal.schedule(s.until, Event::SlowEnd { instance });
+        }
+        let breakers = match params.resilience.as_ref().and_then(|r| r.breaker) {
+            Some(policy) => vec![CircuitBreaker::new(policy); instances.len()],
+            None => Vec::new(),
+        };
+        let timeouts: Vec<SimDuration> = match params.resilience.as_ref() {
+            Some(res) => (0..app.services().len())
+                .map(|s| res.timeout_for(ServiceId(s as u32)))
+                .collect(),
+            None => Vec::new(),
+        };
+        let fault_aware = params.resilience.is_some() || !params.faults.is_empty();
         let factory = RngFactory::new(seed);
         let metrics = Metrics::new(&app, SimTime::ZERO);
         let balancers = (0..app.services().len())
@@ -286,7 +377,7 @@ impl Engine {
             params,
             app,
             classes,
-            cal: Calendar::new(),
+            cal,
             sched,
             instances,
             per_service_instances,
@@ -300,6 +391,11 @@ impl Engine {
             sched_stats_baseline: SchedStats::default(),
             demand_rng: factory.stream("demand"),
             driver_rng: factory.stream("driver"),
+            fault_rng: factory.stream("fault"),
+            resil_rng: factory.stream("resilience"),
+            breakers,
+            timeouts,
+            fault_aware,
             cycles_per_us,
             stop_requested: false,
             tracer: Tracer::new(params_trace),
@@ -365,12 +461,33 @@ impl Engine {
             Event::WorkDone { cpu, gen } => self.on_work_done(CpuId(cpu), gen),
             Event::Quantum { cpu, gen } => self.on_quantum(CpuId(cpu), gen),
             Event::JobArrive { job } => self.on_job_arrive(job),
-            Event::ReplyArrive { parent } => self.on_reply_arrive(parent),
-            Event::ClientReply { request } => self.on_client_reply(request, driver),
+            Event::ReplyArrive { child } => self.on_reply_arrive(child),
+            Event::ClientReply { job } => self.on_client_reply(job, driver),
+            Event::CallTimeout { job } => self.on_call_timeout(job),
+            Event::ClientFail { request, cause } => self.on_client_fail(request, cause, driver),
+            Event::CrashStart { instance } => self.on_crash_start(instance as usize),
+            Event::CrashEnd { instance } => self.instances[instance as usize].up = true,
+            Event::SlowStart { instance, slowdown } => {
+                let factor = self.params.faults.slowdowns[slowdown as usize].demand_factor;
+                self.instances[instance as usize].demand_factor = factor;
+            }
+            Event::SlowEnd { instance } => self.instances[instance as usize].demand_factor = 1.0,
         }
     }
 
-    fn on_client_reply(&mut self, request: u64, driver: &mut dyn Driver) {
+    fn on_client_reply(&mut self, job_id: u64, driver: &mut dyn Driver) {
+        let request = self.jobs[job_id as usize].request;
+        if self.jobs[job_id as usize].abandoned || self.requests[request as usize].resolved {
+            // The client already timed out (and possibly retried): the
+            // response raced its own deadline and lost.
+            self.metrics.late_replies += 1;
+            return;
+        }
+        if let Some(token) = self.jobs[job_id as usize].timeout_token.take() {
+            self.cal.cancel(token);
+        }
+        self.breaker_success(self.jobs[job_id as usize].instance);
+        self.requests[request as usize].resolved = true;
         let now = self.now();
         self.tracer.complete(RequestId(request), now);
         let info = &self.requests[request as usize];
@@ -378,6 +495,7 @@ impl Engine {
         let class = info.class;
         let client = info.client;
         self.metrics.completed += 1;
+        self.metrics.completed_series.record(now, 1.0);
         self.metrics.latency.record_duration(latency);
         self.metrics.latency_per_class[class].record_duration(latency);
         driver.on_response(
@@ -386,29 +504,91 @@ impl Engine {
                 client: ClientId(client),
                 class: RequestClassId(class as u32),
                 latency,
+                outcome: Outcome::Ok,
             },
             self,
         );
     }
 
+    /// Delivers a failure (timeout or shed) to the client.
+    fn on_client_fail(&mut self, request: u64, cause: FaultCause, driver: &mut dyn Driver) {
+        let info = &self.requests[request as usize];
+        let latency = self.now() - info.submitted_at;
+        let class = info.class;
+        let client = info.client;
+        let outcome = match cause {
+            FaultCause::Shed => Outcome::Shed,
+            _ => Outcome::TimedOut,
+        };
+        // Failed requests are deliberately absent from the latency
+        // histograms: their "latency" is the timeout setting, not a
+        // service-time observation.
+        driver.on_response(
+            ResponseInfo {
+                request: RequestId(request),
+                client: ClientId(client),
+                class: RequestClassId(class as u32),
+                latency,
+                outcome,
+            },
+            self,
+        );
+    }
+
+    /// Scheduled crash: take the instance down and lose its queue — the
+    /// requests waiting for a worker die with the process. Jobs already
+    /// being executed keep their workers busy, but their replies are
+    /// dropped at completion (see [`finish_job`](Self::finish_job)).
+    fn on_crash_start(&mut self, inst: usize) {
+        self.instances[inst].up = false;
+        while let Some(job_id) = self.instances[inst].pending.pop_front() {
+            self.metrics.rejected_arrivals += 1;
+            let (request, span) = {
+                let j = &mut self.jobs[job_id as usize];
+                j.phase = Phase::Done;
+                (j.request, j.span)
+            };
+            if let Some(span) = span {
+                self.tracer
+                    .span_fault(RequestId(request), span, FaultCause::Crashed);
+            }
+            self.instances[inst].outstanding -= 1;
+        }
+    }
+
     fn on_job_arrive(&mut self, job_id: u64) {
         let inst_idx = self.jobs[job_id as usize].instance;
+        if !self.instances[inst_idx].up {
+            // Connection refused: the instance crashed while the call was
+            // on the wire. The caller's timeout (if any) recovers.
+            self.metrics.rejected_arrivals += 1;
+            self.jobs[job_id as usize].phase = Phase::Done;
+            self.instances[inst_idx].outstanding -= 1;
+            return;
+        }
         self.jobs[job_id as usize].enqueued_at = self.now();
         {
-            let (request, class, node) = {
+            let (request, class, node, attempt) = {
                 let j = &self.jobs[job_id as usize];
-                (j.request, j.class, j.node)
+                (j.request, j.class, j.node, j.attempt)
             };
             let flat = &self.classes[class].nodes[node];
             let now = self.now();
             let span = self.tracer.open_span(
                 RequestId(request),
-                crate::ids::ServiceId(flat.service as u32),
+                ServiceId(flat.service as u32),
                 InstanceId(inst_idx as u32),
                 flat.depth,
+                attempt,
                 now,
             );
             self.jobs[job_id as usize].span = span;
+        }
+        // Slow-replica fault: the instance serves this job's CPU phases at
+        // a degraded rate, modeled as inflated demand.
+        let factor = self.instances[inst_idx].demand_factor;
+        if factor != 1.0 {
+            self.jobs[job_id as usize].remaining_cycles *= factor;
         }
         if let Some(worker) = self.instances[inst_idx].idle_workers.pop() {
             self.assign_job(worker, job_id);
@@ -438,7 +618,27 @@ impl Engine {
         self.workers[worker].job = Some(job_id);
     }
 
-    fn on_reply_arrive(&mut self, parent_id: u64) {
+    fn on_reply_arrive(&mut self, child_id: u64) {
+        let (abandoned, parent, token, instance) = {
+            let j = &mut self.jobs[child_id as usize];
+            (j.abandoned, j.parent, j.timeout_token.take(), j.instance)
+        };
+        if abandoned {
+            // The caller gave up on this call before the reply landed.
+            self.metrics.late_replies += 1;
+            return;
+        }
+        if let Some(token) = token {
+            self.cal.cancel(token);
+        }
+        self.breaker_success(instance);
+        let parent_id = parent.expect("child jobs have parents");
+        self.reply_to_parent(parent_id);
+    }
+
+    /// One of the parent's outstanding stage calls has been answered
+    /// (by a real reply or by a retries-exhausted fallback).
+    fn reply_to_parent(&mut self, parent_id: u64) {
         let job = &mut self.jobs[parent_id as usize];
         debug_assert!(matches!(job.phase, Phase::WaitStage(_)));
         debug_assert!(job.pending > 0);
@@ -453,16 +653,20 @@ impl Engine {
         // All replies in: run the next send stage or the closing work.
         let class = job.class;
         let node = job.node;
+        let instance = job.instance;
         let next_stage = stage + 1;
         let has_more = next_stage < self.classes[class].nodes[node].stages.len();
         if has_more {
             let n_calls = self.classes[class].nodes[node].stages[next_stage].len();
+            let cycles = self
+                .scale_demand(instance, (n_calls as u64 * self.params.uarch.rpc_endpoint_cycles) as f64);
             let job = &mut self.jobs[parent_id as usize];
             job.phase = Phase::StageSend(next_stage);
-            job.remaining_cycles = (n_calls as u64 * self.params.uarch.rpc_endpoint_cycles) as f64;
+            job.remaining_cycles = cycles;
         } else {
             let post = self.classes[class].nodes[node].post;
-            let cycles = post.sample_us(&mut self.demand_rng) * self.cycles_per_us;
+            let raw = post.sample_us(&mut self.demand_rng) * self.cycles_per_us;
+            let cycles = self.scale_demand(instance, raw);
             let job = &mut self.jobs[parent_id as usize];
             job.phase = Phase::Post;
             job.remaining_cycles = cycles;
@@ -479,6 +683,90 @@ impl Engine {
             Some(WakeOutcome::Queued(_)) => {}
             None => unreachable!("waiting workers are blocked"),
         }
+    }
+
+    /// Applies the instance's slow-replica demand multiplier. The 1.0 fast
+    /// path keeps fault-free arithmetic bit-identical.
+    fn scale_demand(&self, instance: usize, cycles: f64) -> f64 {
+        let factor = self.instances[instance].demand_factor;
+        if factor == 1.0 {
+            cycles
+        } else {
+            cycles * factor
+        }
+    }
+
+    /// The caller-side deadline of `job_id`'s call elapsed: abandon the
+    /// call, penalize the instance's breaker, and retry (with backoff) or
+    /// give up.
+    fn on_call_timeout(&mut self, job_id: u64) {
+        let (instance, attempt, parent, request, span) = {
+            let j = &mut self.jobs[job_id as usize];
+            debug_assert!(!j.abandoned, "timeout token outlived abandonment");
+            j.abandoned = true;
+            j.timeout_token = None;
+            (j.instance, j.attempt, j.parent, j.request, j.span)
+        };
+        let service = self.instances[instance].service;
+        self.metrics.per_service[service].timeouts += 1;
+        if let Some(span) = span {
+            self.tracer
+                .span_fault(RequestId(request), span, FaultCause::TimedOut);
+        }
+        self.breaker_failure(instance);
+        let retry = self
+            .params
+            .resilience
+            .as_ref()
+            .expect("timeouts are only armed when resilience is on")
+            .retry;
+        if attempt < retry.max_retries {
+            let delay = backoff_delay(&retry, attempt as u32 + 1, &mut self.resil_rng);
+            self.metrics.per_service[service].retries += 1;
+            match parent {
+                None => self.dispatch_root_attempt(request, delay, attempt + 1),
+                Some(parent_id) => self.dispatch_retry_call(parent_id, job_id, delay),
+            }
+        } else {
+            match parent {
+                // The client's entry call is out of retries: surface the
+                // failure.
+                None => self.fail_request(request, FaultCause::TimedOut),
+                // A downstream call is out of retries: serve a degraded
+                // fallback so the enclosing request can still complete
+                // (the resilience-library default of failing soft).
+                Some(parent_id) => {
+                    self.metrics.per_service[service].fallbacks += 1;
+                    self.reply_to_parent(parent_id);
+                }
+            }
+        }
+    }
+
+    /// Fails `request` towards the client: a shed is bounced straight off
+    /// the entry (one network round trip), a timeout is detected by the
+    /// client's own clock (no extra wire time).
+    fn fail_request(&mut self, request_id: u64, cause: FaultCause) {
+        let now = self.now();
+        self.requests[request_id as usize].resolved = true;
+        self.tracer.fail(RequestId(request_id), cause, now);
+        let delivery = match cause {
+            FaultCause::Shed => {
+                self.metrics.requests_shed += 1;
+                now + self.params.client_net_latency.mul_f64(2.0)
+            }
+            _ => {
+                self.metrics.requests_timed_out += 1;
+                now
+            }
+        };
+        self.cal.schedule(
+            delivery,
+            Event::ClientFail {
+                request: request_id,
+                cause,
+            },
+        );
     }
 
     fn on_work_done(&mut self, cpu: CpuId, gen: u64) {
@@ -539,22 +827,26 @@ impl Engine {
             }
             match self.jobs[job_id as usize].phase {
                 Phase::Pre => {
-                    let (class, node) = {
+                    let (class, node, instance) = {
                         let j = &self.jobs[job_id as usize];
-                        (j.class, j.node)
+                        (j.class, j.node, j.instance)
                     };
                     if self.classes[class].nodes[node].stages.is_empty() {
                         let post = self.classes[class].nodes[node].post;
-                        let cycles = post.sample_us(&mut self.demand_rng) * self.cycles_per_us;
+                        let raw = post.sample_us(&mut self.demand_rng) * self.cycles_per_us;
+                        let cycles = self.scale_demand(instance, raw);
                         let j = &mut self.jobs[job_id as usize];
                         j.phase = Phase::Post;
                         j.remaining_cycles = cycles;
                     } else {
                         let n_calls = self.classes[class].nodes[node].stages[0].len();
+                        let cycles = self.scale_demand(
+                            instance,
+                            (n_calls as u64 * self.params.uarch.rpc_endpoint_cycles) as f64,
+                        );
                         let j = &mut self.jobs[job_id as usize];
                         j.phase = Phase::StageSend(0);
-                        j.remaining_cycles =
-                            (n_calls as u64 * self.params.uarch.rpc_endpoint_cycles) as f64;
+                        j.remaining_cycles = cycles;
                     }
                 }
                 Phase::StageSend(stage) => {
@@ -609,25 +901,43 @@ impl Engine {
                 remaining_cycles: cycles,
                 enqueued_at: self.now(),
                 span: None,
+                attempt: 0,
+                abandoned: false,
+                timeout_token: None,
             });
             self.instances[instance].outstanding += 1;
             self.cal.schedule(
                 self.now() + cost.latency,
                 Event::JobArrive { job: child_id },
             );
+            self.arm_call_timeout(child_id, service, SimDuration::ZERO);
         }
+    }
+
+    /// Arms the caller-side deadline for a freshly dispatched call job and
+    /// registers the dispatch with the target instance's breaker. A no-op
+    /// unless resilience is configured.
+    fn arm_call_timeout(&mut self, job_id: u64, service: usize, extra: SimDuration) {
+        if self.timeouts.is_empty() {
+            return;
+        }
+        let deadline = self.now() + extra + self.timeouts[service];
+        let token = self.cal.schedule(deadline, Event::CallTimeout { job: job_id });
+        let instance = self.jobs[job_id as usize].instance;
+        self.jobs[job_id as usize].timeout_token = Some(token);
+        self.breaker_dispatch(instance);
     }
 
     /// Completes `job_id` on `worker`: sends the reply and either picks up
     /// the instance's next queued job (returns `true`, worker keeps the CPU)
     /// or idles the worker (returns `false`, CPU released).
     fn finish_job(&mut self, worker: usize, job_id: u64, cpu: CpuId) -> bool {
-        let (instance, parent, request) = {
+        let (instance, parent, request, abandoned, span) = {
             let j = &mut self.jobs[job_id as usize];
             j.phase = Phase::Done;
-            (j.instance, j.parent, j.request)
+            (j.instance, j.parent, j.request, j.abandoned, j.span)
         };
-        if let Some(span) = self.jobs[job_id as usize].span {
+        if let Some(span) = span {
             let now = self.now();
             self.tracer.span_finished(RequestId(request), span, now);
         }
@@ -635,23 +945,63 @@ impl Engine {
         self.metrics.per_service[service].jobs_completed += 1;
         self.instances[instance].outstanding -= 1;
 
-        match parent {
-            Some(parent_id) => {
-                let parent_inst = self.jobs[parent_id as usize].instance;
-                let proximity = self
-                    .topo
-                    .proximity(cpu, self.instances[parent_inst].rep_cpu);
-                let latency = self.params.uarch.rpc_cost(proximity).latency;
-                self.cal.schedule(
-                    self.now() + latency,
-                    Event::ReplyArrive { parent: parent_id },
-                );
+        // Reply gating: an abandoned call's reply is wasted work; a crashed
+        // instance loses its in-flight replies; a reply-fault window may drop
+        // or delay the reply on the wire.
+        let mut send_reply = true;
+        let mut extra = SimDuration::ZERO;
+        if abandoned {
+            self.metrics.late_replies += 1;
+            send_reply = false;
+        } else if !self.instances[instance].up {
+            self.metrics.replies_dropped += 1;
+            if let Some(span) = span {
+                self.tracer
+                    .span_fault(RequestId(request), span, FaultCause::Crashed);
             }
-            None => {
-                self.cal.schedule(
-                    self.now() + self.params.client_net_latency,
-                    Event::ClientReply { request },
-                );
+            send_reply = false;
+        } else if self.fault_aware {
+            let now = self.now();
+            let fault = self
+                .params
+                .faults
+                .reply_faults
+                .iter()
+                .find(|f| f.instance.index() == instance && f.from <= now && now < f.until)
+                .copied();
+            if let Some(fault) = fault {
+                if self.fault_rng.chance(fault.drop_probability) {
+                    self.metrics.replies_dropped += 1;
+                    if let Some(span) = span {
+                        self.tracer
+                            .span_fault(RequestId(request), span, FaultCause::ReplyDropped);
+                    }
+                    send_reply = false;
+                } else {
+                    extra = fault.extra_delay;
+                }
+            }
+        }
+
+        if send_reply {
+            match parent {
+                Some(parent_id) => {
+                    let parent_inst = self.jobs[parent_id as usize].instance;
+                    let proximity = self
+                        .topo
+                        .proximity(cpu, self.instances[parent_inst].rep_cpu);
+                    let latency = self.params.uarch.rpc_cost(proximity).latency;
+                    self.cal.schedule(
+                        self.now() + latency + extra,
+                        Event::ReplyArrive { child: job_id },
+                    );
+                }
+                None => {
+                    self.cal.schedule(
+                        self.now() + self.params.client_net_latency + extra,
+                        Event::ClientReply { job: job_id },
+                    );
+                }
             }
         }
 
@@ -667,28 +1017,188 @@ impl Engine {
     }
 
     /// Ingress balancing for client requests: least outstanding, ties by
-    /// instance order rotated via the request counter for fairness.
-    fn pick_entry_instance(&mut self, service: usize) -> usize {
-        let candidates = &self.per_service_instances[service];
-        let start = self.requests.len() % candidates.len();
-        (0..candidates.len())
-            .map(|i| candidates[(start + i) % candidates.len()])
-            .min_by_key(|&i| self.instances[i].outstanding)
-            .expect("deployed services have instances")
+    /// instance order rotated via the request counter for fairness. Returns
+    /// `None` when every instance is breaker-ejected — the entry tier
+    /// refuses (sheds) the request rather than panic-routing, matching an
+    /// edge proxy returning 503.
+    ///
+    /// Liveness is deliberately invisible here: the balancer has no health
+    /// checks, so a crashed replica keeps receiving its share (its refused
+    /// arrivals keep `outstanding` low, making it *more* attractive — the
+    /// classic dead-backend black hole). Only the circuit breaker, fed by
+    /// call timeouts, ejects it.
+    fn pick_entry_instance(&mut self, service: usize) -> Option<usize> {
+        let n = self.per_service_instances[service].len();
+        let start = self.requests.len() % n;
+        if !self.fault_aware {
+            // Fast path: identical arithmetic (and zero breaker state probes)
+            // to the pre-fault engine.
+            let candidates = &self.per_service_instances[service];
+            return Some(
+                (0..n)
+                    .map(|i| candidates[(start + i) % candidates.len()])
+                    .min_by_key(|&i| self.instances[i].outstanding)
+                    .expect("deployed services have instances"),
+            );
+        }
+        let now = self.now();
+        let mut best: Option<usize> = None;
+        for k in 0..n {
+            let i = self.per_service_instances[service][(start + k) % n];
+            if !self.breaker_allows(i, now) {
+                continue;
+            }
+            // Strict `<` keeps the first minimal candidate in rotation order,
+            // matching min_by_key's tie-break.
+            if best.is_none_or(|b| self.instances[i].outstanding < self.instances[b].outstanding) {
+                best = Some(i);
+            }
+        }
+        best
     }
 
     fn pick_instance(&mut self, service: usize, caller_cpu: CpuId) -> usize {
-        let candidates: Vec<Candidate> = self.per_service_instances[service]
-            .iter()
-            .map(|&i| Candidate {
-                instance: InstanceId(i as u32),
-                outstanding: self.instances[i].outstanding,
-                home_cpu: self.instances[i].rep_cpu,
-            })
-            .collect();
+        let now = self.now();
+        let fault_aware = self.fault_aware;
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(
+            self.per_service_instances[service].len(),
+        );
+        for idx in 0..self.per_service_instances[service].len() {
+            let i = self.per_service_instances[service][idx];
+            let mut c = Candidate::new(
+                InstanceId(i as u32),
+                self.instances[i].outstanding,
+                self.instances[i].rep_cpu,
+            );
+            if fault_aware {
+                // Same as ingress: breaker state only, no liveness oracle.
+                c.available = self.breaker_allows(i, now);
+            }
+            candidates.push(c);
+        }
         self.balancers[service]
             .pick(&candidates, caller_cpu, &self.topo)
             .index()
+    }
+
+    // ---------------------------------------------------- retry dispatching
+
+    /// Dispatches (or re-dispatches) the client's entry call for `request_id`
+    /// after `delay` (zero on first submit, a backoff on retries).
+    fn dispatch_root_attempt(&mut self, request_id: u64, delay: SimDuration, attempt: u8) {
+        let class = self.requests[request_id as usize].class;
+        let root_service = self.classes[class].nodes[0].service;
+        let Some(instance) = self.pick_entry_instance(root_service) else {
+            self.fail_request(request_id, FaultCause::Shed);
+            return;
+        };
+        let proximity = Proximity::SameCcx; // ingress terminates near the instance
+        let cost = self.params.uarch.rpc_cost(proximity);
+        let pre = self.classes[class].nodes[0].pre;
+        let cycles =
+            pre.sample_us(&mut self.demand_rng) * self.cycles_per_us + cost.callee_cycles as f64;
+        let job_id = self.jobs.len() as u64;
+        self.jobs.push(Job {
+            request: request_id,
+            class,
+            node: 0,
+            instance,
+            parent: None,
+            phase: Phase::Pre,
+            pending: 0,
+            remaining_cycles: cycles,
+            enqueued_at: self.now(),
+            span: None,
+            attempt,
+            abandoned: false,
+            timeout_token: None,
+        });
+        self.requests[request_id as usize].root_job = job_id;
+        self.instances[instance].outstanding += 1;
+        self.cal.schedule(
+            self.now() + delay + self.params.client_net_latency,
+            Event::JobArrive { job: job_id },
+        );
+        self.arm_call_timeout(job_id, root_service, delay);
+    }
+
+    /// Re-dispatches one timed-out downstream call of `parent_id`, cloned
+    /// from the abandoned attempt `old_job`, after `delay`.
+    fn dispatch_retry_call(&mut self, parent_id: u64, old_job: u64, delay: SimDuration) {
+        let (class, request, node, attempt) = {
+            let j = &self.jobs[old_job as usize];
+            (j.class, j.request, j.node, j.attempt)
+        };
+        let caller_cpu = self.instances[self.jobs[parent_id as usize].instance].rep_cpu;
+        let service = self.classes[class].nodes[node].service;
+        let instance = self.pick_instance(service, caller_cpu);
+        let proximity = self
+            .topo
+            .proximity(caller_cpu, self.instances[instance].rep_cpu);
+        let cost = self.params.uarch.rpc_cost(proximity);
+        let pre = self.classes[class].nodes[node].pre;
+        let cycles =
+            pre.sample_us(&mut self.demand_rng) * self.cycles_per_us + cost.callee_cycles as f64;
+        let child_id = self.jobs.len() as u64;
+        self.jobs.push(Job {
+            request,
+            class,
+            node,
+            instance,
+            parent: Some(parent_id),
+            phase: Phase::Pre,
+            pending: 0,
+            remaining_cycles: cycles,
+            enqueued_at: self.now(),
+            span: None,
+            attempt: attempt + 1,
+            abandoned: false,
+            timeout_token: None,
+        });
+        self.instances[instance].outstanding += 1;
+        self.cal.schedule(
+            self.now() + delay + cost.latency,
+            Event::JobArrive { job: child_id },
+        );
+        self.arm_call_timeout(child_id, service, delay);
+    }
+
+    // ------------------------------------------------------ breaker plumbing
+
+    /// Whether `instance`'s breaker admits a call right now. `true` when
+    /// breakers are disabled.
+    fn breaker_allows(&mut self, instance: usize, now: SimTime) -> bool {
+        match self.breakers.get_mut(instance) {
+            Some(b) => b.allows(now),
+            None => true,
+        }
+    }
+
+    fn breaker_dispatch(&mut self, instance: usize) {
+        let now = self.now();
+        if let Some(b) = self.breakers.get_mut(instance) {
+            b.on_dispatch(now);
+        }
+    }
+
+    fn breaker_success(&mut self, instance: usize) {
+        let now = self.now();
+        if let Some(b) = self.breakers.get_mut(instance) {
+            if b.on_success(now) == Transition::Closed {
+                let service = self.instances[instance].service;
+                self.metrics.per_service[service].breaker_closed += 1;
+            }
+        }
+    }
+
+    fn breaker_failure(&mut self, instance: usize) {
+        let now = self.now();
+        if let Some(b) = self.breakers.get_mut(instance) {
+            if b.on_failure(now) == Transition::Opened {
+                let service = self.instances[instance].service;
+                self.metrics.per_service[service].breaker_opened += 1;
+            }
+        }
     }
 
     // ----------------------------------------------------- CPU / exec state
@@ -986,6 +1496,8 @@ impl EngineCtx for Engine {
             class,
             client,
             submitted_at: self.now(),
+            root_job: u64::MAX,
+            resolved: false,
         });
         let now = self.now();
         self.tracer.maybe_open(
@@ -998,30 +1510,7 @@ impl EngineCtx for Engine {
         // locality-aware balancing is meaningless for them: ingress always
         // picks the least-loaded entry instance (what a front-end proxy
         // does), regardless of the inter-service LB policy.
-        let root_service = self.classes[class].nodes[0].service;
-        let instance = self.pick_entry_instance(root_service);
-        let cost = self.params.uarch.rpc_cost(cputopo::Proximity::SameCcx);
-        let pre = self.classes[class].nodes[0].pre;
-        let cycles =
-            pre.sample_us(&mut self.demand_rng) * self.cycles_per_us + cost.callee_cycles as f64;
-        let job_id = self.jobs.len() as u64;
-        self.jobs.push(Job {
-            request: request_id,
-            class,
-            node: 0,
-            instance,
-            parent: None,
-            phase: Phase::Pre,
-            pending: 0,
-            remaining_cycles: cycles,
-            enqueued_at: self.now(),
-            span: None,
-        });
-        self.instances[instance].outstanding += 1;
-        self.cal.schedule(
-            self.now() + self.params.client_net_latency,
-            Event::JobArrive { job: job_id },
-        );
+        self.dispatch_root_attempt(request_id, SimDuration::ZERO, 0);
         RequestId(request_id)
     }
 
@@ -1084,6 +1573,7 @@ mod tests {
         submit_n: u32,
         done: u32,
         latencies: Vec<SimDuration>,
+        outcomes: Vec<Outcome>,
     }
 
     impl CountingDriver {
@@ -1092,6 +1582,7 @@ mod tests {
                 submit_n: n,
                 done: 0,
                 latencies: Vec::new(),
+                outcomes: Vec::new(),
             }
         }
     }
@@ -1105,6 +1596,7 @@ mod tests {
         fn on_response(&mut self, resp: ResponseInfo, _ctx: &mut dyn EngineCtx) {
             self.done += 1;
             self.latencies.push(resp.latency);
+            self.outcomes.push(resp.outcome);
         }
     }
 
@@ -1579,5 +2071,279 @@ mod tests {
             siblings > separate.mul_f64(1.3),
             "SMT co-run {siblings} should be ≫ separate cores {separate}"
         );
+    }
+
+    // ------------------------------------------------ faults and resilience
+
+    use crate::fault::FaultPlan;
+    use crate::resilience::{BreakerPolicy, ResilienceParams, RetryPolicy};
+
+    fn run_with_params(
+        params: EngineParams,
+        n: u32,
+        demand_us: f64,
+        instances: usize,
+        threads: usize,
+        seed: u64,
+    ) -> (CountingDriver, RunReport) {
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(demand_us);
+        let deployment = Deployment::uniform(&app, &topo, instances, threads);
+        let mut engine = Engine::new(topo, params, app, deployment, seed);
+        let mut driver = CountingDriver::new(n);
+        engine.run(&mut driver, SimTime::from_secs(10));
+        let report = engine.report();
+        (driver, report)
+    }
+
+    #[test]
+    fn inert_fault_plan_is_byte_identical() {
+        // A fault plan whose only event fires after the horizon turns the
+        // fault-aware code paths on without ever perturbing the run: every
+        // latency and the full report must match the plain engine exactly.
+        let (base_driver, base_report) = run_simple(64, 300.0, 2, 4);
+        let params = EngineParams {
+            faults: FaultPlan::none().crash(
+                InstanceId(0),
+                SimTime::from_secs(3600),
+                SimDuration::from_secs(1),
+            ),
+            ..EngineParams::default()
+        };
+        let (driver, report) = run_with_params(params, 64, 300.0, 2, 4, 7);
+        assert_eq!(driver.latencies, base_driver.latencies);
+        assert_eq!(report.summary(), base_report.summary());
+    }
+
+    #[test]
+    fn unexercised_resilience_is_byte_identical() {
+        // Resilience with a timeout no request can hit arms (and cancels)
+        // extra calendar events but must not change any observable result:
+        // no retry RNG draw, no breaker ejection, identical latencies.
+        let (base_driver, base_report) = run_simple(64, 300.0, 2, 4);
+        let params = EngineParams {
+            resilience: Some(
+                ResilienceParams::default().with_timeout(SimDuration::from_secs(3600)),
+            ),
+            ..EngineParams::default()
+        };
+        let (driver, report) = run_with_params(params, 64, 300.0, 2, 4, 7);
+        assert_eq!(driver.latencies, base_driver.latencies);
+        assert_eq!(report.summary(), base_report.summary());
+    }
+
+    #[test]
+    fn timeouts_exhaust_retries_and_fail_the_request() {
+        // 50ms of demand against a 5ms timeout: every attempt times out and
+        // the client sees a TimedOut outcome after the full retry budget.
+        let params = EngineParams {
+            resilience: Some(
+                ResilienceParams::default()
+                    .with_timeout(SimDuration::from_millis(5))
+                    .with_retry(RetryPolicy {
+                        max_retries: 2,
+                        ..RetryPolicy::default()
+                    })
+                    .with_breaker(None),
+            ),
+            ..EngineParams::default()
+        };
+        let (driver, report) = run_with_params(params, 4, 50_000.0, 1, 1, 7);
+        assert_eq!(driver.done, 4, "failed requests still get a response");
+        assert!(driver.outcomes.iter().all(|o| *o == Outcome::TimedOut));
+        assert_eq!(report.requests_timed_out, 4);
+        assert_eq!(report.completed, 0);
+        // 3 attempts per request (1 + 2 retries), each timing out.
+        assert_eq!(report.services[0].timeouts, 12);
+        assert_eq!(report.services[0].retries, 8);
+        assert_eq!(
+            report.completed + report.requests_timed_out + report.requests_shed,
+            4,
+            "every request resolves exactly once"
+        );
+    }
+
+    #[test]
+    fn open_breaker_sheds_at_ingress() {
+        // A single overwhelmed instance: the breaker trips after 5
+        // consecutive timeouts and subsequent dispatches are refused.
+        let params = EngineParams {
+            resilience: Some(
+                ResilienceParams::default()
+                    .with_timeout(SimDuration::from_millis(5))
+                    .with_breaker(Some(BreakerPolicy::default())),
+            ),
+            ..EngineParams::default()
+        };
+        let (driver, report) = run_with_params(params, 32, 50_000.0, 1, 1, 7);
+        assert_eq!(driver.done, 32);
+        assert!(
+            report.services[0].breaker_opened >= 1,
+            "breaker must trip: {}",
+            report.summary()
+        );
+        assert!(
+            driver.outcomes.contains(&Outcome::Shed),
+            "dispatches against an open breaker must shed"
+        );
+        assert_eq!(
+            report.completed + report.requests_timed_out + report.requests_shed,
+            32
+        );
+    }
+
+    #[test]
+    fn exhausted_downstream_call_falls_back() {
+        // front → back where back's demand dwarfs the timeout: the back call
+        // times out, retries are disabled, and front serves a degraded reply
+        // instead of hanging — the client still sees Ok.
+        let topo = Arc::new(Topology::desktop_8c());
+        let mut app = AppSpec::new();
+        let front = app.add_service(ServiceSpec::new(
+            "front",
+            ServiceProfile::light_rpc("front"),
+        ));
+        let back = app.add_service(ServiceSpec::new("back", ServiceProfile::light_rpc("back")));
+        let tree = CallNode::new(
+            front,
+            Demand::fixed_us(50.0),
+            vec![CallStage {
+                parallel: vec![CallNode::leaf(back, Demand::fixed_us(50_000.0))],
+            }],
+            Demand::fixed_us(50.0),
+        );
+        app.add_class("page", 1.0, tree);
+        let deployment = Deployment::uniform(&app, &topo, 1, 2);
+        let params = EngineParams {
+            resilience: Some(
+                ResilienceParams::default()
+                    // The entry call gets a generous deadline; only the back
+                    // call is tight — exercising per-service overrides.
+                    .with_timeout(SimDuration::from_secs(1))
+                    .with_service_timeout(back, SimDuration::from_millis(5))
+                    .with_retry(RetryPolicy {
+                        max_retries: 0,
+                        ..RetryPolicy::default()
+                    })
+                    .with_breaker(None),
+            ),
+            ..EngineParams::default()
+        };
+        let mut engine = Engine::new(topo, params, app, deployment, 7);
+        let mut driver = CountingDriver::new(2);
+        engine.run(&mut driver, SimTime::from_secs(10));
+        let report = engine.report();
+        assert_eq!(driver.done, 2);
+        assert!(driver.outcomes.iter().all(|o| *o == Outcome::Ok));
+        // Timeouts, retries, and fallbacks are all attributed to the callee
+        // service — the one whose calls misbehaved.
+        assert_eq!(report.services[back.index()].timeouts, 2);
+        assert_eq!(report.services[back.index()].fallbacks, 2);
+        assert_eq!(report.services[front.index()].fallbacks, 0);
+        // The fallback answers right at the deadline, so the end-to-end
+        // latency sits just above the 5ms timeout, far below back's 50ms.
+        for lat in &driver.latencies {
+            assert!(
+                *lat >= SimDuration::from_millis(5) && *lat < SimDuration::from_millis(10),
+                "fallback latency should hug the timeout, got {lat}"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_replica_stretches_its_share_of_requests() {
+        let slow = EngineParams {
+            faults: FaultPlan::none().slowdown(
+                InstanceId(0),
+                SimTime::ZERO,
+                SimTime::from_secs(3600),
+                8.0,
+            ),
+            ..EngineParams::default()
+        };
+        let (slow_driver, _) = run_with_params(slow, 32, 1000.0, 2, 2, 7);
+        let (base_driver, _) = run_simple(32, 1000.0, 2, 2);
+        let slow_max = slow_driver.latencies.iter().max().expect("ran");
+        let base_max = base_driver.latencies.iter().max().expect("ran");
+        assert!(
+            *slow_max > base_max.mul_f64(3.0),
+            "an 8× slowdown must stretch the tail: slow {slow_max} vs base {base_max}"
+        );
+        assert_eq!(slow_driver.done, 32, "slow is not down: everything finishes");
+    }
+
+    #[test]
+    fn crash_loses_work_and_resilience_recovers_it() {
+        // Two instances; one crashes mid-run and restarts. Without
+        // resilience its in-flight work is lost for good; with timeouts and
+        // retries every request still resolves.
+        let faults = FaultPlan::none().crash(
+            InstanceId(0),
+            SimTime::from_millis(20),
+            SimDuration::from_millis(50),
+        );
+        let params = EngineParams {
+            faults: faults.clone(),
+            resilience: Some(
+                ResilienceParams::default()
+                    .with_timeout(SimDuration::from_millis(100))
+                    .with_retry(RetryPolicy {
+                        max_retries: 3,
+                        ..RetryPolicy::default()
+                    })
+                    .with_breaker(None),
+            ),
+            ..EngineParams::default()
+        };
+        let (driver, report) = run_with_params(params, 200, 2000.0, 2, 2, 7);
+        assert_eq!(driver.done, 200, "every request resolves: {}", report.summary());
+        assert!(
+            report.rejected_arrivals + report.replies_dropped > 0,
+            "the crash must actually lose work: {}",
+            report.summary()
+        );
+        assert_eq!(
+            report.completed + report.requests_timed_out + report.requests_shed,
+            200
+        );
+        assert!(
+            report.services[0].retries >= 1,
+            "lost calls must be retried: {}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let params = || EngineParams {
+            faults: FaultPlan::none()
+                .crash(
+                    InstanceId(1),
+                    SimTime::from_millis(10),
+                    SimDuration::from_millis(30),
+                )
+                .slowdown(
+                    InstanceId(0),
+                    SimTime::from_millis(5),
+                    SimTime::from_millis(60),
+                    4.0,
+                )
+                .reply_fault(
+                    InstanceId(0),
+                    SimTime::ZERO,
+                    SimTime::from_secs(1),
+                    0.2,
+                    SimDuration::from_micros(200),
+                ),
+            resilience: Some(
+                ResilienceParams::default().with_timeout(SimDuration::from_millis(10)),
+            ),
+            ..EngineParams::default()
+        };
+        let (d1, r1) = run_with_params(params(), 64, 1000.0, 2, 2, 99);
+        let (d2, r2) = run_with_params(params(), 64, 1000.0, 2, 2, 99);
+        assert_eq!(d1.latencies, d2.latencies);
+        assert_eq!(d1.outcomes, d2.outcomes);
+        assert_eq!(r1.summary(), r2.summary());
     }
 }

@@ -1,0 +1,273 @@
+//! Deterministic fault injection: instance crashes, slow replicas, and
+//! reply drop/delay windows.
+//!
+//! A [`FaultPlan`] is plain data attached to
+//! [`EngineParams`](crate::EngineParams): every fault is pinned to an
+//! instance and a simulated-time window, so the *schedule* of faults is
+//! exactly reproducible. The only randomness — whether an individual reply
+//! inside a [`ReplyFault`] window is dropped — comes from the engine's
+//! dedicated `fault` random stream, which is derived from the run seed and
+//! never consumed on the fault-free path. `FaultPlan::none()` (the default)
+//! therefore leaves runs bit-identical to an engine without this module.
+//!
+//! Fault semantics (see `DESIGN.md` for the rationale):
+//!
+//! * **Crash** — at `at` the instance stops accepting work: queued jobs are
+//!   lost, new arrivals are refused, and replies of jobs still running when
+//!   they finish are dropped. At `at + restart_after` the instance rejoins
+//!   the candidate set with its worker pool intact (a container restart).
+//! * **Slowdown** — jobs arriving in the window have their CPU demand
+//!   multiplied by `demand_factor` (GC pressure, a noisy neighbor, a cold
+//!   cache after relocation).
+//! * **ReplyFault** — replies leaving the instance during the window are
+//!   dropped with `drop_probability`, and the survivors are delayed by
+//!   `extra_delay` (a flaky NIC or overloaded proxy sidecar).
+//!
+//! Losing a reply only stalls the caller until its timeout if client-side
+//! resilience ([`ResilienceParams`](crate::ResilienceParams)) is enabled;
+//! without it the caller blocks forever, exactly like a synchronous RPC
+//! client with no deadline.
+
+use crate::ids::InstanceId;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// Why a request or span was disturbed. Recorded on trace spans and on
+/// failed request traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultCause {
+    /// The caller's per-call timeout elapsed before the reply arrived.
+    TimedOut,
+    /// The serving instance dropped the reply (injected fault).
+    ReplyDropped,
+    /// The serving instance was crashed while the job was queued, running,
+    /// or arriving.
+    Crashed,
+    /// The request was refused at the entry: no instance was accepting work.
+    Shed,
+}
+
+impl std::fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultCause::TimedOut => "timed-out",
+            FaultCause::ReplyDropped => "reply-dropped",
+            FaultCause::Crashed => "crashed",
+            FaultCause::Shed => "shed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One instance crash/restart cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Crash {
+    /// The instance that crashes.
+    pub instance: InstanceId,
+    /// When it goes down.
+    pub at: SimTime,
+    /// How long until it accepts work again.
+    pub restart_after: SimDuration,
+}
+
+/// A degradation window multiplying an instance's CPU demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slowdown {
+    /// The affected instance.
+    pub instance: InstanceId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Multiplier applied to the CPU demand of jobs served in the window.
+    pub demand_factor: f64,
+}
+
+/// A window in which an instance's replies are dropped or delayed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplyFault {
+    /// The affected instance.
+    pub instance: InstanceId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Probability that a reply leaving in the window is dropped.
+    pub drop_probability: f64,
+    /// Extra wire delay added to the replies that survive.
+    pub extra_delay: SimDuration,
+}
+
+/// A deterministic schedule of faults for one run.
+///
+/// Build with the chainable constructors:
+///
+/// ```
+/// use microsvc::{FaultPlan, InstanceId};
+/// use simcore::{SimDuration, SimTime};
+///
+/// let plan = FaultPlan::none()
+///     .crash(InstanceId(2), SimTime::from_millis(500), SimDuration::from_millis(200))
+///     .slowdown(InstanceId(0), SimTime::from_millis(100), SimTime::from_millis(900), 4.0);
+/// assert!(!plan.is_empty());
+/// assert!(FaultPlan::none().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Crash/restart cycles.
+    pub crashes: Vec<Crash>,
+    /// Demand-multiplier windows.
+    pub slowdowns: Vec<Slowdown>,
+    /// Reply drop/delay windows.
+    pub reply_faults: Vec<ReplyFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, perturbs nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` if the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.slowdowns.is_empty() && self.reply_faults.is_empty()
+    }
+
+    /// Adds a crash/restart cycle.
+    pub fn crash(mut self, instance: InstanceId, at: SimTime, restart_after: SimDuration) -> Self {
+        self.crashes.push(Crash {
+            instance,
+            at,
+            restart_after,
+        });
+        self
+    }
+
+    /// Adds a demand-multiplier window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand_factor` is not strictly positive or the window is
+    /// inverted.
+    pub fn slowdown(
+        mut self,
+        instance: InstanceId,
+        from: SimTime,
+        until: SimTime,
+        demand_factor: f64,
+    ) -> Self {
+        assert!(
+            demand_factor > 0.0,
+            "demand factor must be positive, got {demand_factor}"
+        );
+        assert!(from <= until, "slowdown window is inverted");
+        self.slowdowns.push(Slowdown {
+            instance,
+            from,
+            until,
+            demand_factor,
+        });
+        self
+    }
+
+    /// Adds a reply drop/delay window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_probability` is outside `[0, 1]` or the window is
+    /// inverted.
+    pub fn reply_fault(
+        mut self,
+        instance: InstanceId,
+        from: SimTime,
+        until: SimTime,
+        drop_probability: f64,
+        extra_delay: SimDuration,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability must be in [0, 1], got {drop_probability}"
+        );
+        assert!(from <= until, "reply-fault window is inverted");
+        self.reply_faults.push(ReplyFault {
+            instance,
+            from,
+            until,
+            drop_probability,
+            extra_delay,
+        });
+        self
+    }
+
+    /// Checks that every referenced instance exists in a deployment of
+    /// `instances` instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range instance id.
+    pub(crate) fn validate(&self, instances: usize) {
+        let check = |id: InstanceId| {
+            assert!(
+                id.index() < instances,
+                "fault plan references {id}, but the deployment has only {instances} instances"
+            );
+        };
+        self.crashes.iter().for_each(|c| check(c.instance));
+        self.slowdowns.iter().for_each(|s| check(s.instance));
+        self.reply_faults.iter().for_each(|r| check(r.instance));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none(), FaultPlan::default());
+    }
+
+    #[test]
+    fn builders_accumulate_faults() {
+        let plan = FaultPlan::none()
+            .crash(InstanceId(0), ms(10), SimDuration::from_millis(5))
+            .slowdown(InstanceId(1), ms(0), ms(100), 3.0)
+            .reply_fault(InstanceId(2), ms(0), ms(50), 0.5, SimDuration::ZERO);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.crashes.len(), 1);
+        assert_eq!(plan.slowdowns.len(), 1);
+        assert_eq!(plan.reply_faults.len(), 1);
+        plan.validate(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 1 instances")]
+    fn validate_rejects_unknown_instance() {
+        FaultPlan::none()
+            .crash(InstanceId(7), ms(1), SimDuration::from_millis(1))
+            .validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand factor must be positive")]
+    fn zero_demand_factor_rejected() {
+        let _ = FaultPlan::none().slowdown(InstanceId(0), ms(0), ms(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn out_of_range_probability_rejected() {
+        let _ = FaultPlan::none().reply_fault(InstanceId(0), ms(0), ms(1), 1.5, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fault_cause_displays() {
+        assert_eq!(FaultCause::TimedOut.to_string(), "timed-out");
+        assert_eq!(FaultCause::Shed.to_string(), "shed");
+    }
+}

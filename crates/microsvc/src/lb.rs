@@ -40,6 +40,22 @@ pub struct Candidate {
     pub outstanding: usize,
     /// A CPU representative of where the instance runs (for locality).
     pub home_cpu: CpuId,
+    /// Whether the instance may receive traffic. Crashed instances and
+    /// instances ejected by an open circuit breaker are marked unavailable;
+    /// the balancer routes around them while any available instance exists.
+    pub available: bool,
+}
+
+impl Candidate {
+    /// An available candidate (the common case).
+    pub fn new(instance: InstanceId, outstanding: usize, home_cpu: CpuId) -> Self {
+        Candidate {
+            instance,
+            outstanding,
+            home_cpu,
+            available: true,
+        }
+    }
 }
 
 impl Balancer {
@@ -55,6 +71,12 @@ impl Balancer {
 
     /// Picks an instance among `candidates` for a caller at `caller_cpu`.
     ///
+    /// Unavailable candidates (crashed or breaker-ejected) are excluded
+    /// while at least one available instance exists; if *every* candidate
+    /// is unavailable the balancer panic-routes across the full set — a
+    /// caller that must send somewhere sends to the least-bad choice, like
+    /// envoy's panic threshold.
+    ///
     /// # Panics
     ///
     /// Panics if `candidates` is empty: a deployed service always has at
@@ -69,6 +91,26 @@ impl Balancer {
             !candidates.is_empty(),
             "cannot balance across zero instances"
         );
+        if candidates.iter().any(|c| !c.available) {
+            let healthy: Vec<Candidate> = candidates
+                .iter()
+                .filter(|c| c.available)
+                .copied()
+                .collect();
+            if !healthy.is_empty() {
+                return self.pick_among(&healthy, caller_cpu, topo);
+            }
+            // Panic routing: everything is ejected, spread over all of it.
+        }
+        self.pick_among(candidates, caller_cpu, topo)
+    }
+
+    fn pick_among(
+        &mut self,
+        candidates: &[Candidate],
+        caller_cpu: CpuId,
+        topo: &Topology,
+    ) -> InstanceId {
         match self.policy {
             LbPolicy::RoundRobin => {
                 let choice = candidates[self.next % candidates.len()].instance;
@@ -122,11 +164,7 @@ mod tests {
         outstanding
             .iter()
             .enumerate()
-            .map(|(i, &o)| Candidate {
-                instance: InstanceId(i as u32),
-                outstanding: o,
-                home_cpu: CpuId(i as u32),
-            })
+            .map(|(i, &o)| Candidate::new(InstanceId(i as u32), o, CpuId(i as u32)))
             .collect()
     }
 
@@ -165,16 +203,9 @@ mod tests {
         let topo = Topology::desktop_8c(); // 2 CCXs: cpus 0-3+8-11, 4-7+12-15
         let mut b = Balancer::new(LbPolicy::LocalityAware);
         let c = vec![
-            Candidate {
-                instance: InstanceId(0),
-                outstanding: 1, // slightly busier but near
-                home_cpu: CpuId(1),
-            },
-            Candidate {
-                instance: InstanceId(1),
-                outstanding: 0, // idle but across the CCX boundary
-                home_cpu: CpuId(4),
-            },
+            // Slightly busier but near vs. idle but across the CCX boundary.
+            Candidate::new(InstanceId(0), 1, CpuId(1)),
+            Candidate::new(InstanceId(1), 0, CpuId(4)),
         ];
         assert_eq!(b.pick(&c, CpuId(0), &topo), InstanceId(0));
     }
@@ -184,16 +215,8 @@ mod tests {
         let topo = Topology::desktop_8c();
         let mut b = Balancer::new(LbPolicy::LocalityAware);
         let c = vec![
-            Candidate {
-                instance: InstanceId(0),
-                outstanding: 30, // hotspot
-                home_cpu: CpuId(1),
-            },
-            Candidate {
-                instance: InstanceId(1),
-                outstanding: 0,
-                home_cpu: CpuId(4),
-            },
+            Candidate::new(InstanceId(0), 30, CpuId(1)), // hotspot
+            Candidate::new(InstanceId(1), 0, CpuId(4)),
         ];
         assert_eq!(b.pick(&c, CpuId(0), &topo), InstanceId(1));
     }
@@ -203,18 +226,47 @@ mod tests {
         let topo = Topology::desktop_8c();
         let mut b = Balancer::new(LbPolicy::LocalityAware);
         let c = vec![
-            Candidate {
-                instance: InstanceId(0),
-                outstanding: 4,
-                home_cpu: CpuId(1),
-            },
-            Candidate {
-                instance: InstanceId(1),
-                outstanding: 1,
-                home_cpu: CpuId(2),
-            },
+            Candidate::new(InstanceId(0), 4, CpuId(1)),
+            Candidate::new(InstanceId(1), 1, CpuId(2)),
         ];
         assert_eq!(b.pick(&c, CpuId(0), &topo), InstanceId(1));
+    }
+
+    #[test]
+    fn unavailable_instances_are_skipped() {
+        let topo = Topology::desktop_8c();
+        let mut b = Balancer::new(LbPolicy::RoundRobin);
+        let mut c = candidates(&[0, 0, 0]);
+        c[1].available = false;
+        let picks: Vec<u32> = (0..4).map(|_| b.pick(&c, CpuId(0), &topo).0).collect();
+        assert!(
+            !picks.contains(&1),
+            "ejected instance must receive no traffic: {picks:?}"
+        );
+        assert!(picks.contains(&0) && picks.contains(&2));
+    }
+
+    #[test]
+    fn least_outstanding_ignores_idle_but_ejected() {
+        let topo = Topology::desktop_8c();
+        let mut b = Balancer::new(LbPolicy::LeastOutstanding);
+        let mut c = candidates(&[7, 0, 9]);
+        c[1].available = false;
+        assert_eq!(b.pick(&c, CpuId(0), &topo), InstanceId(0));
+    }
+
+    #[test]
+    fn panic_routing_when_everything_is_ejected() {
+        let topo = Topology::desktop_8c();
+        let mut b = Balancer::new(LbPolicy::RoundRobin);
+        let mut c = candidates(&[0, 0]);
+        for cand in &mut c {
+            cand.available = false;
+        }
+        // With no healthy instance the balancer must still pick something.
+        let first = b.pick(&c, CpuId(0), &topo);
+        let second = b.pick(&c, CpuId(0), &topo);
+        assert_ne!(first, second, "panic routing still rotates");
     }
 
     #[test]

@@ -64,16 +64,20 @@ pub mod app;
 pub mod deploy;
 pub mod driver;
 pub mod engine;
+pub mod fault;
 pub mod ids;
 pub mod lb;
 pub mod metrics;
+pub mod resilience;
 pub mod trace;
 
 pub use app::{AppSpec, CallNode, CallStage, Demand, RequestClass, ServiceSpec};
 pub use deploy::{Deployment, InstanceConfig};
-pub use driver::{Driver, EngineCtx, ResponseInfo};
+pub use driver::{Driver, EngineCtx, Outcome, ResponseInfo};
 pub use engine::{Engine, EngineParams};
+pub use fault::{Crash, FaultCause, FaultPlan, ReplyFault, Slowdown};
 pub use ids::{ClientId, InstanceId, RequestClassId, RequestId, ServiceId};
 pub use lb::LbPolicy;
 pub use metrics::{RunReport, ServiceReport};
+pub use resilience::{BreakerPolicy, BreakerState, CircuitBreaker, ResilienceParams, RetryPolicy};
 pub use trace::{RequestTrace, Span, Tracer};

@@ -4,9 +4,14 @@ use crate::app::AppSpec;
 use cputopo::Topology;
 use oskernel::SchedStats;
 use serde::{Deserialize, Serialize};
+use simcore::series::{Agg, TimeSeries};
 use simcore::stats::{LogHistogram, TimeWeighted};
 use simcore::{SimDuration, SimTime};
 use uarch::{DerivedMetrics, PerfCounters};
+
+/// Window width for the completion time series used by throughput-over-time
+/// plots (crash dips, recovery ramps).
+pub(crate) const THROUGHPUT_BUCKET: SimDuration = SimDuration::from_millis(100);
 
 /// Live measurement state, owned by the engine.
 #[derive(Debug, Clone)]
@@ -18,6 +23,18 @@ pub(crate) struct Metrics {
     pub(crate) per_service: Vec<ServiceMetrics>,
     /// Busy logical CPUs machine-wide (time-weighted).
     pub(crate) busy_cpus: TimeWeighted,
+    /// Completions bucketed over time, for throughput-dip plots.
+    pub(crate) completed_series: TimeSeries,
+    /// Requests whose retry budget ran out: the client saw an error.
+    pub(crate) requests_timed_out: u64,
+    /// Requests refused at the entry (no instance accepting work).
+    pub(crate) requests_shed: u64,
+    /// Replies that arrived after their call had been abandoned.
+    pub(crate) late_replies: u64,
+    /// Replies lost to crashes or injected reply faults.
+    pub(crate) replies_dropped: u64,
+    /// Jobs refused or discarded because the target instance was down.
+    pub(crate) rejected_arrivals: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -28,6 +45,16 @@ pub(crate) struct ServiceMetrics {
     pub(crate) jobs_completed: u64,
     /// Time jobs spent waiting for a worker thread, ns.
     pub(crate) queue_wait: LogHistogram,
+    /// Calls into this service whose caller-side deadline fired.
+    pub(crate) timeouts: u64,
+    /// Retry attempts dispatched to this service.
+    pub(crate) retries: u64,
+    /// Exhausted-budget child calls answered with a degraded fallback.
+    pub(crate) fallbacks: u64,
+    /// Circuit-breaker trips on this service's instances.
+    pub(crate) breaker_opened: u64,
+    /// Breaker recoveries (half-open probe succeeded).
+    pub(crate) breaker_closed: u64,
 }
 
 impl Metrics {
@@ -45,9 +72,20 @@ impl Metrics {
                     counters: PerfCounters::new(),
                     jobs_completed: 0,
                     queue_wait: LogHistogram::new(),
+                    timeouts: 0,
+                    retries: 0,
+                    fallbacks: 0,
+                    breaker_opened: 0,
+                    breaker_closed: 0,
                 })
                 .collect(),
             busy_cpus: TimeWeighted::new(now, 0.0),
+            completed_series: TimeSeries::new(THROUGHPUT_BUCKET, Agg::Sum),
+            requests_timed_out: 0,
+            requests_shed: 0,
+            late_replies: 0,
+            replies_dropped: 0,
+            rejected_arrivals: 0,
         }
     }
 
@@ -66,9 +104,20 @@ impl Metrics {
             s.counters = PerfCounters::new();
             s.jobs_completed = 0;
             s.queue_wait.reset();
+            s.timeouts = 0;
+            s.retries = 0;
+            s.fallbacks = 0;
+            s.breaker_opened = 0;
+            s.breaker_closed = 0;
         }
         self.busy_cpus.set(now, 0.0);
         self.busy_cpus.reset(now);
+        self.completed_series = TimeSeries::new(THROUGHPUT_BUCKET, Agg::Sum);
+        self.requests_timed_out = 0;
+        self.requests_shed = 0;
+        self.late_replies = 0;
+        self.replies_dropped = 0;
+        self.rejected_arrivals = 0;
     }
 }
 
@@ -91,6 +140,16 @@ pub struct ServiceReport {
     pub metrics: DerivedMetrics,
     /// Raw counters (for custom analysis).
     pub counters: PerfCounters,
+    /// Calls into this service whose caller-side deadline fired.
+    pub timeouts: u64,
+    /// Retry attempts dispatched to this service.
+    pub retries: u64,
+    /// Exhausted-budget child calls answered with a degraded fallback.
+    pub fallbacks: u64,
+    /// Circuit-breaker trips on this service's instances.
+    pub breaker_opened: u64,
+    /// Breaker recoveries (half-open probe succeeded).
+    pub breaker_closed: u64,
 }
 
 /// End-of-run measurement summary returned by the engine.
@@ -124,6 +183,19 @@ pub struct RunReport {
     pub sched: SchedStats,
     /// Machine-wide counter-derived metrics.
     pub machine_metrics: DerivedMetrics,
+    /// Requests that failed with a client-visible timeout.
+    pub requests_timed_out: u64,
+    /// Requests refused at the entry (no instance accepting work).
+    pub requests_shed: u64,
+    /// Replies that arrived after their call had been abandoned.
+    pub late_replies: u64,
+    /// Replies lost to crashes or injected reply faults.
+    pub replies_dropped: u64,
+    /// Jobs refused or discarded because the target instance was down.
+    pub rejected_arrivals: u64,
+    /// Completed-request throughput over time: `(seconds since run start,
+    /// requests per second)` per 100ms bucket. Used by the crash-dip plots.
+    pub throughput_series: Vec<(f64, f64)>,
 }
 
 impl RunReport {
@@ -152,6 +224,11 @@ impl RunReport {
                     p99_queue_wait: m.queue_wait.quantile_duration(0.99),
                     metrics: m.counters.derive(),
                     counters: m.counters,
+                    timeouts: m.timeouts,
+                    retries: m.retries,
+                    fallbacks: m.fallbacks,
+                    breaker_opened: m.breaker_opened,
+                    breaker_closed: m.breaker_closed,
                 }
             })
             .collect();
@@ -180,6 +257,20 @@ impl RunReport {
             cpu_utilization: avg_busy / topo.num_cpus() as f64,
             sched,
             machine_metrics: machine_counters.derive(),
+            requests_timed_out: metrics.requests_timed_out,
+            requests_shed: metrics.requests_shed,
+            late_replies: metrics.late_replies,
+            replies_dropped: metrics.replies_dropped,
+            rejected_arrivals: metrics.rejected_arrivals,
+            throughput_series: {
+                let bucket_secs = metrics.completed_series.window().as_secs_f64();
+                metrics
+                    .completed_series
+                    .points()
+                    .into_iter()
+                    .map(|(t, count)| (t.as_secs_f64(), count / bucket_secs))
+                    .collect()
+            },
         }
     }
 
@@ -197,6 +288,21 @@ impl RunReport {
             self.avg_busy_cpus,
             self.cpu_utilization * 100.0,
         );
+        // Only mention resilience when something actually happened, so
+        // fault-free summaries stay byte-identical to the legacy format.
+        if self.requests_timed_out + self.requests_shed > 0
+            || self.late_replies + self.replies_dropped + self.rejected_arrivals > 0
+            || self.services.iter().any(|s| s.timeouts + s.retries > 0)
+        {
+            out.push_str(&format!(
+                "  faults: {} timed out, {} shed, {} late replies, {} dropped replies, {} rejected arrivals\n",
+                self.requests_timed_out,
+                self.requests_shed,
+                self.late_replies,
+                self.replies_dropped,
+                self.rejected_arrivals,
+            ));
+        }
         for s in &self.services {
             out.push_str(&format!(
                 "  {:<14} busy {:>6.2} cpus | {:>8} jobs | IPC {:.2} | qwait {} (p99 {})\n",
@@ -207,6 +313,12 @@ impl RunReport {
                 s.mean_queue_wait,
                 s.p99_queue_wait,
             ));
+            if s.timeouts + s.retries + s.fallbacks + s.breaker_opened > 0 {
+                out.push_str(&format!(
+                    "  {:<14} {} timeouts | {} retries | {} fallbacks | breaker {}×open {}×close\n",
+                    "", s.timeouts, s.retries, s.fallbacks, s.breaker_opened, s.breaker_closed,
+                ));
+            }
         }
         out
     }

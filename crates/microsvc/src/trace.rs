@@ -12,6 +12,7 @@
 //! at [`Tracer::MAX_TRACES`]). Retrieve with
 //! [`Engine::traces`](crate::Engine::traces).
 
+use crate::fault::FaultCause;
 use crate::ids::{InstanceId, RequestClassId, RequestId, ServiceId};
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
@@ -25,6 +26,12 @@ pub struct Span {
     pub instance: InstanceId,
     /// Depth in the call tree (root = 0).
     pub depth: u8,
+    /// Which delivery attempt of this call produced the span (0 = first
+    /// try, 1 = first retry, ...).
+    pub attempt: u8,
+    /// Why the span went wrong, if it did (timed out at the caller,
+    /// reply dropped, instance crashed).
+    pub fault: Option<FaultCause>,
     /// When the job arrived at the instance.
     pub enqueued: SimTime,
     /// When a worker thread picked it up.
@@ -58,6 +65,9 @@ pub struct RequestTrace {
     pub submitted: SimTime,
     /// Response arrival at the client (set when complete).
     pub completed: Option<SimTime>,
+    /// Set when the request failed instead of completing (timed out or
+    /// shed); `completed` then records when the client learned of it.
+    pub fault: Option<FaultCause>,
     /// Spans in creation order (root first).
     pub spans: Vec<Span>,
 }
@@ -157,6 +167,7 @@ impl Tracer {
             class,
             submitted: now,
             completed: None,
+            fault: None,
             spans: Vec::new(),
         });
         true
@@ -169,6 +180,7 @@ impl Tracer {
         service: ServiceId,
         instance: InstanceId,
         depth: u8,
+        attempt: u8,
         enqueued: SimTime,
     ) -> Option<u32> {
         let &trace_idx = self.index.get(&request.0)?;
@@ -177,6 +189,8 @@ impl Tracer {
             service,
             instance,
             depth,
+            attempt,
+            fault: None,
             enqueued,
             started: enqueued,
             finished: enqueued,
@@ -211,10 +225,28 @@ impl Tracer {
         }
     }
 
+    /// Annotates a span with the fault that disturbed it.
+    pub fn span_fault(&mut self, request: RequestId, span: u32, cause: FaultCause) {
+        if let Some(s) = self.span_mut(request, span) {
+            s.fault = Some(cause);
+        }
+    }
+
     /// Completes a request's trace (response reached the client).
     pub fn complete(&mut self, request: RequestId, now: SimTime) {
         if let Some(&trace_idx) = self.index.get(&request.0) {
             self.traces[trace_idx].completed = Some(now);
+            self.index.remove(&request.0);
+        }
+    }
+
+    /// Closes a request's trace as failed: the client received an error
+    /// (timeout or shed) instead of a response.
+    pub fn fail(&mut self, request: RequestId, cause: FaultCause, now: SimTime) {
+        if let Some(&trace_idx) = self.index.get(&request.0) {
+            let trace = &mut self.traces[trace_idx];
+            trace.completed = Some(now);
+            trace.fault = Some(cause);
             self.index.remove(&request.0);
         }
     }
@@ -256,12 +288,12 @@ mod tests {
         let req = RequestId(5);
         tracer.maybe_open(0, req, RequestClassId(1), t(0));
         let root = tracer
-            .open_span(req, ServiceId(0), InstanceId(2), 0, t(100))
+            .open_span(req, ServiceId(0), InstanceId(2), 0, 0, t(100))
             .expect("traced");
         tracer.span_started(req, root, t(150));
         tracer.span_cpu(req, root, SimDuration::from_micros(40));
         let child = tracer
-            .open_span(req, ServiceId(1), InstanceId(7), 1, t(200))
+            .open_span(req, ServiceId(1), InstanceId(7), 1, 0, t(200))
             .expect("traced");
         tracer.span_started(req, child, t(230));
         tracer.span_cpu(req, child, SimDuration::from_micros(20));
@@ -287,10 +319,10 @@ mod tests {
         let req = RequestId(1);
         tracer.maybe_open(0, req, RequestClassId(0), t(0));
         let root = tracer
-            .open_span(req, ServiceId(0), InstanceId(0), 0, t(10))
+            .open_span(req, ServiceId(0), InstanceId(0), 0, 0, t(10))
             .expect("traced");
         let child = tracer
-            .open_span(req, ServiceId(1), InstanceId(1), 1, t(20))
+            .open_span(req, ServiceId(1), InstanceId(1), 1, 0, t(20))
             .expect("traced");
         tracer.span_finished(req, child, t(30));
         tracer.span_finished(req, root, t(40));
@@ -302,11 +334,29 @@ mod tests {
     }
 
     #[test]
+    fn fault_annotations_stick() {
+        let mut tracer = Tracer::new(Some(1));
+        let req = RequestId(3);
+        tracer.maybe_open(0, req, RequestClassId(0), t(0));
+        let span = tracer
+            .open_span(req, ServiceId(0), InstanceId(0), 0, 1, t(10))
+            .expect("traced");
+        tracer.span_fault(req, span, FaultCause::TimedOut);
+        tracer.fail(req, FaultCause::TimedOut, t(99));
+
+        let trace = &tracer.traces()[0];
+        assert_eq!(trace.spans[0].attempt, 1);
+        assert_eq!(trace.spans[0].fault, Some(FaultCause::TimedOut));
+        assert_eq!(trace.fault, Some(FaultCause::TimedOut));
+        assert_eq!(trace.completed, Some(t(99)));
+    }
+
+    #[test]
     fn updates_to_untraced_requests_are_ignored() {
         let mut tracer = Tracer::new(Some(2));
         tracer.maybe_open(1, RequestId(1), RequestClassId(0), t(0)); // not sampled
         assert_eq!(
-            tracer.open_span(RequestId(1), ServiceId(0), InstanceId(0), 0, t(1)),
+            tracer.open_span(RequestId(1), ServiceId(0), InstanceId(0), 0, 0, t(1)),
             None
         );
         tracer.span_cpu(RequestId(1), 0, SimDuration::from_micros(1));

@@ -3,7 +3,7 @@
 use cputopo::{CpuId, CpuSet, Proximity, Topology, TopologyBuilder};
 use microsvc::{
     AppSpec, CallNode, CallStage, Demand, Deployment, Driver, Engine, EngineCtx, EngineParams,
-    ResponseInfo, ServiceSpec,
+    FaultPlan, InstanceId, Outcome, ResilienceParams, ResponseInfo, RetryPolicy, ServiceSpec,
 };
 use proptest::prelude::*;
 use simcore::{Calendar, SimTime};
@@ -238,5 +238,178 @@ proptest! {
         prop_assert_eq!(report.completed, burst as u64);
         let total_jobs: u64 = report.services.iter().map(|s| s.jobs_completed).sum();
         prop_assert_eq!(total_jobs, burst as u64 * jobs_per_request);
+    }
+}
+
+// --------------------------------------------- fault injection & resilience
+
+/// Per-outcome response counting, so conservation can be checked per kind.
+struct OutcomeCount {
+    to_issue: u32,
+    ok: u64,
+    timed_out: u64,
+    shed: u64,
+}
+
+impl Driver for OutcomeCount {
+    fn start(&mut self, ctx: &mut dyn EngineCtx) {
+        for c in 0..self.to_issue {
+            ctx.submit(0, c as u64);
+        }
+    }
+    fn on_response(&mut self, resp: ResponseInfo, _ctx: &mut dyn EngineCtx) {
+        match resp.outcome {
+            Outcome::Ok => self.ok += 1,
+            Outcome::TimedOut => self.timed_out += 1,
+            Outcome::Shed => self.shed += 1,
+        }
+    }
+}
+
+fn fault_test_app() -> (AppSpec, u64) {
+    let mut app = AppSpec::new();
+    let services: Vec<microsvc::ServiceId> = (0..3)
+        .map(|i| {
+            app.add_service(ServiceSpec::new(
+                &format!("s{i}"),
+                ServiceProfile::light_rpc(&format!("s{i}")),
+            ))
+        })
+        .collect();
+    let spec = TreeSpec {
+        depth: 2,
+        fanout: 2,
+        demand_us: 100.0,
+    };
+    let root = build_tree(&services, &spec, 0);
+    let jobs = root.node_count() as u64;
+    app.add_class("prop", 1.0, root);
+    (app, jobs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A fault plan whose every window lies beyond the horizon, plus a
+    /// resilience layer whose budgets nothing can exhaust, must leave the
+    /// run byte-identical to the legacy engine: fault awareness may not
+    /// perturb RNG draws, balancer picks, or event ordering.
+    #[test]
+    fn inert_faults_and_resilience_leave_runs_untouched(
+        crash_at_s in 200u64..4_000,
+        slow_at_s in 200u64..4_000,
+        replicas in 1usize..3,
+        threads in 1usize..5,
+        burst in 1u32..30,
+        seed in 0u64..1000,
+    ) {
+        let run = |faults: FaultPlan, resilience: Option<ResilienceParams>| {
+            let topo = Arc::new(Topology::desktop_8c());
+            let (app, _) = fault_test_app();
+            let deployment = Deployment::uniform(&app, &topo, replicas, threads);
+            let params = EngineParams { faults, resilience, ..EngineParams::default() };
+            let mut engine = Engine::new(topo, params, app, deployment, seed);
+            let mut driver = Burst { to_issue: burst, done: 0 };
+            engine.run(&mut driver, SimTime::from_secs(120));
+            engine.report().summary()
+        };
+        let legacy = run(FaultPlan::none(), None);
+        let dormant_faults = FaultPlan::none()
+            .crash(InstanceId(0), SimTime::from_secs(crash_at_s), simcore::SimDuration::from_secs(1))
+            .slowdown(InstanceId(0), SimTime::from_secs(slow_at_s), SimTime::MAX, 10.0);
+        prop_assert_eq!(&run(dormant_faults.clone(), None), &legacy);
+        let generous = ResilienceParams::default()
+            .with_timeout(simcore::SimDuration::from_secs(3600))
+            .with_breaker(None);
+        prop_assert_eq!(&run(dormant_faults, Some(generous)), &legacy);
+    }
+
+    /// Under arbitrary crashes, slowdowns, and reply faults — with a
+    /// resilience layer armed — every submitted request resolves exactly
+    /// once (Ok, TimedOut, or Shed), retry attempts never exceed the
+    /// budget, and every timeout is accounted for as a retry, a fallback,
+    /// or a client-visible failure.
+    #[test]
+    fn faulted_runs_conserve_every_request(
+        crashes in proptest::collection::vec(
+            (0u32..8, 0u64..3_000, 100u64..3_000), 0..3),
+        slowdowns in proptest::collection::vec(
+            (0u32..8, 0u64..3_000, 100u64..5_000, 2u32..50), 0..3),
+        drops in proptest::collection::vec(
+            (0u32..8, 0u64..3_000, 100u64..5_000, 0u32..=100), 0..3),
+        max_retries in 0u8..4,
+        timeout_us in 500u64..5_000,
+        breaker in any::<bool>(),
+        burst in 1u32..40,
+        seed in 0u64..1000,
+    ) {
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = fault_test_app();
+        let deployment = Deployment::uniform(&app, &topo, 2, 4);
+        let instances = deployment.iter().count() as u32;
+        let us = |v: u64| SimTime::from_nanos(v * 1_000);
+        let mut plan = FaultPlan::none();
+        for &(i, at, down) in &crashes {
+            plan = plan.crash(
+                InstanceId(i % instances),
+                us(at),
+                simcore::SimDuration::from_micros(down),
+            );
+        }
+        for &(i, from, len, factor) in &slowdowns {
+            plan = plan.slowdown(InstanceId(i % instances), us(from), us(from + len), factor as f64);
+        }
+        for &(i, from, len, pct) in &drops {
+            plan = plan.reply_fault(
+                InstanceId(i % instances),
+                us(from),
+                us(from + len),
+                pct as f64 / 100.0,
+                simcore::SimDuration::from_micros(50),
+            );
+        }
+        let resilience = ResilienceParams::default()
+            .with_timeout(simcore::SimDuration::from_micros(timeout_us))
+            .with_retry(RetryPolicy {
+                max_retries,
+                ..RetryPolicy::default()
+            })
+            .with_breaker(breaker.then(microsvc::BreakerPolicy::default));
+        let params = EngineParams {
+            faults: plan,
+            resilience: Some(resilience),
+            trace_sample_every: Some(1),
+            ..EngineParams::default()
+        };
+        let mut engine = Engine::new(topo, params, app, deployment, seed);
+        let mut driver = OutcomeCount { to_issue: burst, ok: 0, timed_out: 0, shed: 0 };
+        engine.run(&mut driver, SimTime::from_secs(120));
+
+        // Conservation: exactly one resolution per submitted request, and
+        // the driver's view agrees with the engine's counters.
+        prop_assert_eq!(driver.ok + driver.timed_out + driver.shed, burst as u64);
+        let report = engine.report();
+        prop_assert_eq!(report.completed, driver.ok);
+        prop_assert_eq!(report.requests_timed_out, driver.timed_out);
+        prop_assert_eq!(report.requests_shed, driver.shed);
+
+        // Every timeout resolves into exactly one of: a retry, a
+        // retries-exhausted fallback reply, or a client-visible failure.
+        let timeouts: u64 = report.services.iter().map(|s| s.timeouts).sum();
+        let retries: u64 = report.services.iter().map(|s| s.retries).sum();
+        let fallbacks: u64 = report.services.iter().map(|s| s.fallbacks).sum();
+        prop_assert_eq!(timeouts, retries + fallbacks + report.requests_timed_out);
+
+        // The retry budget holds per call slot: no span is ever annotated
+        // with an attempt beyond the policy's maximum.
+        for trace in engine.traces() {
+            for span in &trace.spans {
+                prop_assert!(
+                    span.attempt <= max_retries,
+                    "span attempt {} exceeds budget {max_retries}",
+                    span.attempt
+                );
+            }
+        }
     }
 }

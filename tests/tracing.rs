@@ -85,6 +85,84 @@ fn trace_cpu_time_is_plausible() {
 }
 
 #[test]
+fn fault_spans_carry_retry_attempts_and_causes() {
+    // One webui replica is 100× slower for the whole run. With a tight call
+    // timeout and retries, sampled traces must show retry-annotated spans
+    // (attempt > 0) and timeout-annotated victim spans.
+    use microsvc::{BreakerPolicy, FaultPlan, InstanceId, ResilienceParams, RetryPolicy};
+
+    let topo = Arc::new(Topology::desktop_8c());
+    let store = TeaStore::with_demand_scale(0.25);
+    let mix = store.mix();
+    let app = store.into_app();
+    let deployment = Deployment::uniform(&app, &topo, 2, 8);
+    let victim = InstanceId(0); // webui replica 0: on the path of every request
+    let params = EngineParams {
+        trace_sample_every: Some(1),
+        faults: FaultPlan::none().slowdown(victim, SimTime::ZERO, SimTime::MAX, 100.0),
+        resilience: Some(
+            ResilienceParams::default()
+                .with_timeout(SimDuration::from_millis(2))
+                .with_retry(RetryPolicy {
+                    max_retries: 2,
+                    ..RetryPolicy::default()
+                })
+                .with_breaker(Some(BreakerPolicy {
+                    open_for: SimDuration::from_millis(50),
+                    ..BreakerPolicy::default()
+                })),
+        ),
+        ..EngineParams::default()
+    };
+    let mut engine = Engine::new(topo, params, app, deployment, 11);
+    let mut load = ClosedLoop::new(32)
+        .think_time(SimDuration::from_millis(5))
+        .mix(&mix)
+        .warmup(SimDuration::from_millis(100))
+        .measure(SimDuration::from_millis(800));
+    engine.run(&mut load, SimTime::from_secs(30));
+
+    let mut retried_spans = 0u64;
+    let mut faulted_spans = 0u64;
+    for trace in engine.traces() {
+        for span in &trace.spans {
+            if span.attempt > 0 {
+                retried_spans += 1;
+            }
+            if span.fault.is_some() {
+                faulted_spans += 1;
+            }
+        }
+    }
+    assert!(retried_spans > 0, "no retry-annotated spans recorded");
+    assert!(faulted_spans > 0, "no fault-annotated spans recorded");
+
+    // The breaker opens within a few timeouts of the start, after which the
+    // slow replica receives half-open probe traffic only: across the run its
+    // span count must be a small fraction of its healthy twin's (webui
+    // replica 1 — `Deployment::uniform` lays instances out service-major).
+    let twin = InstanceId(1);
+    let spans_on = |inst: InstanceId| {
+        engine
+            .traces()
+            .iter()
+            .flat_map(|t| t.spans.iter())
+            .filter(|s| s.instance == inst)
+            .count()
+    };
+    let victim_spans = spans_on(victim);
+    let twin_spans = spans_on(twin);
+    assert!(
+        twin_spans > 50,
+        "healthy replica barely exercised: {twin_spans} spans"
+    );
+    assert!(
+        victim_spans * 10 < twin_spans,
+        "breaker failed to eject the slow replica: victim {victim_spans} vs twin {twin_spans}"
+    );
+}
+
+#[test]
 fn tracing_does_not_perturb_results() {
     // Tracing is observability: identical seeds with and without tracing
     // must produce identical workload outcomes.

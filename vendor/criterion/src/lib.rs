@@ -1,0 +1,133 @@
+//! Vendored, offline subset of the criterion benchmarking API.
+//!
+//! The build environment cannot fetch crates, so benches link against this
+//! minimal harness instead: it runs each benchmark `sample_size` times after
+//! one warm-up iteration and prints mean wall-clock time per iteration. The
+//! API mirrors criterion 0.5 (`benchmark_group`, `sample_size`,
+//! `warm_up_time`, `measurement_time`, `bench_function`, `iter`,
+//! `criterion_group!`, `criterion_main!`) so the real crate can be restored
+//! by one manifest edit.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (an inlining barrier).
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            samples: 10,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to record.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget (this harness runs one warm-up iteration
+    /// regardless; the budget caps nothing further).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget; sampling stops early once exceeded.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        // One untimed warm-up pass.
+        f(&mut bencher);
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            f(&mut bencher);
+            if started.elapsed() > self.measurement {
+                break;
+            }
+        }
+        let per_iter = if bencher.iters > 0 {
+            bencher.elapsed / bencher.iters
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "  {name}: {:.3} ms/iter ({} iters)",
+            per_iter.as_secs_f64() * 1e3,
+            bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures passed to [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        let out = routine();
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+        drop(black_box(out));
+    }
+}
+
+/// Declares a group-runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

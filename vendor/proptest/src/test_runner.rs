@@ -1,0 +1,136 @@
+//! Deterministic case generation for the vendored proptest.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the workspace's engine-level
+        // properties are expensive, so every call site sets it explicitly
+        // and this default only covers new, unconfigured blocks.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// An explicit per-case failure, mirroring proptest's `TestCaseError`.
+///
+/// Property bodies may `return Err(TestCaseError::fail(..))` instead of
+/// asserting; the vendored runner panics on it with the message (there is no
+/// shrinking, so a failure aborts the test immediately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is false for this case.
+    Fail(String),
+    /// The generated case is invalid and should be skipped. The vendored
+    /// runner treats a rejection as a skipped case, not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection (invalid input) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// The result type of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// xoshiro256++, seeded per test from the test's name so each property
+/// explores its own deterministic sequence.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// An RNG seeded from `test_name` (stable across runs and platforms).
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 to fill the state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = z ^ (z >> 31);
+        }
+        TestRng { s: state }
+    }
+
+    /// The next 64 uniform random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("prop_x");
+        let mut b = TestRng::for_test("prop_x");
+        let mut c = TestRng::for_test("prop_y");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = TestRng::for_test("floats");
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

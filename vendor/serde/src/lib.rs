@@ -1,0 +1,266 @@
+//! Vendored, offline subset of the serde data model.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace carries the fraction of serde it actually exercises: the full
+//! `ser` trait hierarchy (the counting-serializer tests in
+//! `cputopo/tests/serde_roundtrip.rs` drive real structural traversal), a
+//! marker `Deserialize` trait (no format crate exists in the workspace, so
+//! nothing ever deserializes), and the `derive` re-exports. The API mirrors
+//! serde 1.x so swapping the real crate back in is a one-line manifest edit.
+
+pub mod ser;
+
+pub mod de {
+    //! Deserialization marker.
+    //!
+    //! The workspace deliberately carries no serde format crate; `Deserialize`
+    //! exists so `#[derive(Deserialize)]` keeps compiling and the trait bound
+    //! remains available to downstream signatures.
+
+    /// Marker for types that could be deserialized by a format crate.
+    pub trait Deserialize<'de>: Sized {}
+
+    /// Marker mirroring serde's owned-deserialization bound.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+}
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ------------------------------------------------------------ std impls: ser
+
+macro_rules! impl_ser_prim {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        })*
+    };
+}
+
+impl_ser_prim!(
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+);
+
+impl Serialize for i128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i128(*self)
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u128(*self)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_iter<S, I>(serializer: S, len: usize, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    I: IntoIterator,
+    I::Item: Serialize,
+{
+    use ser::SerializeSeq;
+    let mut seq = serializer.serialize_seq(Some(len))?;
+    for item in iter {
+        seq.serialize_element(&item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeTuple;
+        let mut tup = serializer.serialize_tuple(N)?;
+        for item in self {
+            tup.serialize_element(item)?;
+        }
+        tup.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap;
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeMap;
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($len:expr => $($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeTuple;
+                let mut tup = serializer.serialize_tuple($len)?;
+                $(tup.serialize_element(&self.$idx)?;)+
+                tup.end()
+            }
+        }
+    };
+}
+
+impl_ser_tuple!(1 => A.0);
+impl_ser_tuple!(2 => A.0, B.1);
+impl_ser_tuple!(3 => A.0, B.1, C.2);
+impl_ser_tuple!(4 => A.0, B.1, C.2, D.3);
+impl_ser_tuple!(5 => A.0, B.1, C.2, D.3, E.4);
+impl_ser_tuple!(6 => A.0, B.1, C.2, D.3, E.4, F.5);
+impl_ser_tuple!(7 => A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_ser_tuple!(8 => A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+// ------------------------------------------------------------- std impls: de
+
+macro_rules! impl_de_marker {
+    ($($ty:ty),* $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $ty {})*
+    };
+}
+
+impl_de_marker!(
+    bool, i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, isize, usize, f32, f64, char,
+    String, ()
+);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, H> Deserialize<'de>
+    for std::collections::HashMap<K, V, H>
+{
+}
+
+macro_rules! impl_de_tuple {
+    ($($name:ident),+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+    };
+}
+
+impl_de_tuple!(A);
+impl_de_tuple!(A, B);
+impl_de_tuple!(A, B, C);
+impl_de_tuple!(A, B, C, D);
+impl_de_tuple!(A, B, C, D, E);
+impl_de_tuple!(A, B, C, D, E, F);
+impl_de_tuple!(A, B, C, D, E, F, G);
+impl_de_tuple!(A, B, C, D, E, F, G, H);

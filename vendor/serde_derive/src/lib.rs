@@ -1,0 +1,303 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stub.
+//!
+//! The build environment cannot reach a registry, so this proc-macro avoids
+//! `syn`/`quote`: it walks the raw [`TokenStream`] directly. It supports the
+//! type shapes the workspace actually derives on — structs with named fields,
+//! tuple/newtype structs, and enums with unit, tuple, and struct variants —
+//! and rejects generics and `#[serde(...)]` attributes loudly rather than
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Parsed {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skips outer attributes (`#[...]`, including expanded doc comments),
+/// panicking on `#[serde(...)]`, which this stub does not implement.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() && is_punct(&tokens[*i], '#') {
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let body = g.stream().to_string();
+                assert!(
+                    !body.starts_with("serde"),
+                    "vendored serde_derive does not support #[serde(...)] attributes"
+                );
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("vendored serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Advances past one type (or discriminant) up to a top-level comma, tracking
+/// angle-bracket depth so `BTreeMap<String, Table>` counts as one field.
+fn skip_to_field_end(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < group.len() {
+        skip_attrs(group, &mut i);
+        if i >= group.len() {
+            break;
+        }
+        skip_vis(group, &mut i);
+        let name = expect_ident(group, &mut i, "field name");
+        assert!(
+            is_punct(&group[i], ':'),
+            "vendored serde_derive: expected ':' after field `{name}`"
+        );
+        i += 1;
+        skip_to_field_end(group, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &[TokenTree]) -> usize {
+    let mut i = 0;
+    let mut count = 0;
+    while i < group.len() {
+        skip_attrs(group, &mut i);
+        skip_vis(group, &mut i);
+        if i >= group.len() {
+            break;
+        }
+        count += 1;
+        skip_to_field_end(group, &mut i);
+    }
+    count
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < group.len() {
+        skip_attrs(group, &mut i);
+        if i >= group.len() {
+            break;
+        }
+        let name = expect_ident(group, &mut i, "variant name");
+        let shape = match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Shape::Named(parse_named_fields(&inner))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip any discriminant up to the variant separator.
+        while i < group.len() && !is_punct(&group[i], ',') {
+            i += 1;
+        }
+        if i < group.len() {
+            i += 1; // the comma
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+    let data = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Data::NamedStruct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Data::TupleStruct(count_tuple_fields(&inner))
+            }
+            Some(t) if is_punct(t, ';') => Data::UnitStruct,
+            other => panic!("vendored serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Data::Enum(parse_variants(&inner))
+            }
+            other => panic!("vendored serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    };
+    Parsed { name, data }
+}
+
+/// Derives `serde::Serialize` with genuine field-by-field traversal.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, data } = parse(input);
+    let body = match &data {
+        Data::NamedStruct(fields) => {
+            let mut code = format!(
+                "let mut __s = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __s, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeStruct::end(__s)");
+            code
+        }
+        Data::TupleStruct(1) => format!(
+            "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Data::TupleStruct(n) => {
+            let mut code = format!(
+                "let mut __s = ::serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n})?;\n"
+            );
+            for idx in 0..*n {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __s, &self.{idx})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeTupleStruct::end(__s)");
+            code
+        }
+        Data::UnitStruct => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (vi, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {vi}u32, \"{vname}\"),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {vi}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __s = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {vi}u32, \"{vname}\", {n})?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __s, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__s)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    Shape::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __s = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {vi}u32, \"{vname}\", {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __s, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__s)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the marker `serde::de::Deserialize` (no format crate exists in the
+/// workspace, so deserialization has no behavior to generate).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, .. } = parse(input);
+    format!("#[automatically_derived]\nimpl<'de> ::serde::de::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
