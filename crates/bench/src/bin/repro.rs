@@ -1,14 +1,21 @@
 //! `repro` — regenerates every table and figure of the study.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--csv DIR] [--html FILE] <experiment>...
+//! repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] <experiment>...
 //! repro all                    # everything, in order
 //! repro e8 e9                  # just the headline pair
 //! repro --csv results e4 e8    # also write plot-ready CSV files
+//! repro --jobs 1 all           # force a sequential sweep (byte-identical)
+//! repro perf                   # simulator self-benchmark -> results/BENCH_simperf.json
 //! ```
 //!
 //! Experiments: e1 … e19 (e14–e19 are extensions/validation),
-//! ablations: a1 (packing objective) a2 (LB) a3 (steal scope) a4 (quantum).
+//! ablations: a1 (packing objective) a2 (LB) a3 (steal scope) a4 (quantum),
+//! plus `perf`, the simulator self-benchmark.
+//!
+//! Sweeps run on the work-stealing pool in `scaleup::par`; `--jobs N` caps
+//! the workers (default: all CPUs). Results are merged in sweep order, so
+//! any `--jobs` value produces byte-identical reports.
 
 use scaleup_bench::experiments as exp;
 use scaleup_bench::Config;
@@ -21,7 +28,7 @@ const ALL: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--csv DIR] [--html FILE] <e1..e19 | a1..a4 | all>...\n\
+        "usage: repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] <e1..e19 | a1..a4 | perf | all>...\n\
          e1  platform table          e8  placement comparison (+22% headline)\n\
          e2  TeaStore table          e9  latency at fixed load (−18% headline)\n\
          e3  load curve              e10 SMT study\n\
@@ -31,7 +38,8 @@ fn usage() -> ! {
          e7  replica tuning          e14 frequency-boost extension\n\
          e15 MVA validation          e16 mix-sensitivity extension\n\
          e17 enumeration orders      e18 slow-replica tail (faults)\n\
-         e19 crash & recovery        a1..a4 ablations"
+         e19 crash & recovery        a1..a4 ablations\n\
+         perf simulator self-benchmark (writes results/BENCH_simperf.json)"
     );
     std::process::exit(2);
 }
@@ -53,6 +61,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--jobs" => {
+                let jobs: usize = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                scaleup::par::set_jobs(jobs.max(1));
+            }
             "--csv" => {
                 csv_dir = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
             }
@@ -60,6 +75,7 @@ fn main() {
                 html_path = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
             }
             "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
+            "perf" => wanted.push("perf".to_owned()),
             e if ALL.contains(&e) => wanted.push(e.to_owned()),
             _ => usage(),
         }
@@ -279,6 +295,14 @@ fn main() {
             "a2" => exp::ablate_lb(&config),
             "a3" => exp::ablate_balance(&config),
             "a4" => exp::ablate_quantum(&config),
+            "perf" => {
+                let (table, json) = scaleup_bench::perf::run(quick);
+                std::fs::create_dir_all("results").expect("create results directory");
+                std::fs::write("results/BENCH_simperf.json", json)
+                    .expect("write results/BENCH_simperf.json");
+                println!("[wrote results/BENCH_simperf.json]");
+                table
+            }
             _ => unreachable!("validated above"),
         };
         println!("{output}");

@@ -104,13 +104,14 @@ pub struct LoadCurve {
 /// E3 — throughput and latency vs. offered closed-loop load (tuned baseline).
 pub fn e3(config: &Config) -> LoadCurve {
     let replicas = config.baseline_replicas();
-    let mut points = Vec::new();
+    let points: Vec<(u64, RunReport)> = scaleup::par::map(config.user_sweep.clone(), |users| {
+        let lab = config.lab.clone().with_users(users);
+        (users, lab.run_policy(&config.store, Policy::Unpinned, &replicas))
+    });
     let mut table = String::from(
         "E3: load curve (tuned unpinned baseline)\n users       req/s     mean      p95      p99   util%\n",
     );
-    for &users in &config.user_sweep {
-        let lab = config.lab.clone().with_users(users);
-        let report = lab.run_policy(&config.store, Policy::Unpinned, &replicas);
+    for (users, report) in &points {
         let _ = writeln!(
             table,
             "{:>6} {:>11.0} {:>8} {:>8} {:>8} {:>6.1}",
@@ -121,7 +122,6 @@ pub fn e3(config: &Config) -> LoadCurve {
             report.latency_p99,
             report.cpu_utilization * 100.0
         );
-        points.push((users, report));
     }
     LoadCurve { points, table }
 }
@@ -143,16 +143,15 @@ pub struct ScaleupCurve {
 pub fn e4(config: &Config) -> ScaleupCurve {
     let replicas = config.baseline_replicas();
     let order = enumerate::cores_first(&config.lab.topo);
-    let mut points = Vec::new();
-    for &count in &config.cpu_counts {
+    let points: Vec<ScalePoint> = scaleup::par::map(config.cpu_counts.clone(), |count| {
         // Scale offered load with machine size so small masks saturate
         // without drowning in queueing.
         let users = (count as u64 * 24).clamp(64, config.lab.users);
         let lab = config.lab.clone().with_users(users);
         let mut pts =
             scaling::throughput_vs_cpus(&lab, config.store.app(), &order, &[count], &replicas);
-        points.push(pts.remove(0));
-    }
+        pts.remove(0)
+    });
     let fit = scaling::fit_curve(&points);
     let mut table = scaling::curve_table("E4: scale-up — throughput vs logical CPUs", &points);
     let _ = writeln!(
@@ -186,9 +185,11 @@ pub fn e5(config: &Config) -> String {
         let _ = write!(out, "{:>12}", n);
     }
     out.push('\n');
-    for &users in &config.user_sweep {
+    let reports = scaleup::par::map(config.user_sweep.clone(), |users| {
         let lab = config.lab.clone().with_users(users);
-        let report = lab.run_policy(&config.store, Policy::Unpinned, &replicas);
+        lab.run_policy(&config.store, Policy::Unpinned, &replicas)
+    });
+    for (&users, report) in config.user_sweep.iter().zip(&reports) {
         let _ = write!(out, "{users:>6} ");
         for s in &report.services {
             let _ = write!(out, "{:>12.1}", s.avg_busy_cpus);
@@ -395,28 +396,35 @@ pub fn e9(config: &Config) -> LatencyComparison {
         .throughput_rps;
 
     let fractions = [0.70, 0.85, 0.95];
-    let mut points = Vec::new();
+    let points: Vec<(f64, RunReport, RunReport)> =
+        scaleup::par::map(fractions.to_vec(), |f| {
+            let rate = sat * f;
+            let base_placed =
+                Policy::Unpinned.deploy(config.store.app(), &config.lab.topo, &replicas);
+            let baseline = config.lab.run_app_open(
+                config.store.app(),
+                base_placed.deployment,
+                base_placed.lb,
+                rate,
+            );
+            let topo_placed = Policy::TopologyAware { ccxs: None }.deploy(
+                config.store.app(),
+                &config.lab.topo,
+                &[],
+            );
+            let optimized = config.lab.run_app_open(
+                config.store.app(),
+                topo_placed.deployment,
+                topo_placed.lb,
+                rate,
+            );
+            (f, baseline, optimized)
+        });
     let mut table = format!(
         "E9: latency at matched open load (baseline saturation {sat:.0} req/s)\n  load   config               mean      p50      p95      p99\n"
     );
-    for &f in &fractions {
-        let rate = sat * f;
-        let base_placed = Policy::Unpinned.deploy(config.store.app(), &config.lab.topo, &replicas);
-        let baseline = config.lab.run_app_open(
-            config.store.app(),
-            base_placed.deployment,
-            base_placed.lb,
-            rate,
-        );
-        let topo_placed =
-            Policy::TopologyAware { ccxs: None }.deploy(config.store.app(), &config.lab.topo, &[]);
-        let optimized = config.lab.run_app_open(
-            config.store.app(),
-            topo_placed.deployment,
-            topo_placed.lb,
-            rate,
-        );
-        for (name, r) in [("baseline", &baseline), ("topology-aware", &optimized)] {
+    for (f, baseline, optimized) in &points {
+        for (name, r) in [("baseline", baseline), ("topology-aware", optimized)] {
             let _ = writeln!(
                 table,
                 "  {:>3.0}%   {:<18} {:>8} {:>8} {:>8} {:>8}",
@@ -428,7 +436,6 @@ pub fn e9(config: &Config) -> LatencyComparison {
                 r.latency_p99
             );
         }
-        points.push((f, baseline, optimized));
     }
     let (_, base_hi, opt_hi) = points.last().expect("swept at least one load");
     let mean_reduction_pct = -ratio_pct(
@@ -689,8 +696,10 @@ pub fn e13(config: &Config) -> String {
     let mut out = String::from(
         "E13: scheduler behaviour\npolicy               csw/s      mig/s    steals/s   wakeups/s\n",
     );
-    for (policy, reps) in policies {
-        let r = config.lab.run_policy(&config.store, policy, &reps);
+    let rows = scaleup::par::map(policies, |(policy, reps)| {
+        (policy, config.lab.run_policy(&config.store, policy, &reps))
+    });
+    for (policy, r) in rows {
         let secs = r.window.as_secs_f64();
         let _ = writeln!(
             out,
@@ -719,6 +728,7 @@ pub fn e14(config: &Config) -> String {
     let mut out = String::from(
         "E14: frequency boost (extension)\nload       config               boost      req/s       mean\n",
     );
+    let mut cells = Vec::new();
     for (load_name, users) in [
         ("moderate", moderate_users),
         ("saturating", config.lab.users),
@@ -731,16 +741,22 @@ pub fn e14(config: &Config) -> String {
                 ("flat", uarch::BoostModel::Flat),
                 ("zen2", uarch::BoostModel::zen2_like()),
             ] {
-                let mut lab = config.lab.clone().with_users(users);
-                lab.engine_params.uarch.boost = boost;
-                let r = lab.run_policy(&config.store, policy, &reps);
-                let _ = writeln!(
-                    out,
-                    "{:<10} {:<18} {:<8} {:>8.0} {:>10}",
-                    load_name, policy_name, boost_name, r.throughput_rps, r.mean_latency
-                );
+                cells.push((load_name, users, policy_name, policy, reps.clone(), boost_name, boost));
             }
         }
+    }
+    let rows = scaleup::par::map(cells, |(load_name, users, policy_name, policy, reps, boost_name, boost)| {
+        let mut lab = config.lab.clone().with_users(users);
+        lab.engine_params.uarch.boost = boost;
+        let r = lab.run_policy(&config.store, policy, &reps);
+        (load_name, policy_name, boost_name, r)
+    });
+    for (load_name, policy_name, boost_name, r) in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<18} {:<8} {:>8.0} {:>10}",
+            load_name, policy_name, boost_name, r.throughput_rps, r.mean_latency
+        );
     }
     out
 }
@@ -813,11 +829,12 @@ pub fn e15(config: &Config) -> MvaValidation {
     let mut table = format!(
         "E15: simulator vs analytic MVA (tuned unpinned baseline)\n(CPU capacity bound: {cpu_bound_rps:.0} req/s)\n users    sim req/s    MVA req/s    MVA/sim\n",
     );
-    for &users in &config.user_sweep {
+    let sims = scaleup::par::map(config.user_sweep.clone(), |users| {
         let lab = config.lab.clone().with_users(users);
-        let sim = lab
-            .run_policy(&config.store, Policy::Unpinned, &replicas)
-            .throughput_rps;
+        lab.run_policy(&config.store, Policy::Unpinned, &replicas)
+            .throughput_rps
+    });
+    for (&users, &sim) in config.user_sweep.iter().zip(&sims) {
         let mva = model
             .solve(users as usize)
             .throughput_rps
@@ -887,11 +904,12 @@ pub fn e16(config: &Config) -> MixSensitivity {
             .mean_demand_per_service_us()
             .iter()
             .sum::<f64>();
-    for (name, mix) in [
+    let mixes = vec![
         ("browse", MixProfile::Browse),
         ("buy-heavy", MixProfile::BuyHeavy),
         ("login-storm", MixProfile::LoginStorm),
-    ] {
+    ];
+    let measured = scaleup::par::map(mixes, |(name, mix)| {
         let store = TeaStore::with_options(mix, scale);
         let replicas = tuner::proportional_replicas(store.app(), config.baseline_budget);
         let baseline = config
@@ -902,6 +920,9 @@ pub fn e16(config: &Config) -> MixSensitivity {
             .lab
             .run_policy(&store, Policy::TopologyAware { ccxs: None }, &[])
             .throughput_rps;
+        (name, baseline, topo)
+    });
+    for (name, baseline, topo) in measured {
         let uplift = ratio_pct(topo, baseline);
         let _ = writeln!(
             table,
@@ -938,10 +959,13 @@ pub fn e17(config: &Config) -> String {
         ("ccx-round-robin", enumerate::ccx_round_robin(topo)),
         ("socket-round-robin", enumerate::socket_round_robin(topo)),
     ];
-    for (name, order) in orders {
+    let rows = scaleup::par::map(orders, |(name, order)| {
         let mask = enumerate::take_mask(&order, n);
         let cores: std::collections::HashSet<_> = mask.iter().map(|c| topo.core_of(c)).collect();
         let points = scaling::throughput_vs_cpus(&lab, config.store.app(), &order, &[n], &replicas);
+        (name, cores.len(), points)
+    });
+    for (name, distinct_cores, points) in rows {
         let p = &points[0];
         let _ = writeln!(
             out,
@@ -950,7 +974,7 @@ pub fn e17(config: &Config) -> String {
             p.throughput_rps,
             p.mean_latency_us,
             p.cpu_utilization * 100.0,
-            cores.len(),
+            distinct_cores,
         );
     }
     out.push_str(
@@ -1325,14 +1349,19 @@ pub fn csv_e19_series(result: &FaultStudy) -> String {
 pub fn ablate_objective(config: &Config) -> String {
     let mut out =
         String::from("A1: topology-aware packing objective\nobjective        req/s     mean\n");
-    for (name, objective) in [
-        ("cpu-only", Objective::CpuOnly),
-        ("cache-only", Objective::CacheOnly),
-        ("combined", Objective::Combined),
-    ] {
-        let placed =
-            placement::topology_aware(config.store.app(), &config.lab.topo, None, objective);
-        let r = config.lab.run_placed(config.store.app(), placed);
+    let rows = scaleup::par::map(
+        vec![
+            ("cpu-only", Objective::CpuOnly),
+            ("cache-only", Objective::CacheOnly),
+            ("combined", Objective::Combined),
+        ],
+        |(name, objective)| {
+            let placed =
+                placement::topology_aware(config.store.app(), &config.lab.topo, None, objective);
+            (name, config.lab.run_placed(config.store.app(), placed))
+        },
+    );
+    for (name, r) in rows {
         let _ = writeln!(
             out,
             "{:<14} {:>7.0} {:>8}",
@@ -1346,15 +1375,23 @@ pub fn ablate_objective(config: &Config) -> String {
 pub fn ablate_lb(config: &Config) -> String {
     let mut out =
         String::from("A2: LB policy under pod placement\nlb                   req/s     mean\n");
-    for (name, lb) in [
-        ("round-robin", LbPolicy::RoundRobin),
-        ("least-outstanding", LbPolicy::LeastOutstanding),
-        ("locality-aware", LbPolicy::LocalityAware),
-    ] {
-        let mut placed =
-            Policy::TopologyAware { ccxs: None }.deploy(config.store.app(), &config.lab.topo, &[]);
-        placed.lb = lb;
-        let r = config.lab.run_placed(config.store.app(), placed);
+    let rows = scaleup::par::map(
+        vec![
+            ("round-robin", LbPolicy::RoundRobin),
+            ("least-outstanding", LbPolicy::LeastOutstanding),
+            ("locality-aware", LbPolicy::LocalityAware),
+        ],
+        |(name, lb)| {
+            let mut placed = Policy::TopologyAware { ccxs: None }.deploy(
+                config.store.app(),
+                &config.lab.topo,
+                &[],
+            );
+            placed.lb = lb;
+            (name, config.lab.run_placed(config.store.app(), placed))
+        },
+    );
+    for (name, r) in rows {
         let _ = writeln!(
             out,
             "{:<18} {:>8.0} {:>8}",
@@ -1370,16 +1407,21 @@ pub fn ablate_balance(config: &Config) -> String {
     let mut out = String::from(
         "A3: idle-steal scope (unpinned baseline)\nscope          req/s     mean       mig/s\n",
     );
-    for (name, level, enabled) in [
-        ("none", 0u8, false),
-        ("core", 0, true),
-        ("ccx", 1, true),
-        ("machine", 5, true),
-    ] {
-        let mut lab = config.lab.clone();
-        lab.engine_params.sched.steal_enabled = enabled;
-        lab.engine_params.sched.steal_max_level = level;
-        let r = lab.run_policy(&config.store, Policy::Unpinned, &replicas);
+    let rows = scaleup::par::map(
+        vec![
+            ("none", 0u8, false),
+            ("core", 0, true),
+            ("ccx", 1, true),
+            ("machine", 5, true),
+        ],
+        |(name, level, enabled)| {
+            let mut lab = config.lab.clone();
+            lab.engine_params.sched.steal_enabled = enabled;
+            lab.engine_params.sched.steal_max_level = level;
+            (name, lab.run_policy(&config.store, Policy::Unpinned, &replicas))
+        },
+    );
+    for (name, r) in rows {
         let _ = writeln!(
             out,
             "{:<12} {:>8.0} {:>8} {:>11.0}",
@@ -1398,10 +1440,12 @@ pub fn ablate_quantum(config: &Config) -> String {
     let mut out = String::from(
         "A4: scheduler quantum (unpinned baseline)\nquantum       req/s      p99       csw/s\n",
     );
-    for ms in [1u64, 3, 10, 30] {
+    let rows = scaleup::par::map(vec![1u64, 3, 10, 30], |ms| {
         let mut lab = config.lab.clone();
         lab.engine_params.sched.quantum = SimDuration::from_millis(ms);
-        let r = lab.run_policy(&config.store, Policy::Unpinned, &replicas);
+        (ms, lab.run_policy(&config.store, Policy::Unpinned, &replicas))
+    });
+    for (ms, r) in rows {
         let _ = writeln!(
             out,
             "{:>5} ms {:>10.0} {:>9} {:>11.0}",

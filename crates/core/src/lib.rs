@@ -36,6 +36,7 @@
 
 pub mod html;
 pub mod lab;
+pub mod par;
 pub mod placement;
 pub mod qnmodel;
 pub mod replicate;

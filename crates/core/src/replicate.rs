@@ -2,11 +2,11 @@
 //!
 //! A single deterministic run is reproducible but still one draw from the
 //! workload's random space. Publication-grade numbers need replication:
-//! [`run_seeds`] executes the same configuration under several seeds on OS
-//! threads (each simulation is single-threaded and independent — the
-//! embarrassing kind of parallel) and [`Summary`] reduces any metric to
-//! mean ± sample standard deviation with a 95% normal-approximation
-//! confidence half-width.
+//! [`run_seeds`] executes the same configuration under several seeds on the
+//! work-stealing sweep pool ([`crate::par`] — each simulation is
+//! single-threaded and independent, the embarrassing kind of parallel) and
+//! [`Summary`] reduces any metric to mean ± sample standard deviation with
+//! a 95% normal-approximation confidence half-width.
 
 use crate::lab::Lab;
 use crate::placement::Policy;
@@ -80,19 +80,8 @@ pub fn run_seeds(
     seeds: &[u64],
 ) -> Vec<RunReport> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                let lab = lab.clone().with_seed(seed);
-                let replicas = replicas.to_vec();
-                scope.spawn(move || lab.run_policy(store, policy, &replicas))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replicated run panicked"))
-            .collect()
+    crate::par::map(seeds.to_vec(), |seed| {
+        lab.clone().with_seed(seed).run_policy(store, policy, replicas)
     })
 }
 

@@ -50,29 +50,26 @@ pub fn throughput_vs_cpus(
     counts: &[usize],
     replicas: &[usize],
 ) -> Vec<ScalePoint> {
-    counts
-        .iter()
-        .map(|&count| {
-            assert!(count >= 1, "cannot run on zero CPUs");
-            let mask = cputopo::enumerate::take_mask(order, count);
-            let mem = lab.topo.numa_of(mask.first().expect("non-empty mask"));
-            let mut deployment = Deployment::empty(app);
-            for (svc, &n) in replicas.iter().enumerate() {
-                for _ in 0..n {
-                    deployment.add_instance(
-                        ServiceId(svc as u32),
-                        InstanceConfig {
-                            affinity: mask.clone(),
-                            threads: app.services()[svc].default_threads,
-                            mem_node: Some(mem),
-                        },
-                    );
-                }
+    crate::par::map(counts.to_vec(), |count| {
+        assert!(count >= 1, "cannot run on zero CPUs");
+        let mask = cputopo::enumerate::take_mask(order, count);
+        let mem = lab.topo.numa_of(mask.first().expect("non-empty mask"));
+        let mut deployment = Deployment::empty(app);
+        for (svc, &n) in replicas.iter().enumerate() {
+            for _ in 0..n {
+                deployment.add_instance(
+                    ServiceId(svc as u32),
+                    InstanceConfig {
+                        affinity: mask.clone(),
+                        threads: app.services()[svc].default_threads,
+                        mem_node: Some(mem),
+                    },
+                );
             }
-            let report = lab.run_app(app, deployment, LbPolicy::RoundRobin);
-            ScalePoint::from_report(count, &report)
-        })
-        .collect()
+        }
+        let report = lab.run_app(app, deployment, LbPolicy::RoundRobin);
+        ScalePoint::from_report(count, &report)
+    })
 }
 
 /// Sweeps the replica count of a single service inside the full application
@@ -85,29 +82,26 @@ pub fn service_scaling(
     counts: &[usize],
     base_replicas: &[usize],
 ) -> Vec<ScalePoint> {
-    counts
-        .iter()
-        .map(|&count| {
-            assert!(count >= 1, "cannot run zero replicas");
-            let mut replicas = base_replicas.to_vec();
-            replicas[service.index()] = count;
-            let mut deployment = Deployment::empty(app);
-            for (svc, &n) in replicas.iter().enumerate() {
-                for _ in 0..n {
-                    deployment.add_instance(
-                        ServiceId(svc as u32),
-                        InstanceConfig {
-                            affinity: lab.topo.all_cpus().clone(),
-                            threads: app.services()[svc].default_threads,
-                            mem_node: None,
-                        },
-                    );
-                }
+    crate::par::map(counts.to_vec(), |count| {
+        assert!(count >= 1, "cannot run zero replicas");
+        let mut replicas = base_replicas.to_vec();
+        replicas[service.index()] = count;
+        let mut deployment = Deployment::empty(app);
+        for (svc, &n) in replicas.iter().enumerate() {
+            for _ in 0..n {
+                deployment.add_instance(
+                    ServiceId(svc as u32),
+                    InstanceConfig {
+                        affinity: lab.topo.all_cpus().clone(),
+                        threads: app.services()[svc].default_threads,
+                        mem_node: None,
+                    },
+                );
             }
-            let report = lab.run_app(app, deployment, LbPolicy::RoundRobin);
-            ScalePoint::from_report(count, &report)
-        })
-        .collect()
+        }
+        let report = lab.run_app(app, deployment, LbPolicy::RoundRobin);
+        ScalePoint::from_report(count, &report)
+    })
 }
 
 /// Fits the USL to a scaling curve's `(n, throughput)` points.

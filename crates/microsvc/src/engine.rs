@@ -142,6 +142,8 @@ enum Phase {
     Done,
 }
 
+/// Jobs live in a slab (`Engine::jobs`) with a free list: a slot is recycled
+/// once the job is `Done` and no scheduled event still names it (`refs`).
 #[derive(Debug, Clone)]
 struct Job {
     request: u64,
@@ -161,18 +163,30 @@ struct Job {
     abandoned: bool,
     /// Pending caller-side timeout, cancelled when the reply arrives.
     timeout_token: Option<EventToken>,
+    /// Scheduled events (arrive / reply / timeout) that still name this job.
+    /// The slot is recycled only when this hits zero after `Done`.
+    refs: u8,
+    /// The worker currently holding this job, for O(1) reply delivery.
+    worker: Option<u32>,
 }
 
+/// Request slots live in a slab (`Engine::requests`) with a free list; a
+/// slot is recycled when the request is resolved and no job or scheduled
+/// event references it. The externally visible [`RequestId`] is the
+/// monotonic `id`, not the slot index, so recycling is invisible to
+/// drivers and traces.
 #[derive(Debug, Clone)]
 struct RequestInfo {
+    /// External request identity (monotonic submission ordinal).
+    id: u64,
     class: usize,
     client: u64,
     submitted_at: SimTime,
-    /// The current root job serving this request (changes on root retry).
-    root_job: u64,
     /// The client has received a response or an error; late replies for
     /// the request are discarded.
     resolved: bool,
+    /// Live jobs plus scheduled `ClientFail` events naming this slot.
+    refs: u32,
 }
 
 #[derive(Debug)]
@@ -208,6 +222,9 @@ struct CpuExec {
     since: SimTime,
     gen: u64,
     done_token: EventToken,
+    /// Pending quantum tick, cancelled on teardown/re-rate so stale ticks
+    /// never reach the calendar's hot path.
+    quantum_token: EventToken,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -251,7 +268,13 @@ pub struct Engine {
     balancers: Vec<Balancer>,
     workers: Vec<Worker>,
     jobs: Vec<Job>,
+    free_jobs: Vec<u32>,
     requests: Vec<RequestInfo>,
+    free_requests: Vec<u32>,
+    /// Total requests ever submitted (the external id space); drives the
+    /// ingress rotation and trace sampling cadence exactly like the
+    /// pre-slab `requests.len()` did.
+    submitted_total: u64,
     exec: Vec<Option<CpuExec>>,
     next_gen: u64,
     metrics: Metrics,
@@ -277,6 +300,14 @@ pub struct Engine {
     tracer: Tracer,
     /// Quantized machine-occupancy bucket driving the boost multiplier.
     boost_bucket: u32,
+    /// Memoized µarch speed factors per (service, contention-context) key.
+    speed_memo: uarch::SpeedMemo,
+    /// Reusable buffer for load-balancer candidate lists.
+    cand_scratch: Vec<Candidate>,
+    /// Reusable buffer for CPU lists (re-rates, metric resets).
+    cpu_scratch: Vec<CpuId>,
+    /// Events handled by [`run`](Self::run) so far (self-benchmark metric).
+    events_processed: u64,
 }
 
 impl Engine {
@@ -384,7 +415,10 @@ impl Engine {
             balancers,
             workers,
             jobs: Vec::new(),
+            free_jobs: Vec::new(),
             requests: Vec::new(),
+            free_requests: Vec::new(),
+            submitted_total: 0,
             exec: vec![None; ncpus],
             next_gen: 0,
             metrics,
@@ -400,6 +434,10 @@ impl Engine {
             stop_requested: false,
             tracer: Tracer::new(params_trace),
             boost_bucket: 0,
+            speed_memo: uarch::SpeedMemo::new(),
+            cand_scratch: Vec::new(),
+            cpu_scratch: Vec::new(),
+            events_processed: 0,
         }
     }
 
@@ -424,6 +462,12 @@ impl Engine {
         self.tracer.traces()
     }
 
+    /// Number of calendar events handled so far. The canonical denominator
+    /// for simulator-throughput (events/sec) self-benchmarks.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Runs the simulation until `until` (simulated), the event calendar
     /// drains, or the driver requests a stop.
     ///
@@ -437,6 +481,7 @@ impl Engine {
                 _ => break,
             }
             let (_, event) = self.cal.pop().expect("peeked event exists");
+            self.events_processed += 1;
             self.handle(event, driver);
         }
     }
@@ -451,6 +496,85 @@ impl Engine {
         sched.migrations -= base.migrations;
         sched.steals -= base.steals;
         RunReport::build(&self.metrics, &self.app, &self.topo, sched, self.now())
+    }
+
+    // ------------------------------------------------------- slab lifecycle
+
+    /// Allocates a job slot (recycling the free list), holding a reference
+    /// on the owning request slot for the job's lifetime.
+    #[allow(clippy::too_many_arguments)]
+    fn alloc_job(
+        &mut self,
+        request: u64,
+        class: usize,
+        node: usize,
+        instance: usize,
+        parent: Option<u64>,
+        remaining_cycles: f64,
+        attempt: u8,
+    ) -> u64 {
+        self.requests[request as usize].refs += 1;
+        let job = Job {
+            request,
+            class,
+            node,
+            instance,
+            parent,
+            phase: Phase::Pre,
+            pending: 0,
+            remaining_cycles,
+            enqueued_at: self.now(),
+            span: None,
+            attempt,
+            abandoned: false,
+            timeout_token: None,
+            refs: 0,
+            worker: None,
+        };
+        match self.free_jobs.pop() {
+            Some(idx) => {
+                self.jobs[idx as usize] = job;
+                idx as u64
+            }
+            None => {
+                self.jobs.push(job);
+                (self.jobs.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Recycles `job_id` if it is finished and no scheduled event still
+    /// names it, releasing its reference on the owning request. Call sites
+    /// are the points where a reference is dropped (event handled, token
+    /// cancelled) or the job reaches `Done`.
+    fn maybe_free_job(&mut self, job_id: u64) {
+        let j = &self.jobs[job_id as usize];
+        if j.refs != 0 || j.phase != Phase::Done {
+            return;
+        }
+        debug_assert!(j.worker.is_none(), "finished job still held by a worker");
+        debug_assert!(j.timeout_token.is_none(), "freeing job with armed timeout");
+        let request = j.request;
+        self.free_jobs.push(job_id as u32);
+        let r = &mut self.requests[request as usize];
+        r.refs -= 1;
+        if r.refs == 0 && r.resolved {
+            self.free_requests.push(request as u32);
+        }
+    }
+
+    /// Recycles a request slot once it is resolved and unreferenced.
+    fn maybe_free_request(&mut self, slot: u64) {
+        let r = &self.requests[slot as usize];
+        if r.refs == 0 && r.resolved {
+            self.free_requests.push(slot as u32);
+        }
+    }
+
+    /// The external id of the request in `slot`.
+    #[inline]
+    fn rid(&self, slot: u64) -> RequestId {
+        RequestId(self.requests[slot as usize].id)
     }
 
     // -------------------------------------------------------- event handling
@@ -476,20 +600,25 @@ impl Engine {
     }
 
     fn on_client_reply(&mut self, job_id: u64, driver: &mut dyn Driver) {
+        self.jobs[job_id as usize].refs -= 1;
         let request = self.jobs[job_id as usize].request;
         if self.jobs[job_id as usize].abandoned || self.requests[request as usize].resolved {
             // The client already timed out (and possibly retried): the
             // response raced its own deadline and lost.
             self.metrics.late_replies += 1;
+            self.maybe_free_job(job_id);
             return;
         }
         if let Some(token) = self.jobs[job_id as usize].timeout_token.take() {
-            self.cal.cancel(token);
+            if self.cal.cancel(token) {
+                self.jobs[job_id as usize].refs -= 1;
+            }
         }
         self.breaker_success(self.jobs[job_id as usize].instance);
         self.requests[request as usize].resolved = true;
         let now = self.now();
-        self.tracer.complete(RequestId(request), now);
+        let rid = self.rid(request);
+        self.tracer.complete(rid, now);
         let info = &self.requests[request as usize];
         let latency = self.now() - info.submitted_at;
         let class = info.class;
@@ -500,7 +629,7 @@ impl Engine {
         self.metrics.latency_per_class[class].record_duration(latency);
         driver.on_response(
             ResponseInfo {
-                request: RequestId(request),
+                request: rid,
                 client: ClientId(client),
                 class: RequestClassId(class as u32),
                 latency,
@@ -508,11 +637,14 @@ impl Engine {
             },
             self,
         );
+        self.maybe_free_job(job_id);
     }
 
     /// Delivers a failure (timeout or shed) to the client.
     fn on_client_fail(&mut self, request: u64, cause: FaultCause, driver: &mut dyn Driver) {
+        self.requests[request as usize].refs -= 1;
         let info = &self.requests[request as usize];
+        let rid = RequestId(info.id);
         let latency = self.now() - info.submitted_at;
         let class = info.class;
         let client = info.client;
@@ -525,7 +657,7 @@ impl Engine {
         // service-time observation.
         driver.on_response(
             ResponseInfo {
-                request: RequestId(request),
+                request: rid,
                 client: ClientId(client),
                 class: RequestClassId(class as u32),
                 latency,
@@ -533,6 +665,7 @@ impl Engine {
             },
             self,
         );
+        self.maybe_free_request(request);
     }
 
     /// Scheduled crash: take the instance down and lose its queue — the
@@ -549,14 +682,16 @@ impl Engine {
                 (j.request, j.span)
             };
             if let Some(span) = span {
-                self.tracer
-                    .span_fault(RequestId(request), span, FaultCause::Crashed);
+                let rid = self.rid(request);
+                self.tracer.span_fault(rid, span, FaultCause::Crashed);
             }
             self.instances[inst].outstanding -= 1;
+            self.maybe_free_job(job_id);
         }
     }
 
     fn on_job_arrive(&mut self, job_id: u64) {
+        self.jobs[job_id as usize].refs -= 1;
         let inst_idx = self.jobs[job_id as usize].instance;
         if !self.instances[inst_idx].up {
             // Connection refused: the instance crashed while the call was
@@ -564,21 +699,26 @@ impl Engine {
             self.metrics.rejected_arrivals += 1;
             self.jobs[job_id as usize].phase = Phase::Done;
             self.instances[inst_idx].outstanding -= 1;
+            self.maybe_free_job(job_id);
             return;
         }
         self.jobs[job_id as usize].enqueued_at = self.now();
-        {
+        if self.tracer.enabled() {
             let (request, class, node, attempt) = {
                 let j = &self.jobs[job_id as usize];
                 (j.request, j.class, j.node, j.attempt)
             };
-            let flat = &self.classes[class].nodes[node];
+            let rid = self.rid(request);
+            let (service, depth) = {
+                let flat = &self.classes[class].nodes[node];
+                (flat.service, flat.depth)
+            };
             let now = self.now();
             let span = self.tracer.open_span(
-                RequestId(request),
-                ServiceId(flat.service as u32),
+                rid,
+                ServiceId(service as u32),
                 InstanceId(inst_idx as u32),
-                flat.depth,
+                depth,
                 attempt,
                 now,
             );
@@ -613,12 +753,15 @@ impl Engine {
             .record_duration(wait);
         if let Some(span) = job.span {
             let (request, now) = (job.request, self.now());
-            self.tracer.span_started(RequestId(request), span, now);
+            let rid = self.rid(request);
+            self.tracer.span_started(rid, span, now);
         }
         self.workers[worker].job = Some(job_id);
+        self.jobs[job_id as usize].worker = Some(worker as u32);
     }
 
     fn on_reply_arrive(&mut self, child_id: u64) {
+        self.jobs[child_id as usize].refs -= 1;
         let (abandoned, parent, token, instance) = {
             let j = &mut self.jobs[child_id as usize];
             (j.abandoned, j.parent, j.timeout_token.take(), j.instance)
@@ -626,14 +769,18 @@ impl Engine {
         if abandoned {
             // The caller gave up on this call before the reply landed.
             self.metrics.late_replies += 1;
+            self.maybe_free_job(child_id);
             return;
         }
         if let Some(token) = token {
-            self.cal.cancel(token);
+            if self.cal.cancel(token) {
+                self.jobs[child_id as usize].refs -= 1;
+            }
         }
         self.breaker_success(instance);
         let parent_id = parent.expect("child jobs have parents");
         self.reply_to_parent(parent_id);
+        self.maybe_free_job(child_id);
     }
 
     /// One of the parent's outstanding stage calls has been answered
@@ -672,11 +819,10 @@ impl Engine {
             job.remaining_cycles = cycles;
         }
         // Wake the worker holding this job.
-        let worker = self
-            .workers
-            .iter()
-            .position(|w| w.job == Some(parent_id))
-            .expect("a waiting job is held by a worker");
+        let worker = self.jobs[parent_id as usize]
+            .worker
+            .expect("a waiting job is held by a worker") as usize;
+        debug_assert_eq!(self.workers[worker].job, Some(parent_id));
         let task = self.workers[worker].task;
         match self.sched.wake_outcome(task) {
             Some(WakeOutcome::Started(p)) => self.on_placement(p),
@@ -703,6 +849,7 @@ impl Engine {
         let (instance, attempt, parent, request, span) = {
             let j = &mut self.jobs[job_id as usize];
             debug_assert!(!j.abandoned, "timeout token outlived abandonment");
+            j.refs -= 1;
             j.abandoned = true;
             j.timeout_token = None;
             (j.instance, j.attempt, j.parent, j.request, j.span)
@@ -710,8 +857,8 @@ impl Engine {
         let service = self.instances[instance].service;
         self.metrics.per_service[service].timeouts += 1;
         if let Some(span) = span {
-            self.tracer
-                .span_fault(RequestId(request), span, FaultCause::TimedOut);
+            let rid = self.rid(request);
+            self.tracer.span_fault(rid, span, FaultCause::TimedOut);
         }
         self.breaker_failure(instance);
         let retry = self
@@ -741,6 +888,7 @@ impl Engine {
                 }
             }
         }
+        self.maybe_free_job(job_id);
     }
 
     /// Fails `request` towards the client: a shed is bounced straight off
@@ -749,7 +897,8 @@ impl Engine {
     fn fail_request(&mut self, request_id: u64, cause: FaultCause) {
         let now = self.now();
         self.requests[request_id as usize].resolved = true;
-        self.tracer.fail(RequestId(request_id), cause, now);
+        let rid = self.rid(request_id);
+        self.tracer.fail(rid, cause, now);
         let delivery = match cause {
             FaultCause::Shed => {
                 self.metrics.requests_shed += 1;
@@ -760,6 +909,7 @@ impl Engine {
                 now
             }
         };
+        self.requests[request_id as usize].refs += 1;
         self.cal.schedule(
             delivery,
             Event::ClientFail {
@@ -778,6 +928,7 @@ impl Engine {
         }
         self.flush_progress(cpu);
         let exec = self.exec[cpu.index()].take().expect("checked above");
+        self.cal.cancel(exec.quantum_token);
         let worker = exec.worker;
         let job_id = self.workers[worker]
             .job
@@ -797,8 +948,12 @@ impl Engine {
         if self.sched.runqueue_len(cpu) == 0 {
             // Nothing to round-robin with; keep ticking.
             let quantum = self.params.sched.quantum;
-            self.cal
+            let token = self
+                .cal
                 .schedule(self.now() + quantum, Event::Quantum { cpu: cpu.0, gen });
+            if let Some(e) = self.exec[cpu.index()].as_mut() {
+                e.quantum_token = token;
+            }
             return;
         }
         // Preempt: flush, tear down exec, let the scheduler rotate.
@@ -877,9 +1032,10 @@ impl Engine {
             let j = &self.jobs[job_id as usize];
             (j.class, j.node, j.request)
         };
-        let children: Vec<usize> = self.classes[class].nodes[node].stages[stage].clone();
-        self.jobs[job_id as usize].pending = children.len();
-        for child_node in children {
+        let n_children = self.classes[class].nodes[node].stages[stage].len();
+        self.jobs[job_id as usize].pending = n_children;
+        for ci in 0..n_children {
+            let child_node = self.classes[class].nodes[node].stages[stage][ci];
             let service = self.classes[class].nodes[child_node].service;
             let instance = self.pick_instance(service, caller_cpu);
             let proximity = self
@@ -889,23 +1045,10 @@ impl Engine {
             let pre = self.classes[class].nodes[child_node].pre;
             let cycles = pre.sample_us(&mut self.demand_rng) * self.cycles_per_us
                 + cost.callee_cycles as f64;
-            let child_id = self.jobs.len() as u64;
-            self.jobs.push(Job {
-                request,
-                class,
-                node: child_node,
-                instance,
-                parent: Some(job_id),
-                phase: Phase::Pre,
-                pending: 0,
-                remaining_cycles: cycles,
-                enqueued_at: self.now(),
-                span: None,
-                attempt: 0,
-                abandoned: false,
-                timeout_token: None,
-            });
+            let child_id =
+                self.alloc_job(request, class, child_node, instance, Some(job_id), cycles, 0);
             self.instances[instance].outstanding += 1;
+            self.jobs[child_id as usize].refs += 1;
             self.cal.schedule(
                 self.now() + cost.latency,
                 Event::JobArrive { job: child_id },
@@ -925,6 +1068,7 @@ impl Engine {
         let token = self.cal.schedule(deadline, Event::CallTimeout { job: job_id });
         let instance = self.jobs[job_id as usize].instance;
         self.jobs[job_id as usize].timeout_token = Some(token);
+        self.jobs[job_id as usize].refs += 1;
         self.breaker_dispatch(instance);
     }
 
@@ -937,9 +1081,10 @@ impl Engine {
             j.phase = Phase::Done;
             (j.instance, j.parent, j.request, j.abandoned, j.span)
         };
+        let rid = self.rid(request);
         if let Some(span) = span {
             let now = self.now();
-            self.tracer.span_finished(RequestId(request), span, now);
+            self.tracer.span_finished(rid, span, now);
         }
         let service = self.instances[instance].service;
         self.metrics.per_service[service].jobs_completed += 1;
@@ -956,8 +1101,7 @@ impl Engine {
         } else if !self.instances[instance].up {
             self.metrics.replies_dropped += 1;
             if let Some(span) = span {
-                self.tracer
-                    .span_fault(RequestId(request), span, FaultCause::Crashed);
+                self.tracer.span_fault(rid, span, FaultCause::Crashed);
             }
             send_reply = false;
         } else if self.fault_aware {
@@ -973,8 +1117,7 @@ impl Engine {
                 if self.fault_rng.chance(fault.drop_probability) {
                     self.metrics.replies_dropped += 1;
                     if let Some(span) = span {
-                        self.tracer
-                            .span_fault(RequestId(request), span, FaultCause::ReplyDropped);
+                        self.tracer.span_fault(rid, span, FaultCause::ReplyDropped);
                     }
                     send_reply = false;
                 } else {
@@ -984,6 +1127,7 @@ impl Engine {
         }
 
         if send_reply {
+            self.jobs[job_id as usize].refs += 1;
             match parent {
                 Some(parent_id) => {
                     let parent_inst = self.jobs[parent_id as usize].instance;
@@ -1006,6 +1150,8 @@ impl Engine {
         }
 
         self.workers[worker].job = None;
+        self.jobs[job_id as usize].worker = None;
+        self.maybe_free_job(job_id);
         if let Some(next_job) = self.instances[instance].pending.pop_front() {
             self.assign_job(worker, next_job);
             true
@@ -1029,7 +1175,7 @@ impl Engine {
     /// call timeouts, ejects it.
     fn pick_entry_instance(&mut self, service: usize) -> Option<usize> {
         let n = self.per_service_instances[service].len();
-        let start = self.requests.len() % n;
+        let start = (self.submitted_total % n as u64) as usize;
         if !self.fault_aware {
             // Fast path: identical arithmetic (and zero breaker state probes)
             // to the pre-fault engine.
@@ -1060,9 +1206,8 @@ impl Engine {
     fn pick_instance(&mut self, service: usize, caller_cpu: CpuId) -> usize {
         let now = self.now();
         let fault_aware = self.fault_aware;
-        let mut candidates: Vec<Candidate> = Vec::with_capacity(
-            self.per_service_instances[service].len(),
-        );
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        candidates.clear();
         for idx in 0..self.per_service_instances[service].len() {
             let i = self.per_service_instances[service][idx];
             let mut c = Candidate::new(
@@ -1076,9 +1221,11 @@ impl Engine {
             }
             candidates.push(c);
         }
-        self.balancers[service]
+        let picked = self.balancers[service]
             .pick(&candidates, caller_cpu, &self.topo)
-            .index()
+            .index();
+        self.cand_scratch = candidates;
+        picked
     }
 
     // ---------------------------------------------------- retry dispatching
@@ -1097,24 +1244,9 @@ impl Engine {
         let pre = self.classes[class].nodes[0].pre;
         let cycles =
             pre.sample_us(&mut self.demand_rng) * self.cycles_per_us + cost.callee_cycles as f64;
-        let job_id = self.jobs.len() as u64;
-        self.jobs.push(Job {
-            request: request_id,
-            class,
-            node: 0,
-            instance,
-            parent: None,
-            phase: Phase::Pre,
-            pending: 0,
-            remaining_cycles: cycles,
-            enqueued_at: self.now(),
-            span: None,
-            attempt,
-            abandoned: false,
-            timeout_token: None,
-        });
-        self.requests[request_id as usize].root_job = job_id;
+        let job_id = self.alloc_job(request_id, class, 0, instance, None, cycles, attempt);
         self.instances[instance].outstanding += 1;
+        self.jobs[job_id as usize].refs += 1;
         self.cal.schedule(
             self.now() + delay + self.params.client_net_latency,
             Event::JobArrive { job: job_id },
@@ -1139,23 +1271,17 @@ impl Engine {
         let pre = self.classes[class].nodes[node].pre;
         let cycles =
             pre.sample_us(&mut self.demand_rng) * self.cycles_per_us + cost.callee_cycles as f64;
-        let child_id = self.jobs.len() as u64;
-        self.jobs.push(Job {
+        let child_id = self.alloc_job(
             request,
             class,
             node,
             instance,
-            parent: Some(parent_id),
-            phase: Phase::Pre,
-            pending: 0,
-            remaining_cycles: cycles,
-            enqueued_at: self.now(),
-            span: None,
-            attempt: attempt + 1,
-            abandoned: false,
-            timeout_token: None,
-        });
+            Some(parent_id),
+            cycles,
+            attempt + 1,
+        );
         self.instances[instance].outstanding += 1;
+        self.jobs[child_id as usize].refs += 1;
         self.cal.schedule(
             self.now() + delay + cost.latency,
             Event::JobArrive { job: child_id },
@@ -1260,11 +1386,13 @@ impl Engine {
         self.topo.freq_hz() / 1e9 * mult
     }
 
-    fn rate_for(&self, worker: usize, ctx: &ExecContext) -> f64 {
+    fn rate_for(&mut self, worker: usize, ctx: &ExecContext) -> f64 {
         let instance = self.workers[worker].instance;
         let service = self.instances[instance].service;
         let profile = &self.app.services()[service].profile;
-        let factor = self.params.uarch.speed_factor(profile, ctx).value();
+        let factor = self
+            .speed_memo
+            .factor(service as u32, profile, ctx, &self.params.uarch);
         // Reference cycles retired per nanosecond (at the boosted clock).
         self.wall_rate() * factor
     }
@@ -1282,6 +1410,10 @@ impl Engine {
         let done_token = self
             .cal
             .schedule(self.now() + eta, Event::WorkDone { cpu: cpu.0, gen });
+        let quantum_token = self.cal.schedule(
+            self.now() + self.params.sched.quantum,
+            Event::Quantum { cpu: cpu.0, gen },
+        );
         self.exec[cpu.index()] = Some(CpuExec {
             worker,
             rate,
@@ -1290,11 +1422,8 @@ impl Engine {
             since: self.now(),
             gen,
             done_token,
+            quantum_token,
         });
-        self.cal.schedule(
-            self.now() + self.params.sched.quantum,
-            Event::Quantum { cpu: cpu.0, gen },
-        );
         self.instances[self.workers[worker].instance].rep_cpu = cpu;
         self.rerate_neighbors(cpu);
     }
@@ -1307,6 +1436,7 @@ impl Engine {
             .take()
             .expect("release_exec on idle cpu");
         self.cal.cancel(exec.done_token);
+        self.cal.cancel(exec.quantum_token);
         self.rerate_neighbors(cpu);
     }
 
@@ -1329,15 +1459,18 @@ impl Engine {
             let center = (self.boost_bucket as f64 + 0.5) / 20.0;
             if (fraction - center).abs() > 0.075 {
                 self.boost_bucket = uarch::BoostModel::bucket(fraction);
-                let busy: Vec<CpuId> = self
-                    .topo
-                    .all_cpus()
-                    .iter()
-                    .filter(|c| self.exec[c.index()].is_some())
-                    .collect();
-                for cpu in busy {
+                let mut busy = std::mem::take(&mut self.cpu_scratch);
+                busy.clear();
+                busy.extend(
+                    self.topo
+                        .all_cpus()
+                        .iter()
+                        .filter(|c| self.exec[c.index()].is_some()),
+                );
+                for &cpu in &busy {
                     self.rerate(cpu);
                 }
+                self.cpu_scratch = busy;
             }
         }
     }
@@ -1361,9 +1494,10 @@ impl Engine {
             .expect("running worker holds a job");
         let job = &mut self.jobs[job_id as usize];
         job.remaining_cycles = (job.remaining_cycles - ref_cycles).max(0.0);
-        if let Some(span) = job.span {
-            let request = job.request;
-            self.tracer.span_cpu(RequestId(request), span, elapsed);
+        let (span, request) = (job.span, job.request);
+        if let Some(span) = span {
+            let rid = self.rid(request);
+            self.tracer.span_cpu(rid, span, elapsed);
         }
         let service = self.instances[self.workers[worker].instance].service;
         let profile = &self.app.services()[service].profile;
@@ -1385,15 +1519,70 @@ impl Engine {
     /// cache-pressure context may have changed).
     fn rerate_neighbors(&mut self, cpu: CpuId) {
         let ccx = self.topo.ccx_of(cpu);
-        let neighbors: Vec<CpuId> = self
-            .topo
-            .cpus_in_ccx(ccx)
-            .iter()
-            .filter(|&c| c != cpu && self.exec[c.index()].is_some())
-            .collect();
-        for c in neighbors {
-            self.rerate(c);
+        let mut neighbors = std::mem::take(&mut self.cpu_scratch);
+        neighbors.clear();
+        neighbors.extend(
+            self.topo
+                .cpus_in_ccx(ccx)
+                .iter()
+                .filter(|&c| c != cpu && self.exec[c.index()].is_some()),
+        );
+        if !neighbors.is_empty() {
+            // Occupancy doesn't change between neighbor re-rates, and for a
+            // CPU that is already running the own-context override in
+            // `exec_context` is the identity — so every neighbor sees
+            // exactly this CCX pressure. Compute the working-set scan once
+            // instead of once per neighbor.
+            let pressure = self.ccx_pressure(ccx);
+            for &c in &neighbors {
+                self.flush_progress(c);
+                let Some(exec) = self.exec[c.index()] else {
+                    continue;
+                };
+                let smt_sibling_busy = self
+                    .topo
+                    .smt_sibling(c)
+                    .map(|sib| self.exec[sib.index()].is_some())
+                    .unwrap_or(false);
+                let instance = self.workers[exec.worker].instance;
+                let numa_local = self.instances[instance].mem_node == self.topo.numa_of(c);
+                let ctx = ExecContext {
+                    smt_sibling_busy,
+                    ccx_pressure: pressure,
+                    numa_local,
+                };
+                self.rerate_with_ctx(c, exec, ctx);
+            }
         }
+        self.cpu_scratch = neighbors;
+    }
+
+    /// The shared-L3 working-set pressure of `ccx`'s currently running
+    /// tasks, exactly as [`Engine::exec_context`] would derive it for any
+    /// CPU already running there.
+    fn ccx_pressure(&self, ccx: cputopo::CcxId) -> f64 {
+        let l3 = self.topo.caches().l3_bytes as f64;
+        let mut running: [(usize, u32); 16] = [(usize::MAX, 0); 16];
+        let mut n_entries = 0;
+        for c in self.topo.cpus_in_ccx(ccx).iter() {
+            let Some(w) = self.exec[c.index()].map(|e| e.worker) else {
+                continue;
+            };
+            let inst = self.workers[w].instance;
+            if let Some(entry) = running[..n_entries].iter_mut().find(|e| e.0 == inst) {
+                entry.1 += 1;
+            } else if n_entries < running.len() {
+                running[n_entries] = (inst, 1);
+                n_entries += 1;
+            }
+        }
+        let mut ws_sum = 0.0;
+        for &(inst, k) in &running[..n_entries] {
+            let service = self.instances[inst].service;
+            let base = self.app.services()[service].profile.working_set_bytes as f64;
+            ws_sum += base * (1.0 + 0.15 * (k.saturating_sub(1)) as f64).min(2.0);
+        }
+        ws_sum / l3
     }
 
     fn rerate(&mut self, cpu: CpuId) {
@@ -1402,11 +1591,16 @@ impl Engine {
             return;
         };
         let ctx = self.exec_context(cpu, exec.worker);
+        self.rerate_with_ctx(cpu, exec, ctx);
+    }
+
+    fn rerate_with_ctx(&mut self, cpu: CpuId, exec: CpuExec, ctx: ExecContext) {
         let rate = self.rate_for(exec.worker, &ctx);
         if (rate - exec.rate).abs() < 1e-12 {
             return;
         }
         self.cal.cancel(exec.done_token);
+        self.cal.cancel(exec.quantum_token);
         let job_id = self.workers[exec.worker]
             .job
             .expect("running worker holds a job");
@@ -1417,7 +1611,7 @@ impl Engine {
         let done_token = self
             .cal
             .schedule(self.now() + eta, Event::WorkDone { cpu: cpu.0, gen });
-        self.cal.schedule(
+        let quantum_token = self.cal.schedule(
             self.now() + self.params.sched.quantum,
             Event::Quantum { cpu: cpu.0, gen },
         );
@@ -1429,6 +1623,7 @@ impl Engine {
             since: self.now(),
             gen,
             done_token,
+            quantum_token,
         });
     }
 
@@ -1491,18 +1686,32 @@ impl EngineCtx for Engine {
     fn submit(&mut self, class: u32, client: u64) -> RequestId {
         let class = class as usize;
         assert!(class < self.classes.len(), "unknown request class {class}");
-        let request_id = self.requests.len() as u64;
-        self.requests.push(RequestInfo {
+        // The externally visible id is the submission ordinal — stable under
+        // slot recycling, so traces and reports match the pre-slab engine.
+        let ordinal = self.submitted_total;
+        self.submitted_total += 1;
+        let info = RequestInfo {
+            id: ordinal,
             class,
             client,
             submitted_at: self.now(),
-            root_job: u64::MAX,
             resolved: false,
-        });
+            refs: 0,
+        };
+        let request_id = match self.free_requests.pop() {
+            Some(slot) => {
+                self.requests[slot as usize] = info;
+                slot as u64
+            }
+            None => {
+                self.requests.push(info);
+                (self.requests.len() - 1) as u64
+            }
+        };
         let now = self.now();
         self.tracer.maybe_open(
-            request_id,
-            RequestId(request_id),
+            ordinal,
+            RequestId(ordinal),
             RequestClassId(class as u32),
             now,
         );
@@ -1511,7 +1720,7 @@ impl EngineCtx for Engine {
         // picks the least-loaded entry instance (what a front-end proxy
         // does), regardless of the inter-service LB policy.
         self.dispatch_root_attempt(request_id, SimDuration::ZERO, 0);
-        RequestId(request_id)
+        RequestId(ordinal)
     }
 
     fn rng(&mut self) -> &mut Rng {
@@ -1795,7 +2004,7 @@ mod tests {
                 Engine::new(topo.clone(), EngineParams::default(), app, deployment, seed);
             let mut driver = CountingDriver::new(50);
             engine.run(&mut driver, SimTime::from_secs(5));
-            lats.push(driver.latencies.clone());
+            lats.push(std::mem::take(&mut driver.latencies));
         }
         assert_ne!(lats[0], lats[1]);
     }

@@ -147,6 +147,12 @@ impl Tracer {
         }
     }
 
+    /// Whether tracing is on at all — lets the engine skip span bookkeeping
+    /// (including building span arguments) on the hot path entirely.
+    pub fn enabled(&self) -> bool {
+        self.sample_every.is_some()
+    }
+
     /// Should this request (by ordinal) be traced? If so, opens the trace.
     pub fn maybe_open(
         &mut self,

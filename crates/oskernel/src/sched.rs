@@ -88,6 +88,10 @@ pub struct Scheduler {
     tasks: Vec<Task>,
     runqueues: Vec<RunQueue>,
     running: Vec<Option<TaskId>>,
+    /// Runnable-but-queued tasks across all runqueues, kept in sync with
+    /// every push/pop/remove so idle paths (notably steals) can bail out in
+    /// O(1) on an unqueued machine.
+    queued_total: usize,
     stats: SchedStats,
 }
 
@@ -101,6 +105,7 @@ impl Scheduler {
             tasks: Vec::new(),
             runqueues: (0..ncpus).map(|_| RunQueue::new()).collect(),
             running: vec![None; ncpus],
+            queued_total: 0,
             stats: SchedStats::default(),
         }
     }
@@ -213,6 +218,9 @@ impl Scheduler {
             let queued_on = (0..self.runqueues.len())
                 .find(|&i| self.runqueues[i].remove(task))
                 .map(|i| CpuId(i as u32));
+            if queued_on.is_some() {
+                self.queued_total -= 1;
+            }
             self.tasks[task.index()].affinity = affinity;
             if let Some(old) = queued_on {
                 let target = if self.tasks[task.index()].affinity.contains(old) {
@@ -221,6 +229,7 @@ impl Scheduler {
                     self.least_loaded(&self.tasks[task.index()].affinity.clone())
                 };
                 self.runqueues[target.index()].push(task, vruntime);
+                self.queued_total += 1;
             }
         } else {
             self.tasks[task.index()].affinity = affinity;
@@ -249,18 +258,17 @@ impl Scheduler {
             return None;
         }
         self.stats.wakeups += 1;
-        let affinity = self.tasks[task.index()].affinity.clone();
-        let anchor = self.tasks[task.index()]
-            .last_cpu
-            .or_else(|| affinity.first());
+        let t = &self.tasks[task.index()];
+        let anchor = t.last_cpu.or_else(|| t.affinity.first());
 
-        if let Some(cpu) = self.find_idle_cpu(anchor, &affinity) {
+        if let Some(cpu) = self.find_idle_cpu(anchor, &self.tasks[task.index()].affinity) {
             Some(WakeOutcome::Started(self.start_on(task, cpu)))
         } else {
-            let cpu = self.least_loaded(&affinity);
+            let cpu = self.least_loaded(&self.tasks[task.index()].affinity);
             self.tasks[task.index()].state = TaskState::Runnable;
             let vruntime = self.tasks[task.index()].vruntime;
             self.runqueues[cpu.index()].push(task, vruntime);
+            self.queued_total += 1;
             Some(WakeOutcome::Queued(cpu))
         }
     }
@@ -289,6 +297,7 @@ impl Scheduler {
             TaskState::Runnable => {
                 for rq in &mut self.runqueues {
                     if rq.remove(task) {
+                        self.queued_total -= 1;
                         break;
                     }
                 }
@@ -315,6 +324,7 @@ impl Scheduler {
         self.deschedule(current, TaskState::Runnable);
         let vruntime = self.tasks[current.index()].vruntime;
         self.runqueues[cpu.index()].push(current, vruntime);
+        self.queued_total += 1;
         Some(self.promote_next(cpu))
     }
 
@@ -323,7 +333,7 @@ impl Scheduler {
     ///
     /// Returns the placement if a task was stolen and started.
     pub fn steal(&mut self, cpu: CpuId) -> Option<Placement> {
-        if !self.params.steal_enabled || self.is_busy(cpu) {
+        if !self.params.steal_enabled || self.queued_total == 0 || self.is_busy(cpu) {
             return None;
         }
         let domains = self.topo.domains_of(cpu);
@@ -360,6 +370,7 @@ impl Scheduler {
         }
         let (_, victim_cpu, task) = victim?;
         self.runqueues[victim_cpu.index()].remove(task);
+        self.queued_total -= 1;
         self.tasks[task.index()].state = TaskState::Blocked; // transitional
         let placement = self.start_on(task, cpu);
         self.stats.steals += 1;
@@ -410,7 +421,11 @@ impl Scheduler {
     }
 
     fn promote_next(&mut self, cpu: CpuId) -> Switch {
-        let next = self.runqueues[cpu.index()].pop().map(|task| {
+        let next = self.runqueues[cpu.index()].pop();
+        if next.is_some() {
+            self.queued_total -= 1;
+        }
+        let next = next.map(|task| {
             self.tasks[task.index()].state = TaskState::Blocked; // transitional
             self.start_on(task, cpu)
         });

@@ -3,51 +3,146 @@
 //!
 //! [`Calendar`] is the single ordering authority of a simulation. Events
 //! scheduled for the same instant pop in FIFO order (stable tie-breaking by
-//! insertion sequence), which makes runs bit-reproducible regardless of heap
+//! insertion sequence), which makes runs bit-reproducible regardless of queue
 //! internals.
 //!
-//! Cancellation is supported through [`EventToken`]s: cancelling marks the
-//! entry dead and it is skipped (and its payload dropped) when it surfaces.
-//! This "lazy deletion" keeps both scheduling and cancellation at O(log n)
-//! amortized.
+//! # Implementation
+//!
+//! Internally this is a hierarchical timer wheel ([`LEVELS`] levels of
+//! [`SLOTS`] slots each; level 0 buckets events into 2^[`GRAIN_BITS`]-ns
+//! slots) backed by a slab of entries with a free list, plus an overflow
+//! binary heap for events beyond the wheel horizon (~73 minutes from the
+//! wheel's current base). Scheduling and cancellation are O(1); popping
+//! drains one level-0 slot at a time into a sorted `ready` batch, so the
+//! per-event cost is the amortized cost of one small sort — no hashing, no
+//! global heap rebalance.
+//!
+//! Cancellation is supported through [`EventToken`]s: cancelling drops the
+//! payload immediately and leaves a tombstone in whatever slot the entry
+//! occupies; the tombstone is reclaimed when its slot is drained. Tokens are
+//! generation-tagged, so a stale token (for an event that already fired or
+//! was cancelled) is harmless.
+//!
+//! # Ordering invariant
+//!
+//! All pending events strictly earlier than the wheel base live in the
+//! sorted `ready` batch; the wheel and overflow heap only hold events at or
+//! after the base. An event is placed at the *lowest* level whose block
+//! (256-slot page) contains both the event time and the base — this rule
+//! means a forward slot scan never skips an event that wrapped into the next
+//! block, and cascading a higher-level slot always lands its entries at
+//! strictly lower levels.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// log2 of the level-0 slot width in nanoseconds (1024 ns).
+const GRAIN_BITS: u32 = 10;
+/// log2 of the number of slots per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; events beyond the top level's horizon overflow
+/// into a binary heap.
+const LEVELS: usize = 4;
+/// Words in each level's occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+/// Low bits of a timestamp within one level-0 slot.
+const GRAIN_MASK: u64 = (1 << GRAIN_BITS) - 1;
+
+#[inline]
+fn level_shift(level: usize) -> u32 {
+    GRAIN_BITS + SLOT_BITS * level as u32
+}
+
+/// Slot index of `ns` within its block at `level`.
+#[inline]
+fn slot_of(ns: u64, level: usize) -> usize {
+    ((ns >> level_shift(level)) & (SLOTS as u64 - 1)) as usize
+}
+
+/// Block (256-slot page) number of `ns` at `level`.
+#[inline]
+fn block_of(ns: u64, level: usize) -> u64 {
+    ns >> (level_shift(level) + SLOT_BITS)
+}
 
 /// Handle to a scheduled event, used to cancel it before it fires.
 ///
-/// Tokens are unique per [`Calendar`] for the lifetime of the calendar; they
-/// are never reused, so a stale token is harmless (cancelling an event that
-/// already fired is a no-op that returns `false`).
+/// Tokens pack a slab index with a generation counter; the generation is
+/// bumped every time a slab entry is recycled, so a stale token (for an
+/// event that already fired or was cancelled) is harmless — cancelling it is
+/// a no-op that returns `false`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventToken(u64);
 
+impl EventToken {
+    #[inline]
+    fn pack(idx: u32, gen: u32) -> Self {
+        EventToken(((gen as u64) << 32) | idx as u64)
+    }
+    #[inline]
+    fn idx(self) -> usize {
+        (self.0 & 0xffff_ffff) as usize
+    }
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 #[derive(Debug)]
 struct Entry<E> {
-    at: SimTime,
+    at: u64,
     seq: u64,
+    gen: u32,
+    cancelled: bool,
     payload: Option<E>,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+#[derive(Debug)]
+struct Level {
+    slots: Vec<Vec<u32>>,
+    occ: [u64; WORDS],
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; WORDS],
+        }
     }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+    #[inline]
+    fn occupied(&self, slot: usize) -> bool {
+        self.occ[slot / 64] & (1 << (slot % 64)) != 0
+    }
+    #[inline]
+    fn mark(&mut self, slot: usize) {
+        self.occ[slot / 64] |= 1 << (slot % 64);
+    }
+    #[inline]
+    fn unmark(&mut self, slot: usize) {
+        self.occ[slot / 64] &= !(1 << (slot % 64));
+    }
+    /// First occupied slot at or after `from`, if any.
+    fn scan(&self, from: usize) -> Option<usize> {
+        let mut w = from / 64;
+        if w >= WORDS {
+            return None;
+        }
+        let mut word = self.occ[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= WORDS {
+                return None;
+            }
+            word = self.occ[w];
+        }
     }
 }
 
@@ -69,12 +164,20 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct Calendar<E> {
-    heap: BinaryHeap<Entry<E>>,
+    slab: Vec<Entry<E>>,
+    free: Vec<u32>,
+    levels: Vec<Level>,
+    /// Events beyond the wheel horizon, min-ordered by (time, seq).
+    overflow: BinaryHeap<(Reverse<(u64, u64)>, u32)>,
+    /// Entry indices with `at < base`, sorted descending by (at, seq) so the
+    /// earliest event pops from the back.
+    ready: Vec<u32>,
+    scratch: Vec<u32>,
+    /// Everything strictly before `base` is in `ready` (or already popped);
+    /// the wheel and overflow only hold events at or after `base`.
+    base: u64,
     next_seq: u64,
-    // Sequence numbers currently live in the heap. Cancellation moves a seq
-    // from `pending` to `cancelled`; pop skips entries found in `cancelled`.
-    pending: std::collections::HashSet<u64>,
-    cancelled: std::collections::HashSet<u64>,
+    live: usize,
     now: SimTime,
 }
 
@@ -88,10 +191,15 @@ impl<E> Calendar<E> {
     /// Creates an empty calendar positioned at [`SimTime::ZERO`].
     pub fn new() -> Self {
         Calendar {
-            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: BinaryHeap::new(),
+            ready: Vec::new(),
+            scratch: Vec::new(),
+            base: 0,
             next_seq: 0,
-            pending: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            live: 0,
             now: SimTime::ZERO,
         }
     }
@@ -103,12 +211,12 @@ impl<E> Calendar<E> {
 
     /// Number of live (not cancelled) events still pending.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// `true` if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
     /// Schedules `payload` to fire at `at`, returning a token that can cancel it.
@@ -125,13 +233,42 @@ impl<E> Calendar<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            at,
-            seq,
-            payload: Some(payload),
-        });
-        self.pending.insert(seq);
-        EventToken(seq)
+        let ns = at.as_nanos();
+        let (idx, gen) = match self.free.pop() {
+            Some(idx) => {
+                let e = &mut self.slab[idx as usize];
+                e.at = ns;
+                e.seq = seq;
+                e.cancelled = false;
+                e.payload = Some(payload);
+                (idx, e.gen)
+            }
+            None => {
+                let idx = self.slab.len() as u32;
+                self.slab.push(Entry {
+                    at: ns,
+                    seq,
+                    gen: 0,
+                    cancelled: false,
+                    payload: Some(payload),
+                });
+                (idx, 0)
+            }
+        };
+        self.live += 1;
+        if ns < self.base {
+            // Already inside the drained window: merge into the sorted
+            // ready batch (descending, so the earliest stays at the back).
+            let slab = &self.slab;
+            let key = (ns, seq);
+            let pos = self
+                .ready
+                .partition_point(|&i| (slab[i as usize].at, slab[i as usize].seq) > key);
+            self.ready.insert(pos, idx);
+        } else {
+            self.insert_wheel(idx, ns);
+        }
+        EventToken::pack(idx, gen)
     }
 
     /// Cancels a pending event.
@@ -139,11 +276,15 @@ impl<E> Calendar<E> {
     /// Returns `true` if the event was still pending (it will now never
     /// fire), `false` if it had already fired or been cancelled.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if self.pending.remove(&token.0) {
-            self.cancelled.insert(token.0);
-            true
-        } else {
-            false
+        let idx = token.idx();
+        match self.slab.get_mut(idx) {
+            Some(e) if e.gen == token.gen() && !e.cancelled && e.payload.is_some() => {
+                e.cancelled = true;
+                e.payload = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -151,30 +292,184 @@ impl<E> Calendar<E> {
     ///
     /// Returns `None` when the calendar is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(mut entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue; // cancelled: drop payload and keep searching
-            }
-            self.pending.remove(&entry.seq);
-            self.now = entry.at;
-            let payload = entry.payload.take().expect("calendar entry popped twice");
-            return Some((entry.at, payload));
+        if !self.ensure_ready() {
+            return None;
         }
-        None
+        let idx = self.ready.pop().expect("ensure_ready lied") as usize;
+        let e = &mut self.slab[idx];
+        let at = SimTime::from_nanos(e.at);
+        let payload = e.payload.take().expect("live ready entry without payload");
+        self.now = at;
+        self.live -= 1;
+        self.recycle(idx as u32);
+        Some((at, payload))
     }
 
     /// The timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Purge dead entries from the top so peek is accurate.
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let entry = self.heap.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&entry.seq);
-            } else {
-                return Some(entry.at);
+        if self.ensure_ready() {
+            let idx = *self.ready.last().expect("ensure_ready lied") as usize;
+            Some(SimTime::from_nanos(self.slab[idx].at))
+        } else {
+            None
+        }
+    }
+
+    /// Returns a slab entry to the free list, bumping its generation so any
+    /// outstanding token for it goes stale.
+    #[inline]
+    fn recycle(&mut self, idx: u32) {
+        let e = &mut self.slab[idx as usize];
+        e.gen = e.gen.wrapping_add(1);
+        e.cancelled = false;
+        e.payload = None;
+        self.free.push(idx);
+    }
+
+    /// Places an entry (with `at >= base`) into the wheel or overflow heap.
+    fn insert_wheel(&mut self, idx: u32, ns: u64) {
+        for level in 0..LEVELS {
+            if block_of(ns, level) == block_of(self.base, level) {
+                let s = slot_of(ns, level);
+                let lvl = &mut self.levels[level];
+                lvl.slots[s].push(idx);
+                lvl.mark(s);
+                return;
             }
         }
-        None
+        let seq = self.slab[idx as usize].seq;
+        self.overflow.push((Reverse((ns, seq)), idx));
+    }
+
+    /// Guarantees the back of `ready` is a live entry, refilling from the
+    /// wheel/overflow as needed. Returns `false` when no live events remain.
+    fn ensure_ready(&mut self) -> bool {
+        loop {
+            while let Some(&idx) = self.ready.last() {
+                if self.slab[idx as usize].cancelled {
+                    self.ready.pop();
+                    self.recycle(idx);
+                } else {
+                    return true;
+                }
+            }
+            if !self.refill() {
+                return false;
+            }
+        }
+    }
+
+    /// Drains the next non-empty time window into `ready` (sorted).
+    /// Returns `false` if the wheel and overflow are exhausted.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.ready.is_empty());
+        loop {
+            // Expand any higher-level slot whose range covers the base, so
+            // level 0 sees every event in the current block. By the
+            // placement rule these cascade to strictly lower levels.
+            for level in (1..LEVELS).rev() {
+                let s = slot_of(self.base, level);
+                if self.levels[level].occupied(s) {
+                    self.cascade(level, s);
+                }
+            }
+            // Drain the next occupied level-0 slot in the current block.
+            if let Some(s) = self.levels[0].scan(slot_of(self.base, 0)) {
+                let start = (block_of(self.base, 0) << (GRAIN_BITS + SLOT_BITS))
+                    | ((s as u64) << GRAIN_BITS);
+                let window_last = start | GRAIN_MASK;
+                self.ready.extend_from_slice(&self.levels[0].slots[s]);
+                self.levels[0].slots[s].clear();
+                self.levels[0].unmark(s);
+                self.drain_overflow(window_last);
+                self.base = window_last.saturating_add(1);
+                self.sort_ready();
+                if !self.ready.is_empty() {
+                    return true;
+                }
+                continue;
+            }
+            // Current block exhausted: jump to the next occupied slot at the
+            // lowest non-empty level and expand it. (Base's own slot at each
+            // level >= 1 is empty after the expansion pass above.)
+            let mut jumped = false;
+            for level in 1..LEVELS {
+                let from = slot_of(self.base, level) + 1;
+                if from >= SLOTS {
+                    continue;
+                }
+                if let Some(t) = self.levels[level].scan(from) {
+                    let shift = level_shift(level);
+                    self.base = (block_of(self.base, level) << (shift + SLOT_BITS))
+                        | ((t as u64) << shift);
+                    self.cascade(level, t);
+                    jumped = true;
+                    break;
+                }
+            }
+            if jumped {
+                continue;
+            }
+            // Wheel empty: serve straight from the overflow heap, one
+            // level-0-sized window at a time.
+            if let Some(&(Reverse((at, _)), _)) = self.overflow.peek() {
+                let window_last = at | GRAIN_MASK;
+                self.drain_overflow(window_last);
+                self.base = window_last.saturating_add(1);
+                self.sort_ready();
+                if !self.ready.is_empty() {
+                    return true;
+                }
+                continue;
+            }
+            return false;
+        }
+    }
+
+    /// Re-distributes one slot's entries into lower levels relative to the
+    /// current base, reclaiming tombstones along the way.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        debug_assert!(self.scratch.is_empty());
+        std::mem::swap(&mut self.scratch, &mut self.levels[level].slots[slot]);
+        self.levels[level].unmark(slot);
+        for i in 0..self.scratch.len() {
+            let idx = self.scratch[i];
+            let e = &self.slab[idx as usize];
+            if e.cancelled {
+                self.recycle(idx);
+            } else {
+                let ns = e.at;
+                debug_assert!(ns >= self.base);
+                self.insert_wheel(idx, ns);
+            }
+        }
+        self.scratch.clear();
+        // Hand the slot its (now empty) buffer back to avoid reallocating it.
+        std::mem::swap(&mut self.scratch, &mut self.levels[level].slots[slot]);
+    }
+
+    /// Moves overflow entries with `at <= window_last` into `ready` (unsorted).
+    fn drain_overflow(&mut self, window_last: u64) {
+        while let Some(&(Reverse((at, _)), idx)) = self.overflow.peek() {
+            if at > window_last {
+                break;
+            }
+            self.overflow.pop();
+            if self.slab[idx as usize].cancelled {
+                self.recycle(idx);
+            } else {
+                self.ready.push(idx);
+            }
+        }
+    }
+
+    fn sort_ready(&mut self) {
+        let slab = &self.slab;
+        self.ready.sort_unstable_by(|&a, &b| {
+            let ka = (slab[a as usize].at, slab[a as usize].seq);
+            let kb = (slab[b as usize].at, slab[b as usize].seq);
+            kb.cmp(&ka)
+        });
     }
 }
 
@@ -293,5 +588,64 @@ mod tests {
     fn stale_token_from_future_is_rejected() {
         let mut cal: Calendar<()> = Calendar::new();
         assert!(!cal.cancel(EventToken(99)));
+    }
+
+    #[test]
+    fn recycled_slot_invalidates_old_token() {
+        // A token must not cancel an unrelated event that reuses its slab slot.
+        let mut cal = Calendar::new();
+        let a = cal.schedule(SimTime::from_nanos(1), 'a');
+        cal.pop();
+        let _b = cal.schedule(SimTime::from_nanos(2), 'b');
+        assert!(!cal.cancel(a), "stale token must not hit the recycled slot");
+        assert_eq!(cal.pop(), Some((SimTime::from_nanos(2), 'b')));
+    }
+
+    #[test]
+    fn spans_level_boundaries_in_order() {
+        // One event per wheel level plus one past the horizon (overflow).
+        let mut cal = Calendar::new();
+        let times = [
+            1u64 << GRAIN_BITS,                      // level 0
+            1 << (GRAIN_BITS + SLOT_BITS),           // level 1
+            1 << (GRAIN_BITS + 2 * SLOT_BITS),       // level 2
+            1 << (GRAIN_BITS + 3 * SLOT_BITS),       // level 3
+            1 << (GRAIN_BITS + 4 * SLOT_BITS),       // overflow
+            (1 << (GRAIN_BITS + 4 * SLOT_BITS)) + 1, // overflow, FIFO after
+        ];
+        for (i, &t) in times.iter().enumerate().rev() {
+            cal.schedule(SimTime::from_nanos(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn block_crossing_does_not_skip_parked_events() {
+        // An event parked at level 1 (next level-0 block relative to the
+        // initial base) must still fire before a later one, even after the
+        // wheel advances into its block.
+        let mut cal = Calendar::new();
+        let block = 1u64 << (GRAIN_BITS + SLOT_BITS);
+        cal.schedule(SimTime::from_nanos(block + 5), 'b');
+        cal.schedule(SimTime::from_nanos(3), 'a');
+        cal.schedule(SimTime::from_nanos(2 * block + 7), 'c');
+        assert_eq!(cal.pop().unwrap().1, 'a');
+        assert_eq!(cal.pop().unwrap().1, 'b');
+        assert_eq!(cal.pop().unwrap().1, 'c');
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn far_future_then_near_schedules_interleave() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(3600), 'z'); // overflow horizon
+        cal.schedule(SimTime::from_nanos(50), 'a');
+        assert_eq!(cal.pop().unwrap().1, 'a');
+        // After popping, schedule inside the already-drained window.
+        cal.schedule(SimTime::from_nanos(60), 'b');
+        assert_eq!(cal.pop().unwrap().1, 'b');
+        assert_eq!(cal.pop().unwrap().1, 'z');
+        assert_eq!(cal.pop(), None);
     }
 }

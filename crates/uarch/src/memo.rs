@@ -1,0 +1,193 @@
+//! Memoized speed-factor lookups.
+//!
+//! [`UarchParams::speed_factor`] composes SMT, L3-pressure and NUMA terms in
+//! floating point on every placement, quantum expiry and neighborhood
+//! re-rate. Its inputs cluster heavily, though: a deployment has a handful of
+//! service profiles, two SMT states, two NUMA states, and only the CCX
+//! working-set sums that actually occur — so the same contention state is
+//! re-derived millions of times over a run. [`SpeedMemo`] caches the factor
+//! per `(service, smt, numa, pressure-bits)` key.
+//!
+//! Determinism: the cached value is the bit-exact `f64` the model produced
+//! for that key on first sight, and the key includes the raw bits of
+//! `ccx_pressure`, so a memoized run retires exactly the cycles an
+//! unmemoized one does.
+
+use crate::params::{ExecContext, UarchParams};
+use crate::profile::ServiceProfile;
+
+/// One memo slot: the packed key and the factor computed for it.
+type Slot = Option<(u128, f64)>;
+
+/// Open-addressed, linearly probed memo table for speed factors.
+///
+/// The table is owned by whoever owns the model inputs (one per engine): keys
+/// assume a fixed `service → profile` mapping and fixed [`UarchParams`] for
+/// the table's lifetime.
+#[derive(Debug, Clone)]
+pub struct SpeedMemo {
+    slots: Vec<Slot>,
+    len: usize,
+}
+
+impl Default for SpeedMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpeedMemo {
+    /// Initial capacity (slots); must be a power of two.
+    const INITIAL_SLOTS: usize = 1024;
+    /// Entry bound: the table is wiped rather than grown past this, so a
+    /// pathological pressure distribution cannot leak memory over a sweep.
+    const MAX_ENTRIES: usize = 64 * 1024;
+
+    pub fn new() -> Self {
+        SpeedMemo {
+            slots: vec![None; Self::INITIAL_SLOTS],
+            len: 0,
+        }
+    }
+
+    /// The speed factor for (`service`, `ctx`), computed via `params` on
+    /// first sight and replayed bit-exactly afterwards.
+    ///
+    /// `service` must consistently identify `profile` for this table's
+    /// lifetime (in the engine it is the service id).
+    pub fn factor(
+        &mut self,
+        service: u32,
+        profile: &ServiceProfile,
+        ctx: &ExecContext,
+        params: &UarchParams,
+    ) -> f64 {
+        let flags = (ctx.smt_sibling_busy as u128) | ((ctx.numa_local as u128) << 1);
+        let key: u128 =
+            ((service as u128) << 96) | (flags << 64) | ctx.ccx_pressure.to_bits() as u128;
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(key) & mask;
+        loop {
+            match self.slots[i] {
+                Some((k, v)) if k == key => return v,
+                Some(_) => i = (i + 1) & mask,
+                None => break,
+            }
+        }
+        let value = params.speed_factor(profile, ctx).value();
+        self.slots[i] = Some((key, value));
+        self.len += 1;
+        if self.len * 4 > self.slots.len() * 3 {
+            if self.slots.len() >= Self::MAX_ENTRIES {
+                self.slots.iter_mut().for_each(|s| *s = None);
+                self.len = 0;
+            } else {
+                self.grow();
+            }
+        }
+        value
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; doubled]);
+        let mask = self.slots.len() - 1;
+        for slot in old.into_iter().flatten() {
+            let mut i = Self::hash(slot.0) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(slot);
+        }
+    }
+
+    /// SplitMix64-style finalizer over the folded key: cheap and good enough
+    /// to keep probe chains short for clustered pressure values.
+    fn hash(key: u128) -> usize {
+        let mut h = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        h as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(smt: bool, pressure: f64, numa: bool) -> ExecContext {
+        ExecContext {
+            smt_sibling_busy: smt,
+            ccx_pressure: pressure,
+            numa_local: numa,
+        }
+    }
+
+    #[test]
+    fn memoized_factor_is_bit_exact() {
+        let params = UarchParams::default();
+        let profile = ServiceProfile::web_frontend("webui");
+        let mut memo = SpeedMemo::new();
+        for &(smt, p, numa) in &[
+            (false, 0.0, true),
+            (true, 0.83, true),
+            (true, 2.41, false),
+            (false, 2.41, false),
+        ] {
+            let c = ctx(smt, p, numa);
+            let direct = params.speed_factor(&profile, &c).value();
+            // Miss then hit must both equal the direct computation exactly.
+            assert_eq!(memo.factor(0, &profile, &c, &params).to_bits(), direct.to_bits());
+            assert_eq!(memo.factor(0, &profile, &c, &params).to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
+    fn distinct_services_do_not_collide() {
+        let params = UarchParams::default();
+        let web = ServiceProfile::web_frontend("webui");
+        let db = ServiceProfile::database("db");
+        let mut memo = SpeedMemo::new();
+        let c = ctx(true, 1.5, false);
+        let a = memo.factor(0, &web, &c, &params);
+        let b = memo.factor(1, &db, &c, &params);
+        assert_eq!(a.to_bits(), params.speed_factor(&web, &c).value().to_bits());
+        assert_eq!(b.to_bits(), params.speed_factor(&db, &c).value().to_bits());
+    }
+
+    #[test]
+    fn growth_keeps_entries_reachable() {
+        let params = UarchParams::default();
+        let profile = ServiceProfile::web_frontend("webui");
+        let mut memo = SpeedMemo::new();
+        // Force several doublings with distinct pressure keys.
+        for i in 0..4096u32 {
+            let c = ctx(false, i as f64 / 128.0, true);
+            memo.factor(0, &profile, &c, &params);
+        }
+        for i in 0..4096u32 {
+            let c = ctx(false, i as f64 / 128.0, true);
+            let direct = params.speed_factor(&profile, &c).value();
+            assert_eq!(memo.factor(0, &profile, &c, &params).to_bits(), direct.to_bits());
+        }
+    }
+
+    #[test]
+    fn wipes_instead_of_growing_unboundedly() {
+        let params = UarchParams::default();
+        let profile = ServiceProfile::web_frontend("webui");
+        let mut memo = SpeedMemo::new();
+        for i in 0..200_000u32 {
+            let c = ctx(false, i as f64 * 1e-4, true);
+            memo.factor(0, &profile, &c, &params);
+        }
+        assert!(memo.slots.len() <= SpeedMemo::MAX_ENTRIES);
+        // Still correct after the wipe.
+        let c = ctx(true, 3.0, false);
+        let direct = params.speed_factor(&profile, &c).value();
+        assert_eq!(memo.factor(0, &profile, &c, &params).to_bits(), direct.to_bits());
+    }
+}

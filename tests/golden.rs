@@ -1,0 +1,61 @@
+//! Golden-output tests for the hot-path overhaul: the timer wheel, the
+//! slab-recycled request path, the memoized CPI model, and the parallel
+//! sweep runner must all be invisible in the reports.
+//!
+//! Two guarantees:
+//! 1. The quick-config E3/E8 tables hash to recorded values — any change to
+//!    the simulation's arithmetic or event ordering trips these.
+//! 2. Running a sweep with 1 worker and with 8 workers yields byte-identical
+//!    tables — the work-stealing pool only changes *when* a point runs, the
+//!    merge order is the sweep order.
+
+use scaleup_bench::{experiments as exp, Config};
+use std::sync::Mutex;
+
+/// Serializes tests that touch the global `scaleup::par` worker count.
+static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn e3_e8_quick_tables_match_golden_hashes() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    let e3 = exp::e3(&config).table;
+    let e8 = exp::e8(&config).table;
+    // Recorded from the pre-overhaul seed (verified byte-identical across
+    // the BinaryHeap->wheel, alloc->slab, and sequential->parallel changes).
+    assert_eq!(
+        fnv1a(&e3),
+        0xb1ff_8356_b91c_cc85,
+        "E3 quick table drifted; new hash {:#018x}, table:\n{e3}",
+        fnv1a(&e3)
+    );
+    assert_eq!(
+        fnv1a(&e8),
+        0x623d_25c1_8fc8_4803,
+        "E8 quick table drifted; new hash {:#018x}, table:\n{e8}",
+        fnv1a(&e8)
+    );
+}
+
+#[test]
+fn sweeps_are_byte_identical_at_any_worker_count() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    scaleup::par::set_jobs(1);
+    let seq = (exp::e3(&config).table, exp::e8(&config).table);
+    scaleup::par::set_jobs(8);
+    let par = (exp::e3(&config).table, exp::e8(&config).table);
+    scaleup::par::set_jobs(0); // restore auto
+    assert_eq!(seq.0, par.0, "E3 differs between --jobs 1 and --jobs 8");
+    assert_eq!(seq.1, par.1, "E8 differs between --jobs 1 and --jobs 8");
+}
