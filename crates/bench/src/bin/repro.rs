@@ -3,13 +3,15 @@
 //! ```text
 //! repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] <experiment>...
 //! repro all                    # everything, in order
+//! repro list                   # enumerate every experiment with a description
 //! repro e8 e9                  # just the headline pair
 //! repro --csv results e4 e8    # also write plot-ready CSV files
 //! repro --jobs 1 all           # force a sequential sweep (byte-identical)
 //! repro perf                   # simulator self-benchmark -> results/BENCH_simperf.json
 //! ```
 //!
-//! Experiments: e1 … e19 (e14–e19 are extensions/validation),
+//! Experiments: e1 … e23 (e14–e19 are extensions/validation, e20–e23 the
+//! overload & metastability studies),
 //! ablations: a1 (packing objective) a2 (LB) a3 (steal scope) a4 (quantum),
 //! plus `perf`, the simulator self-benchmark.
 //!
@@ -23,12 +25,20 @@ use std::time::Instant;
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "a1", "a2", "a3", "a4",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "a1", "a2", "a3", "a4",
 ];
+
+fn list() -> ! {
+    for (name, description) in exp::catalog() {
+        println!("{name:<5} {description}");
+    }
+    println!("perf  simulator self-benchmark (writes results/BENCH_simperf.json)");
+    std::process::exit(0);
+}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] <e1..e19 | a1..a4 | perf | all>...\n\
+        "usage: repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] <e1..e23 | a1..a4 | perf | all>...\n\
          e1  platform table          e8  placement comparison (+22% headline)\n\
          e2  TeaStore table          e9  latency at fixed load (−18% headline)\n\
          e3  load curve              e10 SMT study\n\
@@ -38,8 +48,11 @@ fn usage() -> ! {
          e7  replica tuning          e14 frequency-boost extension\n\
          e15 MVA validation          e16 mix-sensitivity extension\n\
          e17 enumeration orders      e18 slow-replica tail (faults)\n\
-         e19 crash & recovery        a1..a4 ablations\n\
-         perf simulator self-benchmark (writes results/BENCH_simperf.json)"
+         e19 crash & recovery       e20 overload sweep (admission control)\n\
+         e21 retry-storm metastability  e22 brownout / priority shedding\n\
+         e23 recovery hysteresis     a1..a4 ablations\n\
+         perf simulator self-benchmark (writes results/BENCH_simperf.json)\n\
+         list enumerate every experiment with a one-line description"
     );
     std::process::exit(2);
 }
@@ -75,6 +88,7 @@ fn main() {
                 html_path = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
             }
             "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
+            "list" => list(),
             "perf" => wanted.push("perf".to_owned()),
             e if ALL.contains(&e) => wanted.push(e.to_owned()),
             _ => usage(),
@@ -288,6 +302,144 @@ fn main() {
                         chart = chart.series(name, rep.throughput_series.clone());
                     }
                     report.chart("E19: crash and recovery", chart);
+                }
+                r.table
+            }
+            "e20" => {
+                let r = exp::e20(&config);
+                csv = Some(("e20_overload_sweep.csv".into(), exp::csv_e20(&r)));
+                if let Some(report) = html.as_mut() {
+                    let mut goodput = scaleup::html::LineChart::new(
+                        "goodput vs offered load (multiple of capacity)",
+                        "offered load (× capacity)",
+                        "req/s",
+                    );
+                    let mut p99 = scaleup::html::LineChart::new(
+                        "p99 latency vs offered load",
+                        "offered load (× capacity)",
+                        "p99 µs",
+                    );
+                    for (name, pick) in [
+                        ("unbounded", 0usize),
+                        ("admission control", 1usize),
+                    ] {
+                        let arm = |i: usize, m: &f64, u: &microsvc::RunReport, a: &microsvc::RunReport| {
+                            let r = if i == 0 { u } else { a };
+                            (*m, r.throughput_rps, r.latency_p99.as_micros_f64())
+                        };
+                        let pts: Vec<_> = r
+                            .rows
+                            .iter()
+                            .map(|(m, u, a)| arm(pick, m, u, a))
+                            .collect();
+                        goodput = goodput
+                            .series(name, pts.iter().map(|&(m, g, _)| (m, g)).collect());
+                        p99 = p99.series(name, pts.iter().map(|&(m, _, p)| (m, p)).collect());
+                    }
+                    report.chart("E20: overload sweep — goodput", goodput);
+                    report.chart("E20: overload sweep — tail latency", p99);
+                }
+                r.table
+            }
+            "e21" => {
+                let r = exp::e21(&config);
+                csv = Some(("e21_metastability.csv".into(), exp::csv_e21_series(&r)));
+                if let Some(report) = html.as_mut() {
+                    let mut goodput = scaleup::html::LineChart::new(
+                        "goodput through the retry storm",
+                        "seconds since measurement start",
+                        "req/s",
+                    );
+                    let mut depth = scaleup::html::LineChart::new(
+                        "pending-queue depth through the retry storm",
+                        "seconds since measurement start",
+                        "queued jobs",
+                    );
+                    for (name, rep) in &r.rows {
+                        goodput = goodput.series(name, rep.throughput_series.clone());
+                        depth = depth.series(name, rep.queue_depth_series.clone());
+                    }
+                    report.chart("E21: retry-storm metastability — goodput", goodput);
+                    report.chart("E21: retry-storm metastability — queue depth", depth);
+                    let rows: Vec<Vec<String>> = r
+                        .rows
+                        .iter()
+                        .map(|(name, rep)| {
+                            vec![
+                                name.clone(),
+                                format!("{:.0}", rep.throughput_rps),
+                                rep.requests_timed_out.to_string(),
+                                rep.overload.budget_denied.to_string(),
+                                rep.overload.total_sheds().to_string(),
+                                rep.overload.deferred.to_string(),
+                            ]
+                        })
+                        .collect();
+                    report.table(
+                        "E21: overload counters",
+                        &["config", "goodput", "timed out", "budget-denied", "shed", "deferred"],
+                        rows,
+                    );
+                }
+                r.table
+            }
+            "e22" => {
+                let r = exp::e22(&config);
+                csv = Some(("e22_brownout.csv".into(), exp::csv_e22(&r)));
+                if let Some(report) = html.as_mut() {
+                    let mut chart = scaleup::html::LineChart::new(
+                        "per-class goodput under 1.6× overload (priority shedding)",
+                        "seconds since measurement start",
+                        "req/s",
+                    );
+                    let (arm, rep) = &r.rows[1];
+                    for (class, series) in &rep.per_class_series {
+                        chart = chart.series(&format!("{arm}: {class}"), series.clone());
+                    }
+                    report.chart("E22: brownout — per-class goodput", chart);
+                    let rows: Vec<Vec<String>> = r
+                        .class_goodput
+                        .iter()
+                        .flat_map(|(arm, classes)| {
+                            classes.iter().map(move |(class, submitted, failed, goodput)| {
+                                vec![
+                                    arm.clone(),
+                                    class.clone(),
+                                    submitted.to_string(),
+                                    failed.to_string(),
+                                    format!("{:.1}%", goodput * 100.0),
+                                ]
+                            })
+                        })
+                        .collect();
+                    report.table(
+                        "E22: per-class goodput",
+                        &["config", "class", "submitted", "shed", "goodput"],
+                        rows,
+                    );
+                }
+                r.table
+            }
+            "e23" => {
+                let r = exp::e23(&config);
+                csv = Some(("e23_recovery.csv".into(), exp::csv_e23(&r)));
+                if let Some(report) = html.as_mut() {
+                    let mut goodput = scaleup::html::LineChart::new(
+                        "goodput through a 1s slowdown burst",
+                        "seconds since measurement start",
+                        "req/s",
+                    );
+                    let mut depth = scaleup::html::LineChart::new(
+                        "pending-queue depth through the burst",
+                        "seconds since measurement start",
+                        "queued jobs",
+                    );
+                    for (name, rep, _) in &r.rows {
+                        goodput = goodput.series(name, rep.throughput_series.clone());
+                        depth = depth.series(name, rep.queue_depth_series.clone());
+                    }
+                    report.chart("E23: recovery hysteresis — goodput", goodput);
+                    report.chart("E23: recovery hysteresis — queue depth", depth);
                 }
                 r.table
             }

@@ -6,8 +6,9 @@
 
 use cputopo::{enumerate, TopologyBuilder};
 use microsvc::{
-    AppSpec, BreakerPolicy, CallNode, Demand, Deployment, FaultPlan, InstanceConfig, InstanceId,
-    LbPolicy, ResilienceParams, RunReport, ServiceId, ServiceSpec,
+    AdmissionPolicy, AppSpec, BreakerPolicy, CallNode, Demand, Deployment, FaultPlan,
+    InstanceConfig, InstanceId, LbPolicy, OverloadParams, PriorityPolicy, ResilienceParams,
+    RetryBudgetPolicy, RetryPolicy, RunReport, ServiceId, ServiceSpec,
 };
 use scaleup::placement::{self, Objective, Policy};
 use scaleup::scaling::{self, ScalePoint};
@@ -1181,6 +1182,671 @@ pub fn min_throughput_bucket(report: &RunReport) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+// --------------------------------------------------------------- E20 … E23
+//
+// The overload studies run on a dedicated one-service application rather
+// than the full TeaStore: queue growth, retry storms and priority shedding
+// are properties of a single saturated tier, and a one-service app keeps
+// capacity, offered load and shed accounting exactly interpretable. The lab
+// is always the desktop machine — the phenomena do not need 256 CPUs, and
+// the paper configuration would only multiply event counts.
+
+/// Fixed per-request CPU demand of the overload app (µs).
+const OVERLOAD_DEMAND_US: f64 = 5_000.0;
+/// Replicas × worker threads of the overload deployment.
+const OVERLOAD_REPLICAS: usize = 4;
+const OVERLOAD_THREADS: usize = 4;
+
+/// The single-class overload application (E20, E21, E23).
+fn overload_app() -> AppSpec {
+    let mut app = AppSpec::new();
+    let svc = app.add_service(
+        ServiceSpec::new("api", uarch::ServiceProfile::light_rpc("api"))
+            .with_threads(OVERLOAD_THREADS),
+    );
+    app.add_class(
+        "browse",
+        1.0,
+        CallNode::leaf(svc, Demand::fixed_us(OVERLOAD_DEMAND_US)),
+    );
+    app
+}
+
+/// The brownout variant (E22): three request classes of the same service
+/// with identical demand, so per-class goodput differences are purely the
+/// shedding policy's doing.
+fn brownout_app() -> AppSpec {
+    let mut app = AppSpec::new();
+    let svc = app.add_service(
+        ServiceSpec::new("api", uarch::ServiceProfile::light_rpc("api"))
+            .with_threads(OVERLOAD_THREADS),
+    );
+    let demand = || CallNode::leaf(svc, Demand::fixed_us(OVERLOAD_DEMAND_US));
+    app.add_class("browse", 0.7, demand());
+    app.add_class("checkout", 0.1, demand());
+    app.add_class("recommend", 0.2, demand());
+    app
+}
+
+/// The lab the overload studies share: desktop machine, explicit windows.
+fn overload_lab(config: &Config, warmup: SimDuration, measure: SimDuration) -> Lab {
+    let mut lab = Lab::small(config.lab.seed);
+    lab.warmup = warmup;
+    lab.measure = measure;
+    lab
+}
+
+fn overload_deployment(app: &AppSpec, topo: &Arc<cputopo::Topology>) -> Deployment {
+    Deployment::uniform(app, topo, OVERLOAD_REPLICAS, OVERLOAD_THREADS)
+}
+
+/// Measured saturation throughput of the overload deployment: a short
+/// closed-loop probe with far more users than worker threads.
+fn overload_capacity(lab: &Lab, app: &AppSpec) -> f64 {
+    let mut probe = lab.clone();
+    probe.users = 256;
+    probe.think = SimDuration::from_millis(2);
+    probe.warmup = SimDuration::from_millis(300);
+    probe.measure = SimDuration::from_millis(700);
+    probe
+        .run_app(
+            app,
+            overload_deployment(app, &probe.topo),
+            LbPolicy::LeastOutstanding,
+        )
+        .throughput_rps
+}
+
+/// One open-loop overload run with the given policy knobs.
+fn run_overload(
+    lab: &Lab,
+    app: &AppSpec,
+    rate_rps: f64,
+    overload: Option<OverloadParams>,
+    resilience: Option<ResilienceParams>,
+    faults: FaultPlan,
+) -> RunReport {
+    let mut lab = lab.clone();
+    lab.engine_params.overload = overload;
+    lab.engine_params.resilience = resilience;
+    lab.engine_params.faults = faults;
+    lab.run_app_open(
+        app,
+        overload_deployment(app, &lab.topo),
+        LbPolicy::LeastOutstanding,
+        rate_rps,
+    )
+}
+
+/// A slowdown of every overload-app replica over an absolute time interval —
+/// the "trigger" of the metastability and recovery studies.
+fn overload_burst(from: SimTime, until: SimTime, factor: f64) -> FaultPlan {
+    let mut faults = FaultPlan::none();
+    for i in 0..OVERLOAD_REPLICAS as u32 {
+        faults = faults.slowdown(InstanceId(i), from, until, factor);
+    }
+    faults
+}
+
+/// Mean of the series values with `a <= t < b` (seconds from window start).
+fn series_mean(series: &[(f64, f64)], a: f64, b: f64) -> f64 {
+    let vals: Vec<f64> = series
+        .iter()
+        .filter(|&&(t, _)| t >= a && t < b)
+        .map(|&(_, v)| v)
+        .collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+/// Peak of the report's machine-wide pending-queue depth series.
+pub fn max_queue_depth(report: &RunReport) -> f64 {
+    report
+        .queue_depth_series
+        .iter()
+        .map(|&(_, d)| d)
+        .fold(0.0, f64::max)
+}
+
+/// Seconds from `t0` until the series first sustains `threshold` for
+/// `sustain` consecutive buckets (ignoring the final, possibly partial
+/// bucket); `None` if it never does.
+fn time_to_reach(series: &[(f64, f64)], t0: f64, threshold: f64, sustain: usize) -> Option<f64> {
+    let whole = &series[..series.len().saturating_sub(1)];
+    let mut run_start: Option<f64> = None;
+    let mut run_len = 0usize;
+    for &(t, v) in whole.iter().filter(|&&(t, _)| t >= t0) {
+        if v >= threshold {
+            if run_start.is_none() {
+                run_start = Some(t);
+            }
+            run_len += 1;
+            if run_len >= sustain {
+                return Some((run_start.expect("run started") - t0).max(0.0));
+            }
+        } else {
+            run_start = None;
+            run_len = 0;
+        }
+    }
+    None
+}
+
+/// How long the series stays below `threshold` after `t0`: seconds until
+/// the first bucket at or above it, or until `window_end` if none is. The
+/// series is sparse — buckets with no completions are simply absent — so a
+/// missing bucket counts as zero, not as recovery.
+fn pinned_secs(series: &[(f64, f64)], t0: f64, threshold: f64, window_end: f64) -> f64 {
+    for &(t, v) in series.iter().filter(|&&(t, _)| t >= t0) {
+        if v >= threshold {
+            return (t - t0).max(0.0);
+        }
+    }
+    (window_end - t0).max(0.0)
+}
+
+/// Seconds from `t0` until the queue-depth series first drops to `limit`
+/// jobs or fewer; `None` if it never drains inside the window.
+fn time_to_drain(series: &[(f64, f64)], t0: f64, limit: f64) -> Option<f64> {
+    series
+        .iter()
+        .find(|&&(t, d)| t >= t0 && d <= limit)
+        .map(|&(t, _)| (t - t0).max(0.0))
+}
+
+fn sum_retries(report: &RunReport) -> u64 {
+    report.services.iter().map(|s| s.retries).sum()
+}
+
+/// E20 result: goodput and tail latency across an offered-load sweep, with
+/// and without admission control.
+#[derive(Debug, Clone)]
+pub struct OverloadSweep {
+    /// Measured saturation throughput of the deployment.
+    pub capacity_rps: f64,
+    /// `(offered multiple of capacity, unbounded report, admission report)`.
+    pub rows: Vec<(f64, RunReport, RunReport)>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// E20 — the overload sweep. Offered load runs from half capacity to 3×;
+/// the unbounded arm lets queues grow without limit, the admission arm
+/// bounds each instance queue (reject-new at 64) and sheds stale work at
+/// dequeue (5 ms queue deadline). Under overload, admission control trades
+/// a bounded goodput loss for orders of magnitude of tail latency.
+pub fn e20(config: &Config) -> OverloadSweep {
+    let app = overload_app();
+    let lab = overload_lab(
+        config,
+        SimDuration::from_millis(500),
+        SimDuration::from_secs(4),
+    );
+    let capacity_rps = overload_capacity(&lab, &app);
+    let admission = OverloadParams::default()
+        .with_admission(AdmissionPolicy::RejectNew { bound: 64 })
+        .with_queue_deadline(SimDuration::from_millis(5));
+    let mults = vec![0.5, 1.0, 1.5, 2.0, 3.0];
+    let rows: Vec<(f64, RunReport, RunReport)> = scaleup::par::map(mults, |m| {
+        let rate = m * capacity_rps;
+        let unbounded = run_overload(
+            &lab,
+            &app,
+            rate,
+            Some(OverloadParams::default()),
+            None,
+            FaultPlan::none(),
+        );
+        let admitted = run_overload(
+            &lab,
+            &app,
+            rate,
+            Some(admission.clone()),
+            None,
+            FaultPlan::none(),
+        );
+        (m, unbounded, admitted)
+    });
+    let mut table = format!(
+        "E20: overload sweep — unbounded queues vs admission control (capacity ≈ {capacity_rps:.0} req/s)\n load  config          goodput      p99      shed   max queue\n"
+    );
+    for (m, unbounded, admitted) in &rows {
+        for (name, r) in [("unbounded", unbounded), ("admission", admitted)] {
+            let _ = writeln!(
+                table,
+                " {m:>3.1}×  {:<12} {:>8.0} {:>9} {:>8} {:>10.0}",
+                name,
+                r.throughput_rps,
+                r.latency_p99,
+                r.overload.total_sheds(),
+                max_queue_depth(r),
+            );
+        }
+    }
+    let (_, over_unbounded, over_admitted) = rows.last().expect("swept at least one load");
+    let _ = writeln!(
+        table,
+        "at 3× offered load: admission keeps p99 at {} vs {} unbounded ({}× lower)",
+        over_admitted.latency_p99,
+        over_unbounded.latency_p99,
+        (over_unbounded.latency_p99.as_secs_f64() / over_admitted.latency_p99.as_secs_f64())
+            .round(),
+    );
+    OverloadSweep {
+        capacity_rps,
+        rows,
+        table,
+    }
+}
+
+/// E21 result: the retry-storm metastability study.
+#[derive(Debug, Clone)]
+pub struct MetastabilityStudy {
+    /// Measured saturation throughput of the deployment.
+    pub capacity_rps: f64,
+    /// Offered open-loop load (0.65 × capacity).
+    pub rate_rps: f64,
+    /// `(configuration name, report)`: no budget, then retry budget.
+    pub rows: Vec<(String, RunReport)>,
+    /// Pre-trigger goodput of the no-budget arm (req/s).
+    pub pre_goodput_rps: f64,
+    /// How long the no-budget arm stays below 10% of pre-trigger goodput
+    /// after the burst ends (the metastable failure).
+    pub no_budget_pinned_secs: f64,
+    /// Goodput of the budget arm over the last 5 s, as % of pre-trigger.
+    pub budget_recovered_pct: f64,
+    /// Seconds after the burst until the budget arm sustains ≥90% of
+    /// pre-trigger goodput for 3 consecutive buckets.
+    pub budget_recovery_secs: Option<f64>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Burst window of the E21 trigger, in seconds relative to the measurement
+/// window start: `[2.5 s, 3.0 s)`.
+const E21_BURST_START_REL: f64 = 2.5;
+const E21_BURST_END_REL: f64 = 3.0;
+
+/// E21 — retry-storm metastability, and the retry budget that prevents it.
+///
+/// A moderate open-loop load (65% of capacity) runs with timeouts + 3
+/// retries. A half-second slowdown of every replica (×10 — a GC storm, a
+/// packet-loss burst) pushes queue waits past the timeout; every queued call
+/// is abandoned and retried, quadrupling the offered attempt rate past
+/// capacity — and because abandoned work still burns CPU, the queue never
+/// gets back under the timeout. The system stays saturated-but-useless long
+/// after the trigger is gone: a metastable failure sustained purely by the
+/// retries (the slowed work itself drains within ~2 s). A retry budget (10%
+/// of successes, small burst allowance) caps the amplification at ~1.1× and
+/// the backlog drains at the spare-capacity rate instead.
+pub fn e21(config: &Config) -> MetastabilityStudy {
+    let app = overload_app();
+    let lab = overload_lab(config, SimDuration::from_secs(1), SimDuration::from_secs(40));
+    let capacity_rps = overload_capacity(&lab, &app);
+    let rate_rps = 0.65 * capacity_rps;
+
+    // Calibrate the call timeout from a short fault-free run at the same
+    // load, exactly like the E18/E19 fault studies do.
+    let mut probe = lab.clone();
+    probe.warmup = SimDuration::from_millis(500);
+    probe.measure = SimDuration::from_secs(2);
+    let baseline = run_overload(&probe, &app, rate_rps, None, None, FaultPlan::none());
+    let resilience = derived_resilience(&baseline, false).with_retry(RetryPolicy {
+        max_retries: 3,
+        ..RetryPolicy::default()
+    });
+
+    let burst = overload_burst(
+        SimTime::ZERO + lab.warmup + SimDuration::from_secs_f64(E21_BURST_START_REL),
+        SimTime::ZERO + lab.warmup + SimDuration::from_secs_f64(E21_BURST_END_REL),
+        10.0,
+    );
+    let budget = RetryBudgetPolicy {
+        refill_per_success: 0.1,
+        cap: 50.0,
+        initial: 50.0,
+    };
+    let arms: Vec<(&str, OverloadParams)> = vec![
+        ("no retry budget", OverloadParams::default()),
+        (
+            "retry budget 10%",
+            OverloadParams::default().with_retry_budget(budget),
+        ),
+    ];
+    let rows: Vec<(String, RunReport)> = scaleup::par::map(arms, |(name, overload)| {
+        let r = run_overload(
+            &lab,
+            &app,
+            rate_rps,
+            Some(overload),
+            Some(resilience.clone()),
+            burst.clone(),
+        );
+        (name.to_owned(), r)
+    });
+
+    // Series timestamps are absolute (seconds since run start, warm-up
+    // included); shift the window-relative landmarks accordingly.
+    let t0 = lab.warmup.as_secs_f64();
+    let window_end = t0 + lab.measure.as_secs_f64();
+    let burst_start = t0 + E21_BURST_START_REL;
+    let burst_end = t0 + E21_BURST_END_REL;
+    let no_budget = &rows[0].1;
+    let with_budget = &rows[1].1;
+    let pre_goodput_rps = series_mean(&no_budget.throughput_series, t0 + 0.5, burst_start - 0.1);
+    let pre_budget = series_mean(&with_budget.throughput_series, t0 + 0.5, burst_start - 0.1);
+    let no_budget_pinned_secs = pinned_secs(
+        &no_budget.throughput_series,
+        burst_end,
+        0.10 * pre_goodput_rps,
+        window_end,
+    );
+    let budget_recovery_secs = time_to_reach(
+        &with_budget.throughput_series,
+        burst_end,
+        0.90 * pre_budget,
+        3,
+    );
+    let budget_recovered_pct =
+        100.0 * series_mean(&with_budget.throughput_series, window_end - 5.0, window_end)
+            / pre_budget;
+
+    let mut table = format!(
+        "E21: retry-storm metastability (open loop at {rate_rps:.0} req/s = 65% of capacity,\n     all replicas 10× slower over [{E21_BURST_START_REL}s, {E21_BURST_END_REL}s), timeouts + 3 retries)\nconfig               goodput   timed out    retries   budget-denied   max queue\n"
+    );
+    for (name, r) in &rows {
+        let _ = writeln!(
+            table,
+            "{:<18} {:>8.0} {:>11} {:>10} {:>15} {:>11.0}",
+            name,
+            r.throughput_rps,
+            r.requests_timed_out,
+            sum_retries(r),
+            r.overload.budget_denied,
+            max_queue_depth(r),
+        );
+    }
+    let _ = writeln!(
+        table,
+        "no-budget arm: goodput pinned below 10% of pre-trigger for {no_budget_pinned_secs:.1}s after the burst (metastable)",
+    );
+    let _ = writeln!(
+        table,
+        "e21 headline: retry budget recovered goodput to {budget_recovered_pct:.1}% of pre-trigger in {} (no-budget arm: pinned)",
+        budget_recovery_secs
+            .map(|s| format!("{s:.1}s"))
+            .unwrap_or_else(|| "∞".to_owned()),
+    );
+    MetastabilityStudy {
+        capacity_rps,
+        rate_rps,
+        rows,
+        pre_goodput_rps,
+        no_budget_pinned_secs,
+        budget_recovered_pct,
+        budget_recovery_secs,
+        table,
+    }
+}
+
+/// One request class's outcome in an E22 arm:
+/// `(class name, submitted, failed, goodput fraction)`.
+pub type ClassGoodput = (String, u64, u64, f64);
+
+/// E22 result: the brownout / graceful-degradation study.
+#[derive(Debug, Clone)]
+pub struct BrownoutStudy {
+    /// Measured saturation throughput of the deployment.
+    pub capacity_rps: f64,
+    /// Offered open-loop load (1.6 × capacity).
+    pub rate_rps: f64,
+    /// `(configuration name, report)`: class-blind, then priority shedding.
+    pub rows: Vec<(String, RunReport)>,
+    /// Per arm: `(arm name, per-class outcomes)`.
+    pub class_goodput: Vec<(String, Vec<ClassGoodput>)>,
+    /// Checkout goodput fraction under priority shedding (the headline).
+    pub checkout_goodput: f64,
+    /// Browse goodput fraction under priority shedding (the sacrifice).
+    pub browse_goodput: f64,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// E22 — brownout: graceful degradation under sustained 1.6× overload.
+///
+/// Three request classes share one saturated tier. A class-blind bounded
+/// queue sheds every class equally — checkout loses the same ~40% as
+/// browse. Priority shedding (checkout > recommend > browse, WRED-style
+/// per-priority depth thresholds on the shared queue) starves the
+/// best-effort classes first and keeps checkout goodput near 100%.
+pub fn e22(config: &Config) -> BrownoutStudy {
+    let app = brownout_app();
+    let lab = overload_lab(
+        config,
+        SimDuration::from_millis(500),
+        SimDuration::from_secs(4),
+    );
+    let capacity_rps = overload_capacity(&lab, &app);
+    let rate_rps = 1.6 * capacity_rps;
+    // Class priorities follow class order (browse, checkout, recommend):
+    // checkout is priority 0 (protected), recommend 1, browse 2. Depth
+    // thresholds per priority: checkout queues up to 4096 (effectively
+    // never shed), recommend up to 64, browse up to 32.
+    let arms: Vec<(&str, OverloadParams)> = vec![
+        (
+            "class-blind bound 64",
+            OverloadParams::default().with_admission(AdmissionPolicy::RejectNew { bound: 64 }),
+        ),
+        (
+            "priority shedding",
+            OverloadParams::default()
+                .with_priority(PriorityPolicy::new(vec![2, 0, 1], vec![4096, 64, 32])),
+        ),
+    ];
+    let rows: Vec<(String, RunReport)> = scaleup::par::map(arms, |(name, overload)| {
+        let r = run_overload(
+            &lab,
+            &app,
+            rate_rps,
+            Some(overload),
+            None,
+            FaultPlan::none(),
+        );
+        (name.to_owned(), r)
+    });
+    let class_names: Vec<String> = app.classes().iter().map(|c| c.name.clone()).collect();
+    let class_goodput: Vec<(String, Vec<ClassGoodput>)> = rows
+        .iter()
+        .map(|(arm, r)| {
+            let per_class = class_names
+                .iter()
+                .enumerate()
+                .map(|(c, name)| {
+                    let submitted = r.per_class_submitted[c];
+                    let failed = r.per_class_failed[c];
+                    let goodput = if submitted == 0 {
+                        0.0
+                    } else {
+                        1.0 - failed as f64 / submitted as f64
+                    };
+                    (name.clone(), submitted, failed, goodput)
+                })
+                .collect();
+            (arm.clone(), per_class)
+        })
+        .collect();
+    let priority_arm = &class_goodput[1].1;
+    let checkout_goodput = priority_arm[1].3;
+    let browse_goodput = priority_arm[0].3;
+    let mut table = format!(
+        "E22: brownout — graceful degradation at {rate_rps:.0} req/s (1.6× capacity)\nconfig                 class        submitted     shed   goodput\n"
+    );
+    for (arm, classes) in &class_goodput {
+        for (class, submitted, failed, goodput) in classes {
+            let _ = writeln!(
+                table,
+                "{:<22} {:<12} {:>9} {:>8} {:>8.1}%",
+                arm,
+                class,
+                submitted,
+                failed,
+                goodput * 100.0,
+            );
+        }
+    }
+    let _ = writeln!(
+        table,
+        "e22 headline: priority shedding keeps checkout goodput at {:.1}% while browse sheds to {:.1}%",
+        checkout_goodput * 100.0,
+        browse_goodput * 100.0,
+    );
+    BrownoutStudy {
+        capacity_rps,
+        rate_rps,
+        rows,
+        class_goodput,
+        checkout_goodput,
+        browse_goodput,
+        table,
+    }
+}
+
+/// E23 result: the recovery-hysteresis study.
+#[derive(Debug, Clone)]
+pub struct RecoveryStudy {
+    /// Measured saturation throughput of the deployment.
+    pub capacity_rps: f64,
+    /// Offered open-loop load (0.75 × capacity).
+    pub rate_rps: f64,
+    /// `(configuration name, report, seconds after the burst until the
+    /// backlog drains to ≤8 queued jobs — `None` if it never does)`.
+    pub rows: Vec<(String, RunReport, Option<f64>)>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Absolute burst window of the E23 trigger, relative to the measurement
+/// window start: `[1.0 s, 2.0 s)`.
+const E23_BURST_START_REL: f64 = 1.0;
+const E23_BURST_END_REL: f64 = 2.0;
+
+/// E23 — recovery hysteresis: how long the backlog outlives its trigger.
+///
+/// A 1 s slowdown at 75% load leaves a queue of stale work behind. With
+/// unbounded queues the backlog drains only at the spare-capacity rate and
+/// latency stays elevated long after the trigger (hysteresis); a bounded
+/// queue never builds the backlog; drop-oldest keeps the freshest work;
+/// a queue deadline (CoDel-style) discards exactly the work that is already
+/// too old to matter and recovers fastest.
+pub fn e23(config: &Config) -> RecoveryStudy {
+    let app = overload_app();
+    let lab = overload_lab(
+        config,
+        SimDuration::from_millis(500),
+        SimDuration::from_secs(30),
+    );
+    let capacity_rps = overload_capacity(&lab, &app);
+    let rate_rps = 0.75 * capacity_rps;
+    let burst = overload_burst(
+        SimTime::ZERO + lab.warmup + SimDuration::from_secs_f64(E23_BURST_START_REL),
+        SimTime::ZERO + lab.warmup + SimDuration::from_secs_f64(E23_BURST_END_REL),
+        10.0,
+    );
+    let arms: Vec<(&str, OverloadParams)> = vec![
+        ("unbounded", OverloadParams::default()),
+        (
+            "reject-new 128",
+            OverloadParams::default().with_admission(AdmissionPolicy::RejectNew { bound: 128 }),
+        ),
+        (
+            "drop-oldest 128",
+            OverloadParams::default().with_admission(AdmissionPolicy::DropOldest { bound: 128 }),
+        ),
+        (
+            "deadline 5ms",
+            OverloadParams::default().with_queue_deadline(SimDuration::from_millis(5)),
+        ),
+    ];
+    // Queue-depth timestamps are absolute (seconds since run start).
+    let burst_end = lab.warmup.as_secs_f64() + E23_BURST_END_REL;
+    let rows: Vec<(String, RunReport, Option<f64>)> = scaleup::par::map(arms, |(name, overload)| {
+        let r = run_overload(
+            &lab,
+            &app,
+            rate_rps,
+            Some(overload),
+            None,
+            burst.clone(),
+        );
+        let drain = time_to_drain(&r.queue_depth_series, burst_end, 8.0);
+        (name.to_owned(), r, drain)
+    });
+    let mut table = format!(
+        "E23: recovery hysteresis (open loop at {rate_rps:.0} req/s = 75% of capacity,\n     all replicas 10× slower over [{E23_BURST_START_REL}s, {E23_BURST_END_REL}s))\nconfig              goodput      p99      shed   max queue   drain after burst\n"
+    );
+    for (name, r, drain) in &rows {
+        let _ = writeln!(
+            table,
+            "{:<18} {:>8.0} {:>9} {:>8} {:>10.0} {:>14}",
+            name,
+            r.throughput_rps,
+            r.latency_p99,
+            r.overload.total_sheds(),
+            max_queue_depth(r),
+            drain
+                .map(|s| format!("{s:.1}s"))
+                .unwrap_or_else(|| "never".to_owned()),
+        );
+    }
+    table.push_str(
+        "(the backlog, not the trigger, sets the recovery time: bounded and deadline\n queues shed the stale work and the tail returns as soon as the trigger ends)\n",
+    );
+    RecoveryStudy {
+        capacity_rps,
+        rate_rps,
+        rows,
+        table,
+    }
+}
+
+// ------------------------------------------------------- experiment catalog
+
+/// Every experiment the `repro` binary knows, with a one-line description —
+/// drives `repro list` and the usage text.
+pub fn catalog() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("e1", "platform configuration table"),
+        ("e2", "TeaStore services, profiles and request mix"),
+        ("e3", "throughput/latency vs closed-loop users (load curve)"),
+        ("e4", "scale-up curve: throughput vs enabled logical CPUs + USL fit"),
+        ("e5", "per-service busy CPUs vs load"),
+        ("e6", "per-service scaling: replicate one tier at a time + USL"),
+        ("e7", "replica tuning of the bottleneck service"),
+        ("e8", "placement-policy comparison at saturation (+22% headline)"),
+        ("e9", "latency at matched open load (−18% headline)"),
+        ("e10", "SMT on/off at equal core count vs a compute-bound contrast"),
+        ("e11", "NUMA locality: local vs remote memory for the data tier"),
+        ("e12", "µarch characterization vs reference workloads"),
+        ("e13", "scheduler behaviour per placement policy"),
+        ("e14", "opportunistic frequency boost extension"),
+        ("e15", "simulator vs analytic MVA validation"),
+        ("e16", "workload-mix sensitivity extension"),
+        ("e17", "CPU-mask enumeration orders at a fixed CPU budget"),
+        ("e18", "slow-replica tail amplification + resilience (faults)"),
+        ("e19", "crash and recovery under load (faults)"),
+        ("e20", "overload sweep: admission control vs unbounded queues"),
+        ("e21", "retry-storm metastability; retry budgets recover it"),
+        ("e22", "brownout: priority shedding keeps checkout goodput high"),
+        ("e23", "recovery hysteresis: queue-bound policy vs backlog drain"),
+        ("a1", "ablation: topology-aware packing objective"),
+        ("a2", "ablation: load-balancer policy under pod placement"),
+        ("a3", "ablation: idle-steal scope of the scheduler"),
+        ("a4", "ablation: scheduler quantum vs tail latency"),
+    ]
+}
+
 // -------------------------------------------------------------- CSV export
 
 /// CSV of a [`ScalePoint`] series (used by E4/E6/E7 exports).
@@ -1339,6 +2005,103 @@ pub fn csv_e19_series(result: &FaultStudy) -> String {
         for &(t, rps) in &r.throughput_series {
             csv.row(&[name, &format!("{t:.3}"), &format!("{rps:.1}")]);
         }
+    }
+    csv.finish()
+}
+
+/// CSV of the E20 overload sweep (long format, one row per load × arm).
+pub fn csv_e20(result: &OverloadSweep) -> String {
+    let mut csv = scaleup::report::Csv::new(&[
+        "load_multiple",
+        "config",
+        "goodput_rps",
+        "p99_latency_us",
+        "shed",
+        "max_queue_depth",
+    ]);
+    for (m, unbounded, admitted) in &result.rows {
+        for (name, r) in [("unbounded", unbounded), ("admission", admitted)] {
+            csv.row(&[
+                &format!("{m:.2}"),
+                name,
+                &format!("{:.1}", r.throughput_rps),
+                &format!("{:.1}", r.latency_p99.as_micros_f64()),
+                &r.overload.total_sheds().to_string(),
+                &format!("{:.0}", max_queue_depth(r)),
+            ]);
+        }
+    }
+    csv.finish()
+}
+
+/// CSV of the E21 per-bucket goodput and queue-depth traces (long format).
+pub fn csv_e21_series(result: &MetastabilityStudy) -> String {
+    let mut csv =
+        scaleup::report::Csv::new(&["config", "t_secs", "goodput_rps", "queue_depth"]);
+    for (name, r) in &result.rows {
+        let depth: std::collections::HashMap<u64, f64> = r
+            .queue_depth_series
+            .iter()
+            .map(|&(t, d)| ((t * 1000.0).round() as u64, d))
+            .collect();
+        for &(t, rps) in &r.throughput_series {
+            let d = depth
+                .get(&((t * 1000.0).round() as u64))
+                .copied()
+                .unwrap_or(0.0);
+            csv.row(&[
+                name,
+                &format!("{t:.3}"),
+                &format!("{rps:.1}"),
+                &format!("{d:.0}"),
+            ]);
+        }
+    }
+    csv.finish()
+}
+
+/// CSV of the E22 per-class goodput (one row per arm × class).
+pub fn csv_e22(result: &BrownoutStudy) -> String {
+    let mut csv = scaleup::report::Csv::new(&[
+        "config",
+        "class",
+        "submitted",
+        "shed",
+        "goodput_fraction",
+    ]);
+    for (arm, classes) in &result.class_goodput {
+        for (class, submitted, failed, goodput) in classes {
+            csv.row(&[
+                arm,
+                class,
+                &submitted.to_string(),
+                &failed.to_string(),
+                &format!("{goodput:.4}"),
+            ]);
+        }
+    }
+    csv.finish()
+}
+
+/// CSV of the E23 recovery study (one row per arm).
+pub fn csv_e23(result: &RecoveryStudy) -> String {
+    let mut csv = scaleup::report::Csv::new(&[
+        "config",
+        "goodput_rps",
+        "p99_latency_us",
+        "shed",
+        "max_queue_depth",
+        "drain_secs_after_burst",
+    ]);
+    for (name, r, drain) in &result.rows {
+        csv.row(&[
+            name,
+            &format!("{:.1}", r.throughput_rps),
+            &format!("{:.1}", r.latency_p99.as_micros_f64()),
+            &r.overload.total_sheds().to_string(),
+            &format!("{:.0}", max_queue_depth(r)),
+            &drain.map(|s| format!("{s:.2}")).unwrap_or_default(),
+        ]);
     }
     csv.finish()
 }
@@ -1594,6 +2357,115 @@ mod tests {
             study.rows[3].1.throughput_rps > study.rows[1].1.throughput_rps,
             "breaker should also recover throughput"
         );
+    }
+
+    #[test]
+    fn catalog_covers_every_runnable_experiment() {
+        let names: Vec<&str> = catalog().iter().map(|(n, _)| *n).collect();
+        for e in 1..=23 {
+            assert!(names.contains(&format!("e{e}").as_str()), "missing e{e}");
+        }
+        for a in 1..=4 {
+            assert!(names.contains(&format!("a{a}").as_str()), "missing a{a}");
+        }
+    }
+
+    #[test]
+    fn e20_admission_control_caps_the_overload_tail() {
+        let c = quick();
+        let sweep = e20(&c);
+        assert!(sweep.capacity_rps > 100.0, "capacity {}", sweep.capacity_rps);
+        let (m, unbounded, admitted) = sweep.rows.last().expect("has rows");
+        assert!(*m >= 2.0);
+        // Unbounded queues under 3× load: tail explodes, nothing is shed.
+        assert_eq!(unbounded.overload.total_sheds(), 0);
+        assert!(
+            unbounded.latency_p99 > admitted.latency_p99.mul_f64(5.0),
+            "admission must cut the overload tail: {} vs {}",
+            admitted.latency_p99,
+            unbounded.latency_p99
+        );
+        // Admission control sheds the excess instead of queueing it, and
+        // still delivers goodput within 25% of the unbounded arm's.
+        assert!(admitted.overload.total_sheds() > 0);
+        assert!(admitted.throughput_rps > 0.75 * unbounded.throughput_rps);
+        // The queue-depth series must reflect the bound.
+        assert!(max_queue_depth(admitted) <= 65.0 * OVERLOAD_REPLICAS as f64);
+        // At half load the two arms behave identically: no sheds anywhere.
+        let (_, low_unbounded, low_admitted) = &sweep.rows[0];
+        assert_eq!(low_admitted.overload.total_sheds(), 0);
+        assert!((low_admitted.throughput_rps - low_unbounded.throughput_rps).abs() < 1.0);
+    }
+
+    #[test]
+    fn e21_retry_budget_recovers_the_metastable_failure() {
+        let c = quick();
+        let study = e21(&c);
+        // Without a budget the retry storm outlives its trigger: goodput
+        // stays below 10% of pre-trigger for at least 30 simulated seconds.
+        assert!(
+            study.no_budget_pinned_secs >= 30.0,
+            "no-budget arm recovered too fast ({}s) — not metastable",
+            study.no_budget_pinned_secs
+        );
+        // With the budget, goodput recovers past 90% of pre-trigger.
+        assert!(
+            study.budget_recovered_pct > 90.0,
+            "budget arm recovered only to {:.1}%",
+            study.budget_recovered_pct
+        );
+        assert!(
+            study.budget_recovery_secs.is_some(),
+            "budget arm never sustained 90% of pre-trigger goodput"
+        );
+        // The budget must actually have denied retries during the storm.
+        assert!(study.rows[1].1.overload.budget_denied > 0);
+        assert_eq!(study.rows[0].1.overload.budget_denied, 0);
+    }
+
+    #[test]
+    fn e22_priority_shedding_protects_checkout() {
+        let c = quick();
+        let study = e22(&c);
+        // The brownout headline: checkout goodput stays ≥95% under 1.6×
+        // overload while browse is shed.
+        assert!(
+            study.checkout_goodput >= 0.95,
+            "checkout goodput {:.3}",
+            study.checkout_goodput
+        );
+        assert!(
+            study.browse_goodput < 0.80,
+            "browse was not shed: {:.3}",
+            study.browse_goodput
+        );
+        // The class-blind arm cannot protect checkout: it sheds everyone
+        // roughly equally, so checkout lands well below the priority arm.
+        let blind_checkout = study.class_goodput[0].1[1].3;
+        assert!(
+            blind_checkout < 0.90,
+            "class-blind checkout goodput {blind_checkout:.3}"
+        );
+    }
+
+    #[test]
+    fn e23_bounded_queues_drain_faster_than_unbounded() {
+        let c = quick();
+        let study = e23(&c);
+        assert_eq!(study.rows.len(), 4);
+        let drain = |i: usize| study.rows[i].2;
+        let unbounded = drain(0).unwrap_or(f64::INFINITY);
+        for i in 1..4 {
+            let bounded = drain(i).unwrap_or(f64::INFINITY);
+            assert!(
+                bounded < unbounded,
+                "{} drained in {bounded}s, not faster than unbounded's {unbounded}s",
+                study.rows[i].0
+            );
+        }
+        // The backlog is the hysteresis: unbounded must carry one for a
+        // meaningful fraction of a second after the trigger ends.
+        assert!(unbounded > 0.5, "unbounded drained in {unbounded}s");
     }
 
     #[test]

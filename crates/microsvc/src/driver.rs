@@ -1,6 +1,7 @@
 //! The workload-driver contract between the engine and load generators.
 
 use crate::ids::{ClientId, RequestClassId, RequestId};
+use crate::overload::ShedReason;
 use simcore::{Rng, SimDuration, SimTime};
 
 /// How a request ended, from the client's point of view.
@@ -9,10 +10,13 @@ pub enum Outcome {
     /// A response arrived.
     #[default]
     Ok,
-    /// The retry budget was exhausted; the client saw a timeout error.
+    /// The retries were exhausted; the client saw a timeout error.
     TimedOut,
     /// No entry instance was accepting work; the request was refused.
     Shed,
+    /// An overload-control policy refused the request (fast 503); the
+    /// reason names the policy that shed it.
+    ShedByPolicy(ShedReason),
 }
 
 /// Everything a response callback learns about a completed request.

@@ -31,6 +31,10 @@ use crate::fault::{FaultCause, FaultPlan};
 use crate::ids::{ClientId, InstanceId, RequestClassId, RequestId, ServiceId};
 use crate::lb::{Balancer, Candidate, LbPolicy};
 use crate::metrics::{Metrics, RunReport};
+use crate::overload::{
+    AdmissionPolicy, AimdLimiter, LimitAction, OverloadParams, PriorityPolicy, RetryBudget,
+    ShedReason,
+};
 use crate::resilience::{backoff_delay, CircuitBreaker, ResilienceParams, Transition};
 use crate::trace::{RequestTrace, Tracer};
 use cputopo::{CpuId, NumaId, Proximity, Topology};
@@ -63,6 +67,11 @@ pub struct EngineParams {
     /// injects nothing and leaves runs bit-identical to a fault-free
     /// engine.
     pub faults: FaultPlan,
+    /// Overload control (admission bounds, retry budgets, concurrency
+    /// limits, priority shedding). `None` — and `Some` of the inert
+    /// [`OverloadParams::default`] — leave runs bit-identical to the legacy
+    /// engine: no extra events, no extra randomness.
+    pub overload: Option<OverloadParams>,
 }
 
 impl Default for EngineParams {
@@ -75,6 +84,7 @@ impl Default for EngineParams {
             trace_sample_every: None,
             resilience: None,
             faults: FaultPlan::none(),
+            overload: None,
         }
     }
 }
@@ -242,6 +252,9 @@ enum Event {
     CallTimeout { job: u64 },
     /// The client is informed that its request failed.
     ClientFail { request: u64, cause: FaultCause },
+    /// An overload policy refused the call; the rejection reaches the caller
+    /// after one return-wire latency (a fast 503, not a timeout).
+    CallRejected { job: u64, reason: ShedReason },
     /// Scheduled fault: an instance goes down.
     CrashStart { instance: u32 },
     /// Scheduled fault: a crashed instance accepts work again.
@@ -252,6 +265,35 @@ enum Event {
     SlowStart { instance: u32, slowdown: u32 },
     /// Scheduled fault: a slow-replica window closes.
     SlowEnd { instance: u32 },
+}
+
+/// Runtime state for the overload-control policies in [`crate::overload`].
+/// Present only when [`EngineParams::overload`] is set.
+#[derive(Debug)]
+struct OverloadState {
+    admission: AdmissionPolicy,
+    queue_deadline: Option<SimDuration>,
+    /// Per-instance AIMD limiters; empty when the limiter is disabled.
+    limiters: Vec<AimdLimiter>,
+    limit_action: LimitAction,
+    /// Per-service retry budgets; empty when budgets are disabled.
+    budgets: Vec<RetryBudget>,
+    priority: Option<PriorityPolicy>,
+    /// Worker-thread count per instance (to derive running = threads − idle).
+    threads: Vec<u32>,
+}
+
+/// What the overload policies decided about an arriving job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admit {
+    /// Start it on an idle worker (the legacy fast path).
+    Start,
+    /// Park it in the pending queue; `deferred` marks a limiter deferral.
+    Queue { deferred: bool },
+    /// Queue it, but first shed the oldest queued job to make room.
+    DropOldest,
+    /// Refuse it.
+    Shed(ShedReason),
 }
 
 /// The simulation engine. See the [module docs](self) for the model.
@@ -292,9 +334,12 @@ pub struct Engine {
     breakers: Vec<CircuitBreaker>,
     /// Per-service call timeout; empty when resilience is disabled.
     timeouts: Vec<SimDuration>,
-    /// Faults or resilience are configured: load balancing must consult
-    /// instance availability. `false` keeps the legacy fast paths.
+    /// Faults, resilience, or overload control are configured: load
+    /// balancing must consult instance availability. `false` keeps the
+    /// legacy fast paths.
     fault_aware: bool,
+    /// Overload-control state; `None` when the feature is off.
+    overload: Option<OverloadState>,
     cycles_per_us: f64,
     stop_requested: bool,
     tracer: Tracer,
@@ -394,7 +439,29 @@ impl Engine {
                 .collect(),
             None => Vec::new(),
         };
-        let fault_aware = params.resilience.is_some() || !params.faults.is_empty();
+        let fault_aware =
+            params.resilience.is_some() || !params.faults.is_empty() || params.overload.is_some();
+        let overload = params.overload.as_ref().map(|ov| OverloadState {
+            admission: ov.admission,
+            queue_deadline: ov.queue_deadline,
+            limiters: match &ov.limiter {
+                Some(policy) => vec![AimdLimiter::new(*policy); instances.len()],
+                None => Vec::new(),
+            },
+            limit_action: ov.limiter.map(|l| l.action).unwrap_or_default(),
+            budgets: match &ov.retry_budget {
+                Some(policy) => vec![RetryBudget::new(*policy); app.services().len()],
+                None => Vec::new(),
+            },
+            priority: ov.priority.clone(),
+            threads: {
+                let mut threads = vec![0u32; instances.len()];
+                for w in &workers {
+                    threads[w.instance] += 1;
+                }
+                threads
+            },
+        });
         let factory = RngFactory::new(seed);
         let metrics = Metrics::new(&app, SimTime::ZERO);
         let balancers = (0..app.services().len())
@@ -430,6 +497,7 @@ impl Engine {
             breakers,
             timeouts,
             fault_aware,
+            overload,
             cycles_per_us,
             stop_requested: false,
             tracer: Tracer::new(params_trace),
@@ -589,6 +657,7 @@ impl Engine {
             Event::ClientReply { job } => self.on_client_reply(job, driver),
             Event::CallTimeout { job } => self.on_call_timeout(job),
             Event::ClientFail { request, cause } => self.on_client_fail(request, cause, driver),
+            Event::CallRejected { job, reason } => self.on_call_rejected(job, reason),
             Event::CrashStart { instance } => self.on_crash_start(instance as usize),
             Event::CrashEnd { instance } => self.instances[instance as usize].up = true,
             Event::SlowStart { instance, slowdown } => {
@@ -614,7 +683,9 @@ impl Engine {
                 self.jobs[job_id as usize].refs -= 1;
             }
         }
-        self.breaker_success(self.jobs[job_id as usize].instance);
+        let instance = self.jobs[job_id as usize].instance;
+        self.breaker_success(instance);
+        self.budget_deposit(instance);
         self.requests[request as usize].resolved = true;
         let now = self.now();
         let rid = self.rid(request);
@@ -625,6 +696,7 @@ impl Engine {
         let client = info.client;
         self.metrics.completed += 1;
         self.metrics.completed_series.record(now, 1.0);
+        self.metrics.completed_per_class_series[class].record(now, 1.0);
         self.metrics.latency.record_duration(latency);
         self.metrics.latency_per_class[class].record_duration(latency);
         driver.on_response(
@@ -650,8 +722,10 @@ impl Engine {
         let client = info.client;
         let outcome = match cause {
             FaultCause::Shed => Outcome::Shed,
+            FaultCause::PolicyShed(reason) => Outcome::ShedByPolicy(reason),
             _ => Outcome::TimedOut,
         };
+        self.metrics.failed_per_class[class] += 1;
         // Failed requests are deliberately absent from the latency
         // histograms: their "latency" is the timeout setting, not a
         // service-time observation.
@@ -675,6 +749,10 @@ impl Engine {
     fn on_crash_start(&mut self, inst: usize) {
         self.instances[inst].up = false;
         while let Some(job_id) = self.instances[inst].pending.pop_front() {
+            if self.overload.is_some() {
+                let now = self.now();
+                self.metrics.queue_pop(now);
+            }
             self.metrics.rejected_arrivals += 1;
             let (request, span) = {
                 let j = &mut self.jobs[job_id as usize];
@@ -730,6 +808,39 @@ impl Engine {
         if factor != 1.0 {
             self.jobs[job_id as usize].remaining_cycles *= factor;
         }
+        // Overload policies get the arrival before the worker pool does.
+        if self.overload.is_some() {
+            match self.admission_decision(job_id, inst_idx) {
+                Admit::Start => {}
+                Admit::Queue { deferred } => {
+                    if deferred {
+                        let service = self.instances[inst_idx].service;
+                        self.metrics.per_service[service].deferred += 1;
+                        self.metrics.overload.deferred += 1;
+                    }
+                    self.instances[inst_idx].pending.push_back(job_id);
+                    let now = self.now();
+                    self.metrics.queue_push(now);
+                    return;
+                }
+                Admit::DropOldest => {
+                    let victim = self.instances[inst_idx]
+                        .pending
+                        .pop_front()
+                        .expect("DropOldest implies a non-empty queue");
+                    let now = self.now();
+                    self.metrics.queue_pop(now);
+                    self.shed_job(victim, ShedReason::QueueFull);
+                    self.instances[inst_idx].pending.push_back(job_id);
+                    self.metrics.queue_push(now);
+                    return;
+                }
+                Admit::Shed(reason) => {
+                    self.shed_job(job_id, reason);
+                    return;
+                }
+            }
+        }
         if let Some(worker) = self.instances[inst_idx].idle_workers.pop() {
             self.assign_job(worker, job_id);
             let task = self.workers[worker].task;
@@ -739,8 +850,151 @@ impl Engine {
                 None => unreachable!("idle workers are blocked"),
             }
         } else {
+            if self.overload.is_some() {
+                let now = self.now();
+                self.metrics.queue_push(now);
+            }
             self.instances[inst_idx].pending.push_back(job_id);
         }
+    }
+
+    /// Runs an arrival through the overload policies, in order: concurrency
+    /// limiter (sheds or forces a deferral), then — if the job must queue —
+    /// priority admission and the queue bound. Only called when overload
+    /// control is configured.
+    fn admission_decision(&mut self, job_id: u64, inst: usize) -> Admit {
+        let ov = self.overload.as_ref().expect("checked by caller");
+        let queue_len = self.instances[inst].pending.len();
+        let idle = self.instances[inst].idle_workers.len();
+        let mut deferred = false;
+        if !ov.limiters.is_empty() {
+            let running = ov.threads[inst] as usize - idle;
+            if !ov.limiters[inst].admits(running + queue_len) {
+                match ov.limit_action {
+                    LimitAction::Shed => return Admit::Shed(ShedReason::Concurrency),
+                    LimitAction::Defer => deferred = true,
+                }
+            }
+        }
+        // The fast path: an idle worker, an empty queue, and no deferral is
+        // exactly the legacy start-immediately case.
+        if idle > 0 && queue_len == 0 && !deferred {
+            return Admit::Start;
+        }
+        // The job will queue: priority admission first (a class may be
+        // refused at a shallower depth than the hard bound) …
+        if let Some(priority) = &ov.priority {
+            let class = self.jobs[job_id as usize].class;
+            if queue_len >= priority.depth_limit(priority.priority_of(class)) {
+                return Admit::Shed(ShedReason::Priority);
+            }
+        }
+        // … then the queue bound.
+        match ov.admission {
+            AdmissionPolicy::Unbounded => {}
+            AdmissionPolicy::RejectNew { bound } => {
+                if queue_len >= bound {
+                    return Admit::Shed(ShedReason::QueueFull);
+                }
+            }
+            AdmissionPolicy::DropOldest { bound } => {
+                if queue_len >= bound {
+                    return Admit::DropOldest;
+                }
+            }
+        }
+        Admit::Queue { deferred }
+    }
+
+    /// Refuses `job_id` on behalf of an overload policy: the job never runs,
+    /// and the caller learns after one return-wire latency (a fast 503 —
+    /// unlike a timeout, the caller does not burn its deadline waiting).
+    fn shed_job(&mut self, job_id: u64, reason: ShedReason) {
+        let (instance, parent, request, span) = {
+            let j = &mut self.jobs[job_id as usize];
+            debug_assert!(j.phase != Phase::Done, "shedding a finished job");
+            j.phase = Phase::Done;
+            (j.instance, j.parent, j.request, j.span)
+        };
+        let service = self.instances[instance].service;
+        self.metrics.per_service[service].policy_sheds += 1;
+        self.metrics.overload.note_shed(reason);
+        if let Some(span) = span {
+            let rid = self.rid(request);
+            self.tracer
+                .span_fault(rid, span, FaultCause::PolicyShed(reason));
+        }
+        self.instances[instance].outstanding -= 1;
+        // The rejection travels back to the caller like a reply would: the
+        // client wire for root calls, the RPC wire for downstream calls.
+        let latency = match parent {
+            None => self.params.client_net_latency,
+            Some(parent_id) => {
+                let parent_inst = self.jobs[parent_id as usize].instance;
+                let proximity = self.topo.proximity(
+                    self.instances[instance].rep_cpu,
+                    self.instances[parent_inst].rep_cpu,
+                );
+                self.params.uarch.rpc_cost(proximity).latency
+            }
+        };
+        self.jobs[job_id as usize].refs += 1;
+        self.cal.schedule(
+            self.now() + latency,
+            Event::CallRejected {
+                job: job_id,
+                reason,
+            },
+        );
+        self.maybe_free_job(job_id);
+    }
+
+    /// A policy rejection reached the caller: cancel the pending timeout and
+    /// retry (subject to the retry budget) or fail the call.
+    fn on_call_rejected(&mut self, job_id: u64, reason: ShedReason) {
+        self.jobs[job_id as usize].refs -= 1;
+        if self.jobs[job_id as usize].abandoned {
+            // The caller's own deadline fired while the rejection was on the
+            // wire; the timeout path already handled retry-or-fail.
+            self.maybe_free_job(job_id);
+            return;
+        }
+        let (instance, attempt, parent, request) = {
+            let j = &mut self.jobs[job_id as usize];
+            j.abandoned = true;
+            (j.instance, j.attempt, j.parent, j.request)
+        };
+        if let Some(token) = self.jobs[job_id as usize].timeout_token.take() {
+            if self.cal.cancel(token) {
+                self.jobs[job_id as usize].refs -= 1;
+            }
+        }
+        let service = self.instances[instance].service;
+        // A fast rejection is caller-visible backpressure, not a fault: the
+        // breaker is not penalized (penalizing it would eject exactly the
+        // instances that are protecting themselves).
+        let can_retry = match self.params.resilience.as_ref() {
+            Some(res) => attempt < res.retry.max_retries,
+            None => false,
+        };
+        if can_retry && self.budget_allows_retry(service) {
+            let retry = self.params.resilience.as_ref().expect("checked").retry;
+            let delay = backoff_delay(&retry, attempt as u32 + 1, &mut self.resil_rng);
+            self.metrics.per_service[service].retries += 1;
+            match parent {
+                None => self.dispatch_root_attempt(request, delay, attempt + 1),
+                Some(parent_id) => self.dispatch_retry_call(parent_id, job_id, delay),
+            }
+        } else {
+            match parent {
+                None => self.fail_request(request, FaultCause::PolicyShed(reason)),
+                Some(parent_id) => {
+                    self.metrics.per_service[service].fallbacks += 1;
+                    self.reply_to_parent(parent_id);
+                }
+            }
+        }
+        self.maybe_free_job(job_id);
     }
 
     fn assign_job(&mut self, worker: usize, job_id: u64) {
@@ -778,6 +1032,7 @@ impl Engine {
             }
         }
         self.breaker_success(instance);
+        self.budget_deposit(instance);
         let parent_id = parent.expect("child jobs have parents");
         self.reply_to_parent(parent_id);
         self.maybe_free_job(child_id);
@@ -867,7 +1122,10 @@ impl Engine {
             .as_ref()
             .expect("timeouts are only armed when resilience is on")
             .retry;
-        if attempt < retry.max_retries {
+        // The retry budget is consulted *after* the attempt check: only a
+        // retry the policy would actually dispatch spends a token, so budget
+        // accounting never perturbs budget-free runs.
+        if attempt < retry.max_retries && self.budget_allows_retry(service) {
             let delay = backoff_delay(&retry, attempt as u32 + 1, &mut self.resil_rng);
             self.metrics.per_service[service].retries += 1;
             match parent {
@@ -903,6 +1161,12 @@ impl Engine {
             FaultCause::Shed => {
                 self.metrics.requests_shed += 1;
                 now + self.params.client_net_latency.mul_f64(2.0)
+            }
+            // A policy shed already paid its return-wire latency on the
+            // CallRejected event; the client learns immediately.
+            FaultCause::PolicyShed(_) => {
+                self.metrics.overload.requests_shed_policy += 1;
+                now
             }
             _ => {
                 self.metrics.requests_timed_out += 1;
@@ -1076,11 +1340,20 @@ impl Engine {
     /// the instance's next queued job (returns `true`, worker keeps the CPU)
     /// or idles the worker (returns `false`, CPU released).
     fn finish_job(&mut self, worker: usize, job_id: u64, cpu: CpuId) -> bool {
-        let (instance, parent, request, abandoned, span) = {
+        let (instance, parent, request, abandoned, span, enqueued_at) = {
             let j = &mut self.jobs[job_id as usize];
             j.phase = Phase::Done;
-            (j.instance, j.parent, j.request, j.abandoned, j.span)
+            (j.instance, j.parent, j.request, j.abandoned, j.span, j.enqueued_at)
         };
+        // Feed the concurrency limiter its control signal: the job's sojourn
+        // (arrival at the instance → completion), which inflates with queue
+        // depth exactly like the latency a gradient limiter measures.
+        if let Some(ov) = self.overload.as_mut() {
+            if !ov.limiters.is_empty() {
+                let sojourn = self.cal.now().saturating_since(enqueued_at);
+                ov.limiters[instance].observe(sojourn);
+            }
+        }
         let rid = self.rid(request);
         if let Some(span) = span {
             let now = self.now();
@@ -1152,13 +1425,77 @@ impl Engine {
         self.workers[worker].job = None;
         self.jobs[job_id as usize].worker = None;
         self.maybe_free_job(job_id);
-        if let Some(next_job) = self.instances[instance].pending.pop_front() {
+        if let Some(next_job) = self.next_queued_job(instance) {
             self.assign_job(worker, next_job);
             true
         } else {
             self.instances[instance].idle_workers.push(worker);
             self.block_worker(worker, cpu);
             false
+        }
+    }
+
+    /// Pops the instance's next runnable queued job. With overload control
+    /// on, this is where CoDel-style deadline shedding happens: jobs that
+    /// already outwaited [`OverloadParams::queue_deadline`] are shed (cheaply,
+    /// in a burst) until a fresh one is found — a standing stale queue drains
+    /// in rejections instead of being served to clients that left.
+    fn next_queued_job(&mut self, instance: usize) -> Option<u64> {
+        if self.overload.is_none() {
+            return self.instances[instance].pending.pop_front();
+        }
+        let deadline = self.overload.as_ref().expect("checked").queue_deadline;
+        loop {
+            let job_id = self.instances[instance].pending.pop_front()?;
+            let now = self.cal.now();
+            self.metrics.queue_pop(now);
+            if let Some(deadline) = deadline {
+                let waited = now.saturating_since(self.jobs[job_id as usize].enqueued_at);
+                if waited > deadline {
+                    self.shed_job(job_id, ShedReason::QueueDeadline);
+                    continue;
+                }
+            }
+            return Some(job_id);
+        }
+    }
+
+    /// Consults the per-service retry budget before a retry is dispatched.
+    /// Returns `true` (without touching anything) when budgets are off.
+    fn budget_allows_retry(&mut self, service: usize) -> bool {
+        let denied = match self.overload.as_mut() {
+            Some(ov) if !ov.budgets.is_empty() => !ov.budgets[service].try_spend(),
+            _ => false,
+        };
+        if denied {
+            self.metrics.per_service[service].budget_denied += 1;
+            self.metrics.overload.budget_denied += 1;
+        }
+        !denied
+    }
+
+    /// A successful reply from `instance` refills its service's retry
+    /// budget. No-op when budgets are off.
+    fn budget_deposit(&mut self, instance: usize) {
+        let service = self.instances[instance].service;
+        if let Some(ov) = self.overload.as_mut() {
+            if let Some(budget) = ov.budgets.get_mut(service) {
+                budget.on_success();
+            }
+        }
+    }
+
+    /// Whether `instance` would currently admit another job per its AIMD
+    /// limit. `true` when the limiter is off. Used by load balancing so
+    /// callers prefer replicas with limit headroom.
+    fn instance_within_limit(&self, instance: usize) -> bool {
+        match &self.overload {
+            Some(ov) if !ov.limiters.is_empty() => {
+                let idle = self.instances[instance].idle_workers.len();
+                let running = ov.threads[instance] as usize - idle;
+                ov.limiters[instance].admits(running + self.instances[instance].pending.len())
+            }
+            _ => true,
         }
     }
 
@@ -1217,7 +1554,11 @@ impl Engine {
             );
             if fault_aware {
                 // Same as ingress: breaker state only, no liveness oracle.
-                c.available = self.breaker_allows(i, now);
+                // The AIMD limit also marks saturated replicas unavailable so
+                // callers with a choice route around them (the balancer still
+                // panic-routes when every replica is over limit; the arrival
+                // gate then sheds with its proper reason).
+                c.available = self.breaker_allows(i, now) && self.instance_within_limit(i);
             }
             candidates.push(c);
         }
@@ -1690,6 +2031,7 @@ impl EngineCtx for Engine {
         // slot recycling, so traces and reports match the pre-slab engine.
         let ordinal = self.submitted_total;
         self.submitted_total += 1;
+        self.metrics.submitted_per_class[class] += 1;
         let info = RequestInfo {
             id: ordinal,
             class,
@@ -2554,5 +2896,299 @@ mod tests {
         assert_eq!(d1.latencies, d2.latencies);
         assert_eq!(d1.outcomes, d2.outcomes);
         assert_eq!(r1.summary(), r2.summary());
+    }
+
+    // ------------------------------------------------------ overload control
+
+    use crate::overload::{
+        AdmissionPolicy, LimitAction, LimiterPolicy, OverloadParams, PriorityPolicy,
+        RetryBudgetPolicy, ShedReason,
+    };
+
+    fn overload_params(ov: OverloadParams) -> EngineParams {
+        EngineParams {
+            overload: Some(ov),
+            ..EngineParams::default()
+        }
+    }
+
+    #[test]
+    fn inert_overload_params_are_byte_identical() {
+        // Enabling the overload machinery with every policy off switches the
+        // engine onto the fault-aware paths but must not change a single
+        // observable: same latencies, same summary, byte for byte.
+        let (base_driver, base_report) = run_simple(64, 300.0, 2, 4);
+        let params = overload_params(OverloadParams::default());
+        let (driver, report) = run_with_params(params, 64, 300.0, 2, 4, 7);
+        assert_eq!(driver.latencies, base_driver.latencies);
+        assert_eq!(report.summary(), base_report.summary());
+        assert!(!report.overload.any());
+        // Queue-depth observability rides along with the overload machinery
+        // even when every policy is off — it changes no behaviour, only adds
+        // a report series the legacy run doesn't have.
+        assert!(!report.queue_depth_series.is_empty());
+        assert!(base_report.queue_depth_series.is_empty());
+    }
+
+    /// Driver recording `(request ordinal, outcome)` so shedding tests can
+    /// see *which* requests were refused, not just how many.
+    struct IdDriver {
+        submit_n: u32,
+        results: Vec<(u64, Outcome)>,
+    }
+
+    impl Driver for IdDriver {
+        fn start(&mut self, ctx: &mut dyn EngineCtx) {
+            for client in 0..self.submit_n {
+                ctx.submit(0, client as u64);
+            }
+        }
+        fn on_response(&mut self, resp: ResponseInfo, _ctx: &mut dyn EngineCtx) {
+            self.results.push((resp.request.0, resp.outcome));
+        }
+    }
+
+    fn run_ids(params: EngineParams, n: u32, demand_us: f64) -> (IdDriver, RunReport) {
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(demand_us);
+        let deployment = Deployment::uniform(&app, &topo, 1, 1);
+        let mut engine = Engine::new(topo, params, app, deployment, 7);
+        let mut driver = IdDriver {
+            submit_n: n,
+            results: Vec::new(),
+        };
+        engine.run(&mut driver, SimTime::from_secs(10));
+        let report = engine.report();
+        (driver, report)
+    }
+
+    #[test]
+    fn reject_new_sheds_arrivals_beyond_the_bound() {
+        // 1 worker, bound 2: of 8 simultaneous arrivals one runs, two queue,
+        // five bounce — and it is the *last* five that bounce.
+        let params = overload_params(
+            OverloadParams::default()
+                .with_admission(AdmissionPolicy::RejectNew { bound: 2 }),
+        );
+        let (driver, report) = run_ids(params, 8, 1000.0);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.overload.shed_queue_full, 5);
+        assert_eq!(report.overload.requests_shed_policy, 5);
+        assert_eq!(report.requests_shed, 0, "policy sheds must not pollute the fault counter");
+        let ok: Vec<u64> = driver
+            .results
+            .iter()
+            .filter(|(_, o)| *o == Outcome::Ok)
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(ok, vec![0, 1, 2], "reject-new keeps the earliest arrivals");
+        assert!(driver
+            .results
+            .iter()
+            .filter(|(_, o)| *o != Outcome::Ok)
+            .all(|(_, o)| *o == Outcome::ShedByPolicy(ShedReason::QueueFull)));
+    }
+
+    #[test]
+    fn drop_oldest_sheds_the_head_of_the_queue() {
+        // Same load, DropOldest: later arrivals evict earlier queued ones,
+        // so the survivors are the first (already running) and the last two.
+        let params = overload_params(
+            OverloadParams::default()
+                .with_admission(AdmissionPolicy::DropOldest { bound: 2 }),
+        );
+        let (driver, report) = run_ids(params, 8, 1000.0);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.overload.shed_queue_full, 5);
+        let ok: Vec<u64> = driver
+            .results
+            .iter()
+            .filter(|(_, o)| *o == Outcome::Ok)
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(ok, vec![0, 6, 7], "drop-oldest keeps the freshest arrivals");
+    }
+
+    #[test]
+    fn queue_deadline_sheds_stale_jobs_at_dequeue() {
+        // 1ms of service, 500µs deadline: everything queued behind the first
+        // job outwaits the deadline and is shed in one burst at dequeue.
+        let params = overload_params(
+            OverloadParams::default().with_queue_deadline(SimDuration::from_micros(500)),
+        );
+        let (driver, report) = run_ids(params, 6, 1000.0);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.overload.shed_queue_deadline, 5);
+        assert!(driver
+            .results
+            .iter()
+            .filter(|(_, o)| *o != Outcome::Ok)
+            .all(|(_, o)| *o == Outcome::ShedByPolicy(ShedReason::QueueDeadline)));
+    }
+
+    #[test]
+    fn empty_retry_budget_suppresses_retries() {
+        // Same setup as timeouts_exhaust_retries_and_fail_the_request, plus
+        // a bone-dry retry budget: every timeout that would have retried is
+        // denied, so the storm of 8 retries never happens.
+        let params = EngineParams {
+            resilience: Some(
+                ResilienceParams::default()
+                    .with_timeout(SimDuration::from_millis(5))
+                    .with_retry(RetryPolicy {
+                        max_retries: 2,
+                        ..RetryPolicy::default()
+                    })
+                    .with_breaker(None),
+            ),
+            overload: Some(OverloadParams::default().with_retry_budget(RetryBudgetPolicy {
+                refill_per_success: 0.1,
+                cap: 10.0,
+                initial: 0.0,
+            })),
+            ..EngineParams::default()
+        };
+        let (driver, report) = run_with_params(params, 4, 50_000.0, 1, 1, 7);
+        assert_eq!(driver.done, 4);
+        assert_eq!(report.requests_timed_out, 4);
+        assert_eq!(report.services[0].timeouts, 4, "one attempt each, no storm");
+        assert_eq!(report.services[0].retries, 0);
+        assert_eq!(report.overload.budget_denied, 4);
+        assert_eq!(report.services[0].budget_denied, 4);
+    }
+
+    #[test]
+    fn concurrency_limiter_sheds_above_the_limit() {
+        // Limit pinned at 1 on a 4-thread instance: one request runs, the
+        // other five are refused even though workers sit idle.
+        let params = EngineParams {
+            overload: Some(OverloadParams::default().with_limiter(LimiterPolicy {
+                initial: 1.0,
+                min: 1.0,
+                max: 1.0,
+                ..LimiterPolicy::default()
+            })),
+            ..EngineParams::default()
+        };
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(1000.0);
+        let deployment = Deployment::uniform(&app, &topo, 1, 4);
+        let mut engine = Engine::new(topo, params, app, deployment, 7);
+        let mut driver = CountingDriver::new(6);
+        engine.run(&mut driver, SimTime::from_secs(10));
+        let report = engine.report();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.overload.shed_concurrency, 5);
+        assert!(driver
+            .outcomes
+            .iter()
+            .filter(|o| **o != Outcome::Ok)
+            .all(|o| *o == Outcome::ShedByPolicy(ShedReason::Concurrency)));
+    }
+
+    #[test]
+    fn limiter_defer_serializes_without_shedding() {
+        // Same pinned limit of 1, but Defer: arrivals park in the queue, so
+        // all six finish — strictly one at a time — and nothing is lost.
+        let params = EngineParams {
+            overload: Some(OverloadParams::default().with_limiter(LimiterPolicy {
+                initial: 1.0,
+                min: 1.0,
+                max: 1.0,
+                action: LimitAction::Defer,
+                ..LimiterPolicy::default()
+            })),
+            ..EngineParams::default()
+        };
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(1000.0);
+        let deployment = Deployment::uniform(&app, &topo, 1, 4);
+        let mut engine = Engine::new(topo, params, app, deployment, 7);
+        let mut driver = CountingDriver::new(6);
+        engine.run(&mut driver, SimTime::from_secs(10));
+        let report = engine.report();
+        assert_eq!(report.completed, 6, "defer loses nothing");
+        assert_eq!(report.overload.deferred, 5);
+        assert_eq!(report.overload.total_sheds(), 0);
+        let max = driver.latencies.iter().max().expect("has latencies");
+        assert!(
+            *max >= SimDuration::from_micros(6 * 1000),
+            "deferred work runs serially despite 4 idle threads, tail {max}"
+        );
+        assert!(
+            !report.queue_depth_series.is_empty(),
+            "queued work must show up in the depth series"
+        );
+    }
+
+    #[test]
+    fn priority_shedding_saves_the_important_class() {
+        // Two classes on one 1-thread service: "checkout" is priority 0 with
+        // queue room, "browse" is priority 1 with none. Under a burst the
+        // browse class is refused while every checkout completes.
+        let mut app = AppSpec::new();
+        let svc = app.add_service(ServiceSpec::new("api", ServiceProfile::light_rpc("api")));
+        app.add_class("checkout", 0.5, CallNode::leaf(svc, Demand::fixed_us(1000.0)));
+        app.add_class("browse", 0.5, CallNode::leaf(svc, Demand::fixed_us(1000.0)));
+        let params = overload_params(OverloadParams::default().with_priority(
+            PriorityPolicy::new(vec![0, 1], vec![8, 0]),
+        ));
+        let topo = Arc::new(Topology::desktop_8c());
+        let deployment = Deployment::uniform(&app, &topo, 1, 1);
+        let mut engine = Engine::new(topo, params, app, deployment, 7);
+
+        struct MixDriver;
+        impl Driver for MixDriver {
+            fn start(&mut self, ctx: &mut dyn EngineCtx) {
+                // One checkout to occupy the worker, then an interleaved burst.
+                ctx.submit(0, 0);
+                for c in 0..3 {
+                    ctx.submit(1, c + 1);
+                    ctx.submit(0, c + 4);
+                }
+            }
+        }
+        let mut driver = MixDriver;
+        engine.run(&mut driver, SimTime::from_secs(10));
+        let report = engine.report();
+        assert_eq!(report.overload.shed_priority, 3, "all browse sheds");
+        assert_eq!(report.per_class[0].1, 4, "every checkout completed");
+        assert_eq!(report.per_class[1].1, 0);
+        assert_eq!(report.per_class_submitted, vec![4, 3]);
+        assert_eq!(report.per_class_failed, vec![0, 3]);
+    }
+
+    #[test]
+    fn rejected_calls_retry_and_then_fail_with_policy_shed() {
+        // Queue bound 0 with retries on: the second request is bounced,
+        // retried (spending wire time, not its timeout), bounced again, and
+        // finally surfaces as a policy shed — never as a timeout.
+        let params = EngineParams {
+            resilience: Some(
+                ResilienceParams::default()
+                    .with_timeout(SimDuration::from_millis(50))
+                    .with_retry(RetryPolicy {
+                        max_retries: 2,
+                        ..RetryPolicy::default()
+                    })
+                    .with_breaker(None),
+            ),
+            overload: Some(
+                OverloadParams::default().with_admission(AdmissionPolicy::RejectNew { bound: 0 }),
+            ),
+            ..EngineParams::default()
+        };
+        let (driver, report) = run_with_params(params, 2, 20_000.0, 1, 1, 7);
+        assert_eq!(driver.done, 2);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.overload.requests_shed_policy, 1);
+        assert_eq!(report.requests_timed_out, 0);
+        assert_eq!(
+            report.services[0].retries, 2,
+            "the bounced request used its full retry allowance"
+        );
+        assert!(driver
+            .outcomes
+            .contains(&Outcome::ShedByPolicy(ShedReason::QueueFull)));
     }
 }

@@ -29,11 +29,20 @@
 //! client with no deadline.
 
 use crate::ids::InstanceId;
+use crate::overload::ShedReason;
 use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// Why a request or span was disturbed. Recorded on trace spans and on
 /// failed request traces.
+///
+/// The first four variants are *failures*: something broke (a fault was
+/// injected, a deadline passed) or the system had no capacity at all.
+/// [`PolicyShed`](FaultCause::PolicyShed) is different in kind — an overload
+/// policy *chose* to refuse the request to protect the work it kept, and the
+/// carried [`ShedReason`] names the policy. Keeping the two apart is what
+/// lets the overload experiments count policy drops without polluting the
+/// fault-injection counters (and vice versa).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FaultCause {
     /// The caller's per-call timeout elapsed before the reply arrived.
@@ -45,17 +54,19 @@ pub enum FaultCause {
     Crashed,
     /// The request was refused at the entry: no instance was accepting work.
     Shed,
+    /// An overload-control policy deliberately refused the request.
+    PolicyShed(ShedReason),
 }
 
 impl std::fmt::Display for FaultCause {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            FaultCause::TimedOut => "timed-out",
-            FaultCause::ReplyDropped => "reply-dropped",
-            FaultCause::Crashed => "crashed",
-            FaultCause::Shed => "shed",
-        };
-        f.write_str(s)
+        match self {
+            FaultCause::TimedOut => f.write_str("timed-out"),
+            FaultCause::ReplyDropped => f.write_str("reply-dropped"),
+            FaultCause::Crashed => f.write_str("crashed"),
+            FaultCause::Shed => f.write_str("shed"),
+            FaultCause::PolicyShed(reason) => write!(f, "policy-shed({reason})"),
+        }
     }
 }
 

@@ -68,6 +68,7 @@ pub mod fault;
 pub mod ids;
 pub mod lb;
 pub mod metrics;
+pub mod overload;
 pub mod resilience;
 pub mod trace;
 
@@ -78,6 +79,10 @@ pub use engine::{Engine, EngineParams};
 pub use fault::{Crash, FaultCause, FaultPlan, ReplyFault, Slowdown};
 pub use ids::{ClientId, InstanceId, RequestClassId, RequestId, ServiceId};
 pub use lb::LbPolicy;
-pub use metrics::{RunReport, ServiceReport};
+pub use overload::{
+    AdmissionPolicy, AimdLimiter, LimitAction, LimiterPolicy, OverloadParams, PriorityPolicy,
+    RetryBudget, RetryBudgetPolicy, ShedReason,
+};
+pub use metrics::{OverloadTotals, RunReport, ServiceReport};
 pub use resilience::{BreakerPolicy, BreakerState, CircuitBreaker, ResilienceParams, RetryPolicy};
 pub use trace::{RequestTrace, Span, Tracer};

@@ -13,6 +13,51 @@ use uarch::{DerivedMetrics, PerfCounters};
 /// plots (crash dips, recovery ramps).
 pub(crate) const THROUGHPUT_BUCKET: SimDuration = SimDuration::from_millis(100);
 
+/// Machine-wide overload-control counters: how much work the policies in
+/// [`crate::overload`] refused, deferred, or denied, by mechanism. All zero
+/// unless overload control is configured — the summary only prints them when
+/// nonzero, so legacy output is unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadTotals {
+    /// Jobs shed because the pending queue was at its admission bound.
+    pub shed_queue_full: u64,
+    /// Jobs shed at dequeue because they outwaited the queue deadline.
+    pub shed_queue_deadline: u64,
+    /// Jobs shed by the adaptive concurrency limiter.
+    pub shed_concurrency: u64,
+    /// Jobs shed by priority admission (queue too deep for their class).
+    pub shed_priority: u64,
+    /// Arrivals the limiter parked in the queue instead of starting.
+    pub deferred: u64,
+    /// Retries suppressed because the service's retry budget was empty.
+    pub budget_denied: u64,
+    /// Root requests that failed with a policy shed (client saw a fast 503).
+    pub requests_shed_policy: u64,
+}
+
+impl OverloadTotals {
+    /// Jobs shed by any policy.
+    pub fn total_sheds(&self) -> u64 {
+        self.shed_queue_full + self.shed_queue_deadline + self.shed_concurrency + self.shed_priority
+    }
+
+    /// True when any counter is nonzero.
+    pub fn any(&self) -> bool {
+        self.total_sheds() + self.deferred + self.budget_denied + self.requests_shed_policy > 0
+    }
+
+    /// Bump the shed counter for `reason`.
+    pub(crate) fn note_shed(&mut self, reason: crate::overload::ShedReason) {
+        use crate::overload::ShedReason;
+        match reason {
+            ShedReason::QueueFull => self.shed_queue_full += 1,
+            ShedReason::QueueDeadline => self.shed_queue_deadline += 1,
+            ShedReason::Concurrency => self.shed_concurrency += 1,
+            ShedReason::Priority => self.shed_priority += 1,
+        }
+    }
+}
+
 /// Live measurement state, owned by the engine.
 #[derive(Debug, Clone)]
 pub(crate) struct Metrics {
@@ -35,6 +80,21 @@ pub(crate) struct Metrics {
     pub(crate) replies_dropped: u64,
     /// Jobs refused or discarded because the target instance was down.
     pub(crate) rejected_arrivals: u64,
+    /// Overload-policy counters (all zero unless overload control is on).
+    pub(crate) overload: OverloadTotals,
+    /// Requests submitted per class since the last reset.
+    pub(crate) submitted_per_class: Vec<u64>,
+    /// Requests that failed (any cause) per class since the last reset.
+    pub(crate) failed_per_class: Vec<u64>,
+    /// Completions bucketed over time, per class — the per-class goodput
+    /// series the brownout experiments plot.
+    pub(crate) completed_per_class_series: Vec<TimeSeries>,
+    /// Jobs currently sitting in pending queues, machine-wide. A live gauge:
+    /// it survives metric resets because the jobs are still queued.
+    pub(crate) queued_jobs: u64,
+    /// Peak queued jobs per 100ms bucket. Only fed when overload control is
+    /// configured, so legacy runs carry an empty series.
+    pub(crate) queue_depth_series: TimeSeries,
 }
 
 #[derive(Debug, Clone)]
@@ -55,6 +115,12 @@ pub(crate) struct ServiceMetrics {
     pub(crate) breaker_opened: u64,
     /// Breaker recoveries (half-open probe succeeded).
     pub(crate) breaker_closed: u64,
+    /// Jobs an overload policy shed at this service's instances.
+    pub(crate) policy_sheds: u64,
+    /// Arrivals the concurrency limiter deferred to the queue.
+    pub(crate) deferred: u64,
+    /// Retries to this service suppressed by an empty retry budget.
+    pub(crate) budget_denied: u64,
 }
 
 impl Metrics {
@@ -77,6 +143,9 @@ impl Metrics {
                     fallbacks: 0,
                     breaker_opened: 0,
                     breaker_closed: 0,
+                    policy_sheds: 0,
+                    deferred: 0,
+                    budget_denied: 0,
                 })
                 .collect(),
             busy_cpus: TimeWeighted::new(now, 0.0),
@@ -86,7 +155,30 @@ impl Metrics {
             late_replies: 0,
             replies_dropped: 0,
             rejected_arrivals: 0,
+            overload: OverloadTotals::default(),
+            submitted_per_class: vec![0; app.classes().len()],
+            failed_per_class: vec![0; app.classes().len()],
+            completed_per_class_series: vec![
+                TimeSeries::new(THROUGHPUT_BUCKET, Agg::Sum);
+                app.classes().len()
+            ],
+            queued_jobs: 0,
+            queue_depth_series: TimeSeries::new(THROUGHPUT_BUCKET, Agg::Max),
         }
+    }
+
+    /// A job entered a pending queue (only called when overload control is
+    /// configured, so legacy runs never touch the gauge or the series).
+    pub(crate) fn queue_push(&mut self, now: SimTime) {
+        self.queued_jobs += 1;
+        self.queue_depth_series.record(now, self.queued_jobs as f64);
+    }
+
+    /// A job left a pending queue (started or was shed).
+    pub(crate) fn queue_pop(&mut self, now: SimTime) {
+        debug_assert!(self.queued_jobs > 0, "queue gauge underflow");
+        self.queued_jobs -= 1;
+        self.queue_depth_series.record(now, self.queued_jobs as f64);
     }
 
     pub(crate) fn reset(&mut self, now: SimTime) {
@@ -109,6 +201,9 @@ impl Metrics {
             s.fallbacks = 0;
             s.breaker_opened = 0;
             s.breaker_closed = 0;
+            s.policy_sheds = 0;
+            s.deferred = 0;
+            s.budget_denied = 0;
         }
         self.busy_cpus.set(now, 0.0);
         self.busy_cpus.reset(now);
@@ -118,6 +213,24 @@ impl Metrics {
         self.late_replies = 0;
         self.replies_dropped = 0;
         self.rejected_arrivals = 0;
+        self.overload = OverloadTotals::default();
+        for c in &mut self.submitted_per_class {
+            *c = 0;
+        }
+        for c in &mut self.failed_per_class {
+            *c = 0;
+        }
+        for s in &mut self.completed_per_class_series {
+            *s = TimeSeries::new(THROUGHPUT_BUCKET, Agg::Sum);
+        }
+        // `queued_jobs` is a level, not a counter: the jobs are still queued
+        // across the reset, so carry the gauge and re-seed the fresh series
+        // with the current depth (zero depth — including every run without
+        // overload control configured — seeds nothing).
+        self.queue_depth_series = TimeSeries::new(THROUGHPUT_BUCKET, Agg::Max);
+        if self.queued_jobs > 0 {
+            self.queue_depth_series.record(now, self.queued_jobs as f64);
+        }
     }
 }
 
@@ -150,6 +263,12 @@ pub struct ServiceReport {
     pub breaker_opened: u64,
     /// Breaker recoveries (half-open probe succeeded).
     pub breaker_closed: u64,
+    /// Jobs an overload policy shed at this service's instances.
+    pub policy_sheds: u64,
+    /// Arrivals the concurrency limiter deferred to the queue.
+    pub deferred: u64,
+    /// Retries to this service suppressed by an empty retry budget.
+    pub budget_denied: u64,
 }
 
 /// End-of-run measurement summary returned by the engine.
@@ -196,6 +315,18 @@ pub struct RunReport {
     /// Completed-request throughput over time: `(seconds since run start,
     /// requests per second)` per 100ms bucket. Used by the crash-dip plots.
     pub throughput_series: Vec<(f64, f64)>,
+    /// Overload-policy counters (all zero unless overload control is on).
+    pub overload: OverloadTotals,
+    /// Requests submitted per class, in class order.
+    pub per_class_submitted: Vec<u64>,
+    /// Requests that failed (any cause) per class, in class order.
+    pub per_class_failed: Vec<u64>,
+    /// Per-class goodput over time: `(class name, [(seconds, req/s)])` per
+    /// 100ms bucket. Drives the brownout per-class goodput plots.
+    pub per_class_series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Peak pending-queue depth machine-wide per 100ms bucket. Empty unless
+    /// overload control is configured.
+    pub queue_depth_series: Vec<(f64, f64)>,
 }
 
 impl RunReport {
@@ -229,6 +360,9 @@ impl RunReport {
                     fallbacks: m.fallbacks,
                     breaker_opened: m.breaker_opened,
                     breaker_closed: m.breaker_closed,
+                    policy_sheds: m.policy_sheds,
+                    deferred: m.deferred,
+                    budget_denied: m.budget_denied,
                 }
             })
             .collect();
@@ -271,6 +405,31 @@ impl RunReport {
                     .map(|(t, count)| (t.as_secs_f64(), count / bucket_secs))
                     .collect()
             },
+            overload: metrics.overload,
+            per_class_submitted: metrics.submitted_per_class.clone(),
+            per_class_failed: metrics.failed_per_class.clone(),
+            per_class_series: metrics
+                .completed_per_class_series
+                .iter()
+                .zip(app.classes())
+                .map(|(series, class)| {
+                    let bucket_secs = series.window().as_secs_f64();
+                    (
+                        class.name.clone(),
+                        series
+                            .points()
+                            .into_iter()
+                            .map(|(t, count)| (t.as_secs_f64(), count / bucket_secs))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            queue_depth_series: metrics
+                .queue_depth_series
+                .points()
+                .into_iter()
+                .map(|(t, depth)| (t.as_secs_f64(), depth))
+                .collect(),
         }
     }
 
@@ -301,6 +460,20 @@ impl RunReport {
                 self.late_replies,
                 self.replies_dropped,
                 self.rejected_arrivals,
+            ));
+        }
+        // Same deal for overload control: silent unless a policy acted.
+        if self.overload.any() {
+            let o = &self.overload;
+            out.push_str(&format!(
+                "  overload: {} shed (queue-full {}, deadline {}, concurrency {}, priority {}) | {} deferred | {} retries budget-denied\n",
+                o.total_sheds(),
+                o.shed_queue_full,
+                o.shed_queue_deadline,
+                o.shed_concurrency,
+                o.shed_priority,
+                o.deferred,
+                o.budget_denied,
             ));
         }
         for s in &self.services {

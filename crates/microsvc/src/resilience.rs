@@ -419,6 +419,46 @@ mod tests {
     }
 
     #[test]
+    fn reopened_breaker_serves_a_full_fresh_cooldown() {
+        let mut b = breaker(1);
+        b.on_failure(at(0));
+        // Half-open at t=10; the probe goes out late and fails at t=15.
+        b.on_dispatch(at(12));
+        assert_eq!(b.on_failure(at(15)), Transition::Opened);
+        // The cooldown is measured from the re-open (t=15), not from the
+        // original trip: t=20 (old deadline + 10) is still inside it.
+        assert!(!b.allows(at(20)));
+        assert!(!b.allows(at(24)));
+        assert_eq!(b.state(at(25)), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_allowance_replenishes_after_each_reopen_cycle() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            open_for: ms(10),
+            half_open_probes: 2,
+        });
+        b.on_failure(at(0));
+        // First half-open window: both slots go out, one probe fails and
+        // re-trips while the other is still in flight.
+        b.on_dispatch(at(10));
+        b.on_dispatch(at(10));
+        assert!(!b.allows(at(10)));
+        assert_eq!(b.on_failure(at(11)), Transition::Opened);
+        // The straggler probe's success arrives while open: ignored.
+        assert_eq!(b.on_success(at(12)), Transition::None);
+        assert_eq!(b.state(at(12)), BreakerState::Open);
+        // Next half-open window (t=21): the full allowance is back — the
+        // slots consumed last cycle must not leak into this one.
+        assert!(b.allows(at(21)));
+        b.on_dispatch(at(21));
+        assert!(b.allows(at(21)));
+        b.on_dispatch(at(21));
+        assert!(!b.allows(at(21)));
+    }
+
+    #[test]
     fn late_success_while_open_is_ignored() {
         let mut b = breaker(1);
         b.on_failure(at(0));

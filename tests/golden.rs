@@ -8,6 +8,10 @@
 //! 2. Running a sweep with 1 worker and with 8 workers yields byte-identical
 //!    tables — the work-stealing pool only changes *when* a point runs, the
 //!    merge order is the sweep order.
+//!
+//! The fault (E18/E19) and overload (E20/E21) experiments are pinned the
+//! same way: hashes catch drift from the overload-control machinery, the
+//! jobs test catches any nondeterminism in their sweeps.
 
 use scaleup_bench::{experiments as exp, Config};
 use std::sync::Mutex;
@@ -45,6 +49,42 @@ fn e3_e8_quick_tables_match_golden_hashes() {
         "E8 quick table drifted; new hash {:#018x}, table:\n{e8}",
         fnv1a(&e8)
     );
+}
+
+#[test]
+fn e18_e19_quick_tables_match_golden_hashes() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    let e18 = exp::e18(&config).table;
+    let e19 = exp::e19(&config).table;
+    // Recorded when the overload-control layer landed: the fault-injection
+    // experiments must not shift when admission/budget/limiter code is
+    // present but unconfigured.
+    assert_eq!(
+        fnv1a(&e18),
+        0x6abd_466c_8432_14c5,
+        "E18 quick table drifted; new hash {:#018x}, table:\n{e18}",
+        fnv1a(&e18)
+    );
+    assert_eq!(
+        fnv1a(&e19),
+        0x6dfe_8d00_0099_bf2a,
+        "E19 quick table drifted; new hash {:#018x}, table:\n{e19}",
+        fnv1a(&e19)
+    );
+}
+
+#[test]
+fn overload_experiments_are_byte_identical_at_any_worker_count() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    scaleup::par::set_jobs(1);
+    let seq = (exp::e20(&config).table, exp::e21(&config).table);
+    scaleup::par::set_jobs(8);
+    let par = (exp::e20(&config).table, exp::e21(&config).table);
+    scaleup::par::set_jobs(0); // restore auto
+    assert_eq!(seq.0, par.0, "E20 differs between --jobs 1 and --jobs 8");
+    assert_eq!(seq.1, par.1, "E21 differs between --jobs 1 and --jobs 8");
 }
 
 #[test]

@@ -261,7 +261,7 @@ impl Driver for OutcomeCount {
         match resp.outcome {
             Outcome::Ok => self.ok += 1,
             Outcome::TimedOut => self.timed_out += 1,
-            Outcome::Shed => self.shed += 1,
+            Outcome::Shed | Outcome::ShedByPolicy(_) => self.shed += 1,
         }
     }
 }
