@@ -4,14 +4,15 @@
 //! repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] <experiment>...
 //! repro all                    # everything, in order
 //! repro list                   # enumerate every experiment with a description
+//! repro list --json            # the catalog as JSON (id, title, runtime estimates)
 //! repro e8 e9                  # just the headline pair
 //! repro --csv results e4 e8    # also write plot-ready CSV files
 //! repro --jobs 1 all           # force a sequential sweep (byte-identical)
 //! repro perf                   # simulator self-benchmark -> results/BENCH_simperf.json
 //! ```
 //!
-//! Experiments: e1 … e23 (e14–e19 are extensions/validation, e20–e23 the
-//! overload & metastability studies),
+//! Experiments: e1 … e26 (e14–e19 are extensions/validation, e20–e23 the
+//! overload & metastability studies, e24–e26 the mega-scale studies),
 //! ablations: a1 (packing objective) a2 (LB) a3 (steal scope) a4 (quantum),
 //! plus `perf`, the simulator self-benchmark.
 //!
@@ -25,20 +26,25 @@ use std::time::Instant;
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "a1", "a2", "a3", "a4",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "a1", "a2", "a3",
+    "a4",
 ];
 
-fn list() -> ! {
-    for (name, description) in exp::catalog() {
-        println!("{name:<5} {description}");
+fn list(json: bool) -> ! {
+    if json {
+        print!("{}", exp::catalog_json());
+    } else {
+        for e in exp::catalog() {
+            println!("{:<5} {}  (~{:.0}s quick / ~{:.0}s full)", e.id, e.title, e.quick_secs, e.full_secs);
+        }
+        println!("perf  simulator self-benchmark (writes results/BENCH_simperf.json)");
     }
-    println!("perf  simulator self-benchmark (writes results/BENCH_simperf.json)");
     std::process::exit(0);
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] <e1..e23 | a1..a4 | perf | all>...\n\
+        "usage: repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] [--gate BASELINE.json] <e1..e26 | a1..a4 | perf | all>...\n\
          e1  platform table          e8  placement comparison (+22% headline)\n\
          e2  TeaStore table          e9  latency at fixed load (−18% headline)\n\
          e3  load curve              e10 SMT study\n\
@@ -50,9 +56,12 @@ fn usage() -> ! {
          e17 enumeration orders      e18 slow-replica tail (faults)\n\
          e19 crash & recovery       e20 overload sweep (admission control)\n\
          e21 retry-storm metastability  e22 brownout / priority shedding\n\
-         e23 recovery hysteresis     a1..a4 ablations\n\
-         perf simulator self-benchmark (writes results/BENCH_simperf.json)\n\
-         list enumerate every experiment with a one-line description"
+         e23 recovery hysteresis     e24 population scale-up 1k..1M\n\
+         e25 trace memory/fidelity   e26 mega-scale overload (100k users)\n\
+         a1..a4 ablations\n\
+         perf simulator self-benchmark (writes results/BENCH_simperf.json;\n\
+              with --gate, fail if events/s regress vs the committed baseline)\n\
+         list enumerate every experiment (--json for the machine-readable catalog)"
     );
     std::process::exit(2);
 }
@@ -63,11 +72,15 @@ fn main() {
     let mut seed = 42u64;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut html_path: Option<std::path::PathBuf> = None;
+    let mut gate_path: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
+    let mut list_mode = false;
+    let mut json = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--json" => json = true,
             "--seed" => {
                 seed = iter
                     .next()
@@ -84,15 +97,21 @@ fn main() {
             "--csv" => {
                 csv_dir = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
             }
+            "--gate" => {
+                gate_path = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
+            }
             "--html" => {
                 html_path = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
             }
             "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
-            "list" => list(),
+            "list" => list_mode = true,
             "perf" => wanted.push("perf".to_owned()),
             e if ALL.contains(&e) => wanted.push(e.to_owned()),
             _ => usage(),
         }
+    }
+    if list_mode {
+        list(json);
     }
     if wanted.is_empty() {
         usage();
@@ -443,16 +462,98 @@ fn main() {
                 }
                 r.table
             }
+            "e24" => {
+                let r = exp::e24(&config);
+                csv = Some(("e24_population_scaleup.csv".into(), exp::csv_e24(&r)));
+                if let Some(report) = html.as_mut() {
+                    report.chart(
+                        "E24: population scale-up — per-user memory",
+                        scaleup::html::LineChart::new(
+                            "engine + generator bytes per closed-loop user",
+                            "users",
+                            "B/user",
+                        )
+                        .series(
+                            "bytes/user",
+                            r.rows
+                                .iter()
+                                .map(|p| (p.users as f64, p.bytes_per_user))
+                                .collect(),
+                        ),
+                    );
+                    report.chart(
+                        "E24: population scale-up — simulator speed",
+                        scaleup::html::LineChart::new(
+                            "calendar events per host wall-clock second",
+                            "users",
+                            "events/s",
+                        )
+                        .series(
+                            "events/s",
+                            r.rows
+                                .iter()
+                                .map(|p| (p.users as f64, p.events_per_sec))
+                                .collect(),
+                        ),
+                    );
+                }
+                r.table
+            }
+            "e25" => {
+                let r = exp::e25(&config);
+                csv = Some(("e25_trace_fidelity.csv".into(), exp::csv_e25(&r)));
+                r.table
+            }
+            "e26" => {
+                let r = exp::e26(&config);
+                csv = Some(("e26_mega_overload.csv".into(), exp::csv_e26(&r)));
+                if let Some(report) = html.as_mut() {
+                    let mut p99 = scaleup::html::LineChart::new(
+                        "p99 latency vs offered load (100k closed-loop users)",
+                        "offered load (× capacity)",
+                        "p99 µs",
+                    );
+                    for (name, pick) in [("unbounded", 0usize), ("admission control", 1usize)] {
+                        p99 = p99.series(
+                            name,
+                            r.rows
+                                .iter()
+                                .map(|(m, u, a)| {
+                                    let rep = if pick == 0 { u } else { a };
+                                    (*m, rep.latency_p99.as_micros_f64())
+                                })
+                                .collect(),
+                        );
+                    }
+                    report.chart("E26: mega-scale overload — tail latency", p99);
+                }
+                r.table
+            }
             "a1" => exp::ablate_objective(&config),
             "a2" => exp::ablate_lb(&config),
             "a3" => exp::ablate_balance(&config),
             "a4" => exp::ablate_quantum(&config),
             "perf" => {
+                // Read the committed baseline before the fresh results
+                // overwrite it (the gate file is usually the same path).
+                let committed = gate_path.as_ref().map(|p| {
+                    std::fs::read_to_string(p)
+                        .unwrap_or_else(|e| panic!("read gate baseline {}: {e}", p.display()))
+                });
                 let (table, json) = scaleup_bench::perf::run(quick);
                 std::fs::create_dir_all("results").expect("create results directory");
-                std::fs::write("results/BENCH_simperf.json", json)
+                std::fs::write("results/BENCH_simperf.json", &json)
                     .expect("write results/BENCH_simperf.json");
                 println!("[wrote results/BENCH_simperf.json]");
+                if let Some(committed) = committed {
+                    match scaleup_bench::perf::gate(&committed, &json, 0.5) {
+                        Ok(report) => println!("{report}"),
+                        Err(report) => {
+                            eprintln!("{report}perf gate FAILED");
+                            std::process::exit(1);
+                        }
+                    }
+                }
                 table
             }
             _ => unreachable!("validated above"),

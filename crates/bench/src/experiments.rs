@@ -5,10 +5,11 @@
 //! table (what the `repro` binary prints).
 
 use cputopo::{enumerate, TopologyBuilder};
+use loadgen::ClosedLoop;
 use microsvc::{
-    AdmissionPolicy, AppSpec, BreakerPolicy, CallNode, Demand, Deployment, FaultPlan,
-    InstanceConfig, InstanceId, LbPolicy, OverloadParams, PriorityPolicy, ResilienceParams,
-    RetryBudgetPolicy, RetryPolicy, RunReport, ServiceId, ServiceSpec,
+    AdmissionPolicy, AppSpec, BreakerPolicy, CallNode, Demand, Deployment, Engine, EngineParams,
+    FaultPlan, InstanceConfig, InstanceId, LbPolicy, OverloadParams, PriorityPolicy,
+    ResilienceParams, RetryBudgetPolicy, RetryPolicy, RunReport, ServiceId, ServiceSpec, Tracer,
 };
 use scaleup::placement::{self, Objective, Policy};
 use scaleup::scaling::{self, ScalePoint};
@@ -34,6 +35,8 @@ pub struct Config {
     pub user_sweep: Vec<u64>,
     /// Replica counts for the E6/E7 sweeps.
     pub replica_sweep: Vec<usize>,
+    /// Closed-loop populations for the E24 mega-scale sweep.
+    pub mega_users: Vec<u64>,
 }
 
 impl Config {
@@ -46,6 +49,7 @@ impl Config {
             cpu_counts: vec![8, 16, 32, 64, 96, 128, 160, 192, 224, 256],
             user_sweep: vec![128, 256, 512, 1024, 2048, 4096],
             replica_sweep: vec![1, 2, 4, 8, 16, 24],
+            mega_users: vec![1_000, 10_000, 100_000, 1_000_000],
         }
     }
 
@@ -58,6 +62,7 @@ impl Config {
             cpu_counts: vec![2, 4, 8, 16],
             user_sweep: vec![16, 32, 64, 128],
             replica_sweep: vec![1, 2, 4],
+            mega_users: vec![1_000, 10_000, 100_000],
         }
     }
 
@@ -1811,40 +1816,440 @@ pub fn e23(config: &Config) -> RecoveryStudy {
     }
 }
 
+// ------------------------------------------------- E24–E26 (mega scale)
+
+/// Wake-coalescing grain for the mega-scale runs: an eighth of the think
+/// time, clamped to [1 ms, 10 ms]. Small enough to leave think-time jitter
+/// intact, large enough that a million parked users share O(window/grain)
+/// calendar events instead of one timer each.
+fn mega_grain(think: SimDuration) -> SimDuration {
+    SimDuration::from_nanos((think.as_nanos() / 8).clamp(1_000_000, 10_000_000))
+}
+
+/// Think time that holds the lab's nominal offered rate (`users / think`)
+/// constant while the population scales — 10× the users, 10× the think.
+fn mega_think(config: &Config, users: u64) -> SimDuration {
+    SimDuration::from_nanos(
+        config.lab.think.as_nanos().saturating_mul(users) / config.lab.users.max(1),
+    )
+}
+
+/// One coalesced closed-loop run of the tuned TeaStore baseline plus the
+/// measurements E24/E25 report on top of the [`RunReport`].
+struct MegaRun {
+    report: RunReport,
+    /// Engine + load-generator heap bytes (capacities, not lengths).
+    footprint_bytes: u64,
+    /// Host wall-clock seconds of the simulation loop (display only —
+    /// never feed this into anything that must be deterministic).
+    wall_secs: f64,
+    /// p99 latency estimated from the retained traces, if any completed.
+    trace_p99: Option<SimDuration>,
+}
+
+/// Like [`Lab::run_app`] for the tuned unpinned baseline, but with wake
+/// coalescing enabled (which `Lab` deliberately does not model: the exact
+/// timer path is what the E1–E23 golden hashes pin down) and with wall
+/// clock, footprint, and trace quantiles captured.
+fn mega_run(
+    config: &Config,
+    users: u64,
+    think: SimDuration,
+    patch: impl FnOnce(&mut EngineParams),
+) -> MegaRun {
+    let lab = &config.lab;
+    let replicas = config.baseline_replicas();
+    let placed = Policy::Unpinned.deploy(config.store.app(), &lab.topo, &replicas);
+    let app = config.store.app().clone();
+    let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+    let mut params = lab.engine_params.clone();
+    params.lb = placed.lb;
+    patch(&mut params);
+    let mut engine = Engine::new(lab.topo.clone(), params, app, placed.deployment, lab.seed);
+    let mut load = ClosedLoop::new(users)
+        .think_time(think)
+        .coalesce(mega_grain(think))
+        .mix(&mix)
+        .warmup(lab.warmup)
+        .measure(lab.measure);
+    let horizon = SimTime::ZERO + (lab.warmup + lab.measure) * 4;
+    let start = std::time::Instant::now();
+    engine.run(&mut load, horizon);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = engine
+        .traces()
+        .iter()
+        .filter_map(|t| t.latency())
+        .map(|d| d.as_nanos())
+        .collect();
+    latencies.sort_unstable();
+    let trace_p99 = (!latencies.is_empty()).then(|| {
+        SimDuration::from_nanos(latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)])
+    });
+    let report = engine.report();
+    let footprint_bytes = report.engine_footprint_bytes + load.footprint_bytes() as u64;
+    MegaRun {
+        report,
+        footprint_bytes,
+        wall_secs,
+        trace_p99,
+    }
+}
+
+/// One row of the E24 population sweep.
+#[derive(Debug, Clone)]
+pub struct PopulationPoint {
+    /// Closed-loop population.
+    pub users: u64,
+    /// Think time used (scaled with the population).
+    pub think: SimDuration,
+    /// The run.
+    pub report: RunReport,
+    /// Engine + generator heap bytes divided by the population.
+    pub bytes_per_user: f64,
+    /// Simulation events per host wall-clock second. Host-dependent —
+    /// display only, excluded from determinism checks.
+    pub events_per_sec: f64,
+}
+
+/// E24 result: the population scale-up curve.
+#[derive(Debug, Clone)]
+pub struct PopulationScale {
+    /// One row per population, in sweep order.
+    pub rows: Vec<PopulationPoint>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// E24 — user-population scale-up: 1k → 1M closed-loop users against the
+/// tuned baseline, think time scaled with the population so the nominal
+/// offered rate stays fixed. With think ≫ window the measured arrivals are
+/// the stagger wave (spread over think/2), so offered load stays bounded
+/// at roughly 2× nominal while the population — and therefore generator
+/// state — grows by three orders of magnitude. The deliverables are the
+/// memory and event-throughput columns: bytes/user must stay flat and
+/// events/s must not collapse as users scale.
+pub fn e24(config: &Config) -> PopulationScale {
+    let rate_rps = config.lab.users as f64 / config.lab.think.as_secs_f64();
+    let rows: Vec<PopulationPoint> = scaleup::par::map(config.mega_users.clone(), |users| {
+        let think = mega_think(config, users);
+        let run = mega_run(config, users, think, |_| {});
+        PopulationPoint {
+            users,
+            think,
+            bytes_per_user: run.footprint_bytes as f64 / users as f64,
+            events_per_sec: run.report.events_processed as f64 / run.wall_secs.max(1e-9),
+            report: run.report,
+        }
+    });
+    let mut table = format!(
+        "E24: population scale-up (nominal offered load {rate_rps:.0} req/s, coalesced wakeups)\n   users    think      req/s      p99     events   Mevents/s   B/user\n"
+    );
+    for p in &rows {
+        let _ = writeln!(
+            table,
+            "{:>8} {:>8} {:>10.0} {:>8} {:>10} {:>11.2} {:>8.1}",
+            p.users,
+            p.think,
+            p.report.throughput_rps,
+            p.report.latency_p99,
+            p.report.events_processed,
+            p.events_per_sec / 1e6,
+            p.bytes_per_user,
+        );
+    }
+    let (first, last) = (rows.first().expect("rows"), rows.last().expect("rows"));
+    let _ = writeln!(
+        table,
+        "{}× the users costs {:.1}× the per-user bytes ({:.1} → {:.1} B/user)",
+        last.users / first.users.max(1),
+        last.bytes_per_user / first.bytes_per_user.max(1e-9),
+        first.bytes_per_user,
+        last.bytes_per_user,
+    );
+    PopulationScale { rows, table }
+}
+
+/// One arm of the E25 tracing comparison.
+#[derive(Debug, Clone)]
+pub struct TraceArm {
+    /// Arm name: `off`, `head` (every request, head-capped), `reservoir`.
+    pub mode: &'static str,
+    /// The run (identical simulation results across arms by construction).
+    pub report: RunReport,
+    /// p99 latency estimated from the retained traces.
+    pub trace_p99: Option<SimDuration>,
+}
+
+/// E25 result: memory vs fidelity of the tracing modes.
+#[derive(Debug, Clone)]
+pub struct TraceFidelity {
+    /// Population used for all three arms.
+    pub users: u64,
+    /// `off`, `head`, `reservoir` in that order.
+    pub rows: Vec<TraceArm>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// E25 — memory vs fidelity of request tracing at a fixed 10k-user
+/// population. Three arms: tracing off, every-request tracing (which caps
+/// at [`Tracer::MAX_TRACES`] and therefore keeps only the *head* of the
+/// run), and a same-capacity uniform reservoir (Algorithm R). Both modes
+/// pay O(capacity) memory; only the reservoir's p99 estimate tracks the
+/// true p99, because the head sample is biased toward the cold start. The
+/// simulation itself is byte-identical across arms — tracing draws from a
+/// dedicated RNG stream.
+pub fn e25(config: &Config) -> TraceFidelity {
+    let users = 10_000;
+    let think = mega_think(config, users);
+    type Patch = fn(&mut EngineParams);
+    let arms: Vec<(&'static str, Patch)> = vec![
+        ("off", |_| {}),
+        ("head", |p| p.trace_sample_every = Some(1)),
+        ("reservoir", |p| p.trace_reservoir = Some(Tracer::MAX_TRACES)),
+    ];
+    let rows: Vec<TraceArm> = scaleup::par::map(arms, |(mode, patch)| {
+        let run = mega_run(config, users, think, patch);
+        TraceArm {
+            mode,
+            report: run.report,
+            trace_p99: run.trace_p99,
+        }
+    });
+    let off = &rows[0];
+    let true_p99 = off.report.latency_p99;
+    let mut table = format!(
+        "E25: trace memory vs fidelity at {users} users (capacity {} traces)\n mode        retained   trace KiB   est p99   true p99   err%\n",
+        Tracer::MAX_TRACES
+    );
+    for arm in &rows {
+        let trace_bytes = arm
+            .report
+            .engine_footprint_bytes
+            .saturating_sub(off.report.engine_footprint_bytes);
+        let (est, err) = match arm.trace_p99 {
+            Some(p) => (
+                p.to_string(),
+                format!(
+                    "{:+.1}",
+                    ratio_pct(p.as_secs_f64(), true_p99.as_secs_f64())
+                ),
+            ),
+            None => ("-".to_owned(), "-".to_owned()),
+        };
+        let _ = writeln!(
+            table,
+            " {:<10} {:>9} {:>11.1} {:>9} {:>10} {:>6}",
+            arm.mode,
+            arm.report.traces_retained,
+            trace_bytes as f64 / 1024.0,
+            est,
+            true_p99,
+            err,
+        );
+    }
+    let identical = rows
+        .iter()
+        .all(|a| a.report.completed == off.report.completed && a.report.latency_p99 == true_p99);
+    let _ = writeln!(
+        table,
+        "simulation results {} across arms (tracing uses its own RNG stream)",
+        if identical { "identical" } else { "DIVERGED" },
+    );
+    TraceFidelity { users, rows, table }
+}
+
+/// E26 result: the admission-control sweep at a 100k-user population.
+#[derive(Debug, Clone)]
+pub struct MegaOverload {
+    /// Closed-loop population of every run.
+    pub users: u64,
+    /// Measured saturation throughput of the overload deployment.
+    pub capacity_rps: f64,
+    /// `(offered multiple of capacity, unbounded report, admission report)`.
+    pub rows: Vec<(f64, RunReport, RunReport)>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// One closed-loop coalesced run against the overload deployment.
+fn run_overload_closed(
+    lab: &Lab,
+    app: &AppSpec,
+    users: u64,
+    think: SimDuration,
+    overload: Option<OverloadParams>,
+) -> RunReport {
+    let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+    let mut params = lab.engine_params.clone();
+    params.lb = LbPolicy::LeastOutstanding;
+    params.overload = overload;
+    let mut engine = Engine::new(
+        lab.topo.clone(),
+        params,
+        app.clone(),
+        overload_deployment(app, &lab.topo),
+        lab.seed,
+    );
+    let mut load = ClosedLoop::new(users)
+        .think_time(think)
+        .coalesce(mega_grain(think))
+        .mix(&mix)
+        .warmup(lab.warmup)
+        .measure(lab.measure);
+    engine.run(&mut load, SimTime::ZERO + (lab.warmup + lab.measure) * 4);
+    engine.report()
+}
+
+/// E26 — E20's admission-control comparison rerun at mega scale: a 100k
+/// closed-loop population instead of an open-loop Poisson source. Think
+/// times are chosen so the stagger wave offers `m × capacity`; with think
+/// far beyond the window, the population behaves like an open-loop source
+/// of that rate while the engine carries 100k live users. Admission
+/// control must deliver the same verdict as E20 — bounded goodput loss for
+/// orders of magnitude of tail latency — at three orders of magnitude more
+/// generator state.
+pub fn e26(config: &Config) -> MegaOverload {
+    let users: u64 = 100_000;
+    let app = overload_app();
+    let lab = overload_lab(
+        config,
+        SimDuration::from_millis(500),
+        SimDuration::from_millis(2500),
+    );
+    let capacity_rps = overload_capacity(&lab, &app);
+    let admission = OverloadParams::default()
+        .with_admission(AdmissionPolicy::RejectNew { bound: 64 })
+        .with_queue_deadline(SimDuration::from_millis(5));
+    let mults = vec![0.5, 1.5, 3.0];
+    let rows: Vec<(f64, RunReport, RunReport)> = scaleup::par::map(mults, |m| {
+        // Stagger spreads arrivals over think/2, so think = 2·users/rate
+        // makes the wave offer exactly `m × capacity`.
+        let think =
+            SimDuration::from_nanos((2.0 * users as f64 / (m * capacity_rps) * 1e9) as u64);
+        let unbounded = run_overload_closed(
+            &lab,
+            &app,
+            users,
+            think,
+            Some(OverloadParams::default()),
+        );
+        let admitted = run_overload_closed(&lab, &app, users, think, Some(admission.clone()));
+        (m, unbounded, admitted)
+    });
+    let mut table = format!(
+        "E26: overload at mega scale — {users} closed-loop users (capacity ≈ {capacity_rps:.0} req/s)\n load  config          goodput      p99      shed   max queue\n"
+    );
+    for (m, unbounded, admitted) in &rows {
+        for (name, r) in [("unbounded", unbounded), ("admission", admitted)] {
+            let _ = writeln!(
+                table,
+                " {m:>3.1}×  {:<12} {:>8.0} {:>9} {:>8} {:>10.0}",
+                name,
+                r.throughput_rps,
+                r.latency_p99,
+                r.overload.total_sheds(),
+                max_queue_depth(r),
+            );
+        }
+    }
+    let (_, over_unbounded, over_admitted) = rows.last().expect("swept at least one load");
+    let _ = writeln!(
+        table,
+        "at 3× offered load: admission keeps p99 at {} vs {} unbounded — same verdict as E20\n with 100k live users instead of an open-loop source",
+        over_admitted.latency_p99,
+        over_unbounded.latency_p99,
+    );
+    MegaOverload {
+        users,
+        capacity_rps,
+        rows,
+        table,
+    }
+}
+
 // ------------------------------------------------------- experiment catalog
 
-/// Every experiment the `repro` binary knows, with a one-line description —
-/// drives `repro list` and the usage text.
-pub fn catalog() -> Vec<(&'static str, &'static str)> {
+/// One entry of the experiment catalog: id, one-line title, and coarse
+/// wall-clock estimates for CI budgeting (release build, default jobs).
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    /// Experiment id as the `repro` binary accepts it (`e3`, `a1`, …).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Estimated `--quick` runtime in seconds.
+    pub quick_secs: f64,
+    /// Estimated full (paper-scale) runtime in seconds.
+    pub full_secs: f64,
+}
+
+/// Every experiment the `repro` binary knows, with a one-line description
+/// and runtime estimates — drives `repro list` (and its `--json` mode,
+/// which the CI smoke uses to pick experiments) and the usage text.
+pub fn catalog() -> Vec<CatalogEntry> {
+    const fn e(
+        id: &'static str,
+        title: &'static str,
+        quick_secs: f64,
+        full_secs: f64,
+    ) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            title,
+            quick_secs,
+            full_secs,
+        }
+    }
     vec![
-        ("e1", "platform configuration table"),
-        ("e2", "TeaStore services, profiles and request mix"),
-        ("e3", "throughput/latency vs closed-loop users (load curve)"),
-        ("e4", "scale-up curve: throughput vs enabled logical CPUs + USL fit"),
-        ("e5", "per-service busy CPUs vs load"),
-        ("e6", "per-service scaling: replicate one tier at a time + USL"),
-        ("e7", "replica tuning of the bottleneck service"),
-        ("e8", "placement-policy comparison at saturation (+22% headline)"),
-        ("e9", "latency at matched open load (−18% headline)"),
-        ("e10", "SMT on/off at equal core count vs a compute-bound contrast"),
-        ("e11", "NUMA locality: local vs remote memory for the data tier"),
-        ("e12", "µarch characterization vs reference workloads"),
-        ("e13", "scheduler behaviour per placement policy"),
-        ("e14", "opportunistic frequency boost extension"),
-        ("e15", "simulator vs analytic MVA validation"),
-        ("e16", "workload-mix sensitivity extension"),
-        ("e17", "CPU-mask enumeration orders at a fixed CPU budget"),
-        ("e18", "slow-replica tail amplification + resilience (faults)"),
-        ("e19", "crash and recovery under load (faults)"),
-        ("e20", "overload sweep: admission control vs unbounded queues"),
-        ("e21", "retry-storm metastability; retry budgets recover it"),
-        ("e22", "brownout: priority shedding keeps checkout goodput high"),
-        ("e23", "recovery hysteresis: queue-bound policy vs backlog drain"),
-        ("a1", "ablation: topology-aware packing objective"),
-        ("a2", "ablation: load-balancer policy under pod placement"),
-        ("a3", "ablation: idle-steal scope of the scheduler"),
-        ("a4", "ablation: scheduler quantum vs tail latency"),
+        e("e1", "platform configuration table", 0.1, 0.1),
+        e("e2", "TeaStore services, profiles and request mix", 0.1, 0.1),
+        e("e3", "throughput/latency vs closed-loop users (load curve)", 1.0, 30.0),
+        e("e4", "scale-up curve: throughput vs enabled logical CPUs + USL fit", 1.0, 45.0),
+        e("e5", "per-service busy CPUs vs load", 1.0, 30.0),
+        e("e6", "per-service scaling: replicate one tier at a time + USL", 2.0, 60.0),
+        e("e7", "replica tuning of the bottleneck service", 1.0, 30.0),
+        e("e8", "placement-policy comparison at saturation (+22% headline)", 1.0, 30.0),
+        e("e9", "latency at matched open load (−18% headline)", 1.0, 20.0),
+        e("e10", "SMT on/off at equal core count vs a compute-bound contrast", 1.0, 20.0),
+        e("e11", "NUMA locality: local vs remote memory for the data tier", 1.0, 20.0),
+        e("e12", "µarch characterization vs reference workloads", 0.5, 5.0),
+        e("e13", "scheduler behaviour per placement policy", 1.0, 20.0),
+        e("e14", "opportunistic frequency boost extension", 1.0, 20.0),
+        e("e15", "simulator vs analytic MVA validation", 0.5, 10.0),
+        e("e16", "workload-mix sensitivity extension", 1.0, 30.0),
+        e("e17", "CPU-mask enumeration orders at a fixed CPU budget", 1.0, 30.0),
+        e("e18", "slow-replica tail amplification + resilience (faults)", 1.0, 20.0),
+        e("e19", "crash and recovery under load (faults)", 1.0, 20.0),
+        e("e20", "overload sweep: admission control vs unbounded queues", 3.0, 30.0),
+        e("e21", "retry-storm metastability; retry budgets recover it", 3.0, 30.0),
+        e("e22", "brownout: priority shedding keeps checkout goodput high", 2.0, 20.0),
+        e("e23", "recovery hysteresis: queue-bound policy vs backlog drain", 3.0, 30.0),
+        e("e24", "population scale-up 1k→1M users: events/s and bytes/user", 5.0, 90.0),
+        e("e25", "trace memory vs fidelity: head-capped vs reservoir sampling", 2.0, 20.0),
+        e("e26", "mega-scale overload: admission sweep at 100k closed-loop users", 5.0, 45.0),
+        e("a1", "ablation: topology-aware packing objective", 1.0, 20.0),
+        e("a2", "ablation: load-balancer policy under pod placement", 1.0, 20.0),
+        e("a3", "ablation: idle-steal scope of the scheduler", 1.0, 20.0),
+        e("a4", "ablation: scheduler quantum vs tail latency", 1.0, 20.0),
     ]
+}
+
+/// The catalog as machine-readable JSON (for `repro list --json`).
+pub fn catalog_json() -> String {
+    let mut out = String::from("[\n");
+    let entries = catalog();
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"id\": \"{}\", \"title\": \"{}\", \"quick_est_secs\": {:.1}, \"full_est_secs\": {:.1}}}",
+            e.id, e.title, e.quick_secs, e.full_secs
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
 }
 
 // -------------------------------------------------------------- CSV export
@@ -2106,6 +2511,86 @@ pub fn csv_e23(result: &RecoveryStudy) -> String {
     csv.finish()
 }
 
+/// CSV of the E24 population sweep (one row per population).
+pub fn csv_e24(result: &PopulationScale) -> String {
+    let mut csv = scaleup::report::Csv::new(&[
+        "users",
+        "think_ms",
+        "throughput_rps",
+        "p99_latency_us",
+        "events",
+        "events_per_sec",
+        "bytes_per_user",
+    ]);
+    for p in &result.rows {
+        csv.row(&[
+            &p.users.to_string(),
+            &format!("{:.1}", p.think.as_secs_f64() * 1e3),
+            &format!("{:.1}", p.report.throughput_rps),
+            &format!("{:.1}", p.report.latency_p99.as_micros_f64()),
+            &p.report.events_processed.to_string(),
+            &format!("{:.0}", p.events_per_sec),
+            &format!("{:.1}", p.bytes_per_user),
+        ]);
+    }
+    csv.finish()
+}
+
+/// CSV of the E25 tracing comparison (one row per arm).
+pub fn csv_e25(result: &TraceFidelity) -> String {
+    let off_footprint = result.rows[0].report.engine_footprint_bytes;
+    let mut csv = scaleup::report::Csv::new(&[
+        "mode",
+        "traces_retained",
+        "trace_bytes",
+        "est_p99_us",
+        "true_p99_us",
+        "completed",
+    ]);
+    for arm in &result.rows {
+        csv.row(&[
+            arm.mode,
+            &arm.report.traces_retained.to_string(),
+            &arm
+                .report
+                .engine_footprint_bytes
+                .saturating_sub(off_footprint)
+                .to_string(),
+            &arm.trace_p99
+                .map(|p| format!("{:.1}", p.as_micros_f64()))
+                .unwrap_or_default(),
+            &format!("{:.1}", result.rows[0].report.latency_p99.as_micros_f64()),
+            &arm.report.completed.to_string(),
+        ]);
+    }
+    csv.finish()
+}
+
+/// CSV of the E26 mega-scale overload sweep (same shape as E20's).
+pub fn csv_e26(result: &MegaOverload) -> String {
+    let mut csv = scaleup::report::Csv::new(&[
+        "load_multiple",
+        "config",
+        "goodput_rps",
+        "p99_latency_us",
+        "shed",
+        "max_queue_depth",
+    ]);
+    for (m, unbounded, admitted) in &result.rows {
+        for (name, r) in [("unbounded", unbounded), ("admission", admitted)] {
+            csv.row(&[
+                &format!("{m:.2}"),
+                name,
+                &format!("{:.1}", r.throughput_rps),
+                &format!("{:.1}", r.latency_p99.as_micros_f64()),
+                &r.overload.total_sheds().to_string(),
+                &format!("{:.0}", max_queue_depth(r)),
+            ]);
+        }
+    }
+    csv.finish()
+}
+
 // ---------------------------------------------------------------- ablations
 
 /// Ablation A1 — bin-packing objective of the topology-aware policy.
@@ -2361,8 +2846,8 @@ mod tests {
 
     #[test]
     fn catalog_covers_every_runnable_experiment() {
-        let names: Vec<&str> = catalog().iter().map(|(n, _)| *n).collect();
-        for e in 1..=23 {
+        let names: Vec<&str> = catalog().iter().map(|e| e.id).collect();
+        for e in 1..=26 {
             assert!(names.contains(&format!("e{e}").as_str()), "missing e{e}");
         }
         for a in 1..=4 {

@@ -15,6 +15,82 @@ use std::sync::Arc;
 use std::time::Instant;
 use teastore::TeaStore;
 
+/// Counting global allocator, active with the `alloc-count` feature: every
+/// allocation bumps an atomic counter and a live-byte gauge, so `repro perf`
+/// can report hot-path allocation pressure per scenario. Off by default —
+/// the shim adds two relaxed atomics to every malloc/free.
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+    /// Total allocations since process start.
+    pub static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    /// Bytes currently allocated (allocations minus frees).
+    pub static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+    struct Counting;
+
+    // SAFETY: defers all allocation to `System`; only adds atomic counters.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    /// `(allocations, live_bytes)` snapshot.
+    pub fn snapshot() -> (u64, i64) {
+        (
+            ALLOCATIONS.load(Ordering::Relaxed),
+            LIVE_BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where the proc filesystem is unavailable.
+/// Monotonic over the process lifetime, so per-scenario readings reflect
+/// the largest scenario run so far.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse::<u64>()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// Commit of the recorded pre-overhaul baseline.
 pub const BASELINE_COMMIT: &str = "fc95e44";
 /// Wall seconds the flagship scenario took at [`BASELINE_COMMIT`]
@@ -60,6 +136,8 @@ struct Scenario {
     think_ms: u64,
     warmup_ms: u64,
     measure_ms: u64,
+    /// Think-wakeup coalescing grain in ms (0 = exact per-user timers).
+    coalesce_ms: u64,
 }
 
 /// The flagship scenario — identical to the one the baseline was timed on.
@@ -70,6 +148,7 @@ const FLAGSHIP: Scenario = Scenario {
     think_ms: 20,
     warmup_ms: 1000,
     measure_ms: 2000,
+    coalesce_ms: 0,
 };
 
 /// A desktop-sized scenario cheap enough for CI smoke runs.
@@ -80,6 +159,23 @@ const DESKTOP: Scenario = Scenario {
     think_ms: 10,
     warmup_ms: 200,
     measure_ms: 300,
+    coalesce_ms: 0,
+};
+
+/// The mega scenario: one million closed-loop users on the 2-socket
+/// machine. Ten-second think times keep the offered load near the socket's
+/// saturation point rather than 1000× past it; 5 ms wake coalescing keeps
+/// the calendar at O(active buckets) instead of a million live timers. The
+/// short simulated window bounds the work — the point is the *population*,
+/// exercising the SoA user table, the compact slabs, and batch wakeups.
+const MEGA: Scenario = Scenario {
+    name: "teastore_mega_1m_users",
+    big_machine: true,
+    users: 1_000_000,
+    think_ms: 10_000,
+    warmup_ms: 500,
+    measure_ms: 1500,
+    coalesce_ms: 5,
 };
 
 /// Measured result of one scenario (best of `reps` repetitions).
@@ -97,9 +193,30 @@ pub struct PerfRun {
     pub events_per_sec: f64,
     /// Requests completed in the measurement window.
     pub completed: u64,
+    /// Process peak RSS (bytes) sampled right after the scenario. Monotonic
+    /// per process, so order scenarios smallest-first for per-scenario
+    /// attribution.
+    pub peak_rss_bytes: u64,
+    /// Simulation-state heap bytes (engine slabs + calendar + generator
+    /// user table) divided by the user population.
+    pub bytes_per_user: f64,
+    /// Allocations retired during the run (`alloc-count` feature only).
+    pub allocations: Option<u64>,
+    /// Live heap bytes held at the end of the run (`alloc-count` only).
+    pub live_bytes: Option<i64>,
 }
 
-fn run_once(s: &Scenario) -> (f64, u64, u64) {
+struct OnceResult {
+    wall: f64,
+    events: u64,
+    completed: u64,
+    /// Engine + generator footprint at end of run.
+    footprint: u64,
+    allocations: Option<u64>,
+    live_bytes: Option<i64>,
+}
+
+fn run_once(s: &Scenario) -> OnceResult {
     let topo = Arc::new(if s.big_machine {
         cputopo::Topology::zen2_2p_128c()
     } else {
@@ -115,10 +232,29 @@ fn run_once(s: &Scenario) -> (f64, u64, u64) {
         .mix(&mix)
         .warmup(SimDuration::from_millis(s.warmup_ms))
         .measure(SimDuration::from_millis(s.measure_ms));
+    if s.coalesce_ms > 0 {
+        load = load.coalesce(SimDuration::from_millis(s.coalesce_ms));
+    }
+    #[cfg(feature = "alloc-count")]
+    let alloc_before = alloc_count::snapshot();
     let t0 = Instant::now();
     engine.run(&mut load, SimTime::from_secs(60));
     let wall = t0.elapsed().as_secs_f64();
-    (wall, engine.events_processed(), engine.report().completed)
+    #[cfg(feature = "alloc-count")]
+    let (allocations, live_bytes) = {
+        let after = alloc_count::snapshot();
+        (Some(after.0 - alloc_before.0), Some(after.1))
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let (allocations, live_bytes) = (None, None);
+    OnceResult {
+        wall,
+        events: engine.events_processed(),
+        completed: engine.report().completed,
+        footprint: (engine.footprint_bytes() + load.footprint_bytes()) as u64,
+        allocations,
+        live_bytes,
+    }
 }
 
 fn measure(s: &Scenario, reps: usize) -> PerfRun {
@@ -132,24 +268,27 @@ fn measure(s: &Scenario, reps: usize) -> PerfRun {
 fn measure_paired(s: &Scenario, reps: usize, paired: bool) -> (PerfRun, Vec<(f64, f64)>) {
     let mut pairs = Vec::with_capacity(reps);
     let mut best_wall = f64::INFINITY;
-    let mut events = 0;
-    let mut completed = 0;
+    let mut last = None;
     for _ in 0..reps {
         let calib = if paired { calibrate() } else { 0.0 };
-        let (wall, ev, done) = run_once(s);
-        best_wall = best_wall.min(wall);
-        events = ev;
-        completed = done;
-        pairs.push((calib, wall));
+        let once = run_once(s);
+        best_wall = best_wall.min(once.wall);
+        pairs.push((calib, once.wall));
+        last = Some(once);
     }
+    let last = last.expect("at least one repetition");
     (
         PerfRun {
             scenario: s.name.to_owned(),
             reps,
             wall_secs: best_wall,
-            events,
-            events_per_sec: events as f64 / best_wall,
-            completed,
+            events: last.events,
+            events_per_sec: last.events as f64 / best_wall,
+            completed: last.completed,
+            peak_rss_bytes: peak_rss_bytes(),
+            bytes_per_user: last.footprint as f64 / s.users as f64,
+            allocations: last.allocations,
+            live_bytes: last.live_bytes,
         },
         pairs,
     )
@@ -162,12 +301,20 @@ fn measure_paired(s: &Scenario, reps: usize, paired: bool) -> (PerfRun, Vec<(f64
 /// (used by the CI smoke job); the speedup-vs-baseline figure needs the full
 /// mode, which times the flagship scenario the baseline was recorded on.
 pub fn run(quick: bool) -> (String, String) {
+    // Scenarios run smallest-first so the monotonic peak-RSS column mostly
+    // attributes each reading to its own scenario.
     let (runs, pairs): (Vec<PerfRun>, Vec<(f64, f64)>) = if quick {
-        (vec![measure(&DESKTOP, 2)], Vec::new())
+        (vec![measure(&DESKTOP, 2), measure(&MEGA, 1)], Vec::new())
     } else {
+        let desktop = measure(&DESKTOP, 3);
         let (flagship, pairs) = measure_paired(&FLAGSHIP, 6, true);
-        (vec![flagship, measure(&DESKTOP, 3)], pairs)
+        (vec![desktop, flagship, measure(&MEGA, 2)], pairs)
     };
+    render(&runs, &pairs)
+}
+
+/// Renders the human table and JSON body for already-measured runs.
+fn render(runs: &[PerfRun], pairs: &[(f64, f64)]) -> (String, String) {
     // The host drifts in speed, and interference only ever *adds* time, to
     // the calibration sample and the scenario alike. The repetition with the
     // best paired calibration-to-wall ratio therefore ran under the least
@@ -183,14 +330,28 @@ pub fn run(quick: bool) -> (String, String) {
         });
 
     let mut table = String::from(
-        "perf: simulator self-benchmark (best wall time over repetitions)\nscenario                        reps    wall s       events      events/s   completed\n",
+        "perf: simulator self-benchmark (best wall time over repetitions)\nscenario                        reps    wall s       events      events/s   completed  peak MiB    B/user\n",
     );
-    for r in &runs {
+    for r in runs {
         let _ = writeln!(
             table,
-            "{:<30} {:>5} {:>9.3} {:>12} {:>13.0} {:>11}",
-            r.scenario, r.reps, r.wall_secs, r.events, r.events_per_sec, r.completed
+            "{:<30} {:>5} {:>9.3} {:>12} {:>13.0} {:>11} {:>9.1} {:>9.1}",
+            r.scenario,
+            r.reps,
+            r.wall_secs,
+            r.events,
+            r.events_per_sec,
+            r.completed,
+            r.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            r.bytes_per_user,
         );
+        if let (Some(allocs), Some(live)) = (r.allocations, r.live_bytes) {
+            let _ = writeln!(
+                table,
+                "{:<30} allocations {} live bytes {}",
+                "", allocs, live
+            );
+        }
     }
     let _ = writeln!(
         table,
@@ -231,9 +392,20 @@ pub fn run(quick: bool) -> (String, String) {
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{ \"scenario\": \"{}\", \"reps\": {}, \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \"completed\": {} }}",
-            r.scenario, r.reps, r.wall_secs, r.events, r.events_per_sec, r.completed
+            "    {{ \"scenario\": \"{}\", \"reps\": {}, \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \"completed\": {}, \"peak_rss_bytes\": {}, \"bytes_per_user\": {:.1}",
+            r.scenario,
+            r.reps,
+            r.wall_secs,
+            r.events,
+            r.events_per_sec,
+            r.completed,
+            r.peak_rss_bytes,
+            r.bytes_per_user
         );
+        if let (Some(allocs), Some(live)) = (r.allocations, r.live_bytes) {
+            let _ = write!(json, ", \"allocations\": {allocs}, \"live_bytes\": {live}");
+        }
+        json.push_str(" }");
         json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
@@ -249,19 +421,162 @@ pub fn run(quick: bool) -> (String, String) {
     (table, json)
 }
 
+// ---------------------------------------------------------------- CI gate
+
+/// Extracts `(scenario, events_per_sec)` pairs from a `BENCH_simperf.json`
+/// body. Scans the run objects only — the `baseline` header object names a
+/// scenario but carries no `events_per_sec` inside its braces.
+pub fn parse_runs(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("\"scenario\": \"").skip(1) {
+        let Some(name_end) = chunk.find('"') else {
+            continue;
+        };
+        let name = &chunk[..name_end];
+        let obj = &chunk[..chunk.find('}').unwrap_or(chunk.len())];
+        if let Some(eps) = parse_field(obj, "\"events_per_sec\": ") {
+            out.push((name.to_owned(), eps));
+        }
+    }
+    out
+}
+
+/// Parses the number following `key` in a JSON body we generated ourselves.
+fn parse_field(json: &str, key: &str) -> Option<f64> {
+    let rest = &json[json.find(key)? + key.len()..];
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+/// The regression tripwire behind `repro --gate`: compares the current
+/// results against a committed baseline JSON and fails when any scenario
+/// present in both runs below `threshold` × its committed events/s, after
+/// scaling the committed figure to this host's speed (paired [`calibrate`]
+/// samples: a slower CI runner lowers the bar, a faster one raises it).
+pub fn gate(committed_json: &str, current_json: &str, threshold: f64) -> Result<String, String> {
+    gate_with_calib(committed_json, current_json, threshold, calibrate())
+}
+
+/// [`gate`] with the host calibration sample injected (testable form).
+pub fn gate_with_calib(
+    committed_json: &str,
+    current_json: &str,
+    threshold: f64,
+    host_calib_secs: f64,
+) -> Result<String, String> {
+    let committed_calib =
+        parse_field(committed_json, "\"measured_secs\": ").unwrap_or(BASELINE_CALIB_SECS);
+    // Calibration measures seconds per fixed work unit, so a *slower* host
+    // has a larger sample and scales the expected events/s *down*.
+    let host_factor = committed_calib / host_calib_secs;
+    let committed = parse_runs(committed_json);
+    let current = parse_runs(current_json);
+    let mut report = format!(
+        "perf gate: host speed x{host_factor:.2} vs committed baseline (calib {committed_calib:.3}s then, {host_calib_secs:.3}s now); floor {:.0}% of adjusted events/s\n",
+        threshold * 100.0
+    );
+    let mut compared = 0;
+    let mut failed = false;
+    for (name, base_eps) in &committed {
+        let Some((_, cur_eps)) = current.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        compared += 1;
+        let floor = base_eps * host_factor * threshold;
+        let ok = *cur_eps >= floor;
+        failed |= !ok;
+        let _ = writeln!(
+            report,
+            "  {name}: {cur_eps:.0} events/s vs floor {floor:.0} (committed {base_eps:.0}) -> {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+    }
+    if compared == 0 {
+        return Err(format!(
+            "{report}  no scenario common to the committed baseline and the current run\n"
+        ));
+    }
+    if failed {
+        Err(report)
+    } else {
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn quick_perf_runs_and_renders_json() {
-        let (table, json) = run(true);
+    fn desktop_scenario_runs_and_renders_json() {
+        // The measurement itself, on the cheap scenario only — the mega
+        // scenario belongs to release-mode `repro perf`, not debug tests.
+        let (run, _) = measure_paired(&DESKTOP, 1, false);
+        assert!(run.completed > 100, "completed {}", run.completed);
+        assert!(run.bytes_per_user > 0.0);
+        let (table, json) = render(std::slice::from_ref(&run), &[]);
         assert!(table.contains("teastore_desktop_64u_300ms"));
         assert!(table.contains("baseline"));
+        assert!(table.contains("B/user"));
         assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"peak_rss_bytes\""));
+        assert!(json.contains("\"bytes_per_user\""));
         assert!(json.contains("\"speedup_vs_baseline\": null"));
-        // Sanity: the desktop scenario retires a meaningful number of events.
-        let (_, _, completed) = run_once(&DESKTOP);
-        assert!(completed > 100, "completed {completed}");
+    }
+
+    #[test]
+    fn mega_scenario_is_coalesced_and_million_user() {
+        assert_eq!(MEGA.users, 1_000_000);
+        assert_ne!(MEGA.coalesce_ms, 0, "mega must coalesce wakeups");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_reads_proc_status() {
+        assert!(peak_rss_bytes() > 0, "VmHWM should be nonzero on Linux");
+    }
+
+    const COMMITTED: &str = r#"{
+  "baseline": { "commit": "abc", "scenario": "flagship", "wall_secs": 1.0, "calib_secs": 0.2 },
+  "host_calibration": { "measured_secs": 0.200000, "factor": 1.0, "baseline_wall_secs_adjusted": 1.0, "paired_wall_secs": 1.0 },
+  "runs": [
+    { "scenario": "desk", "reps": 2, "wall_secs": 1.0, "events": 1000, "events_per_sec": 1000, "completed": 10, "peak_rss_bytes": 1, "bytes_per_user": 1.0 }
+  ],
+  "speedup_vs_baseline": 1.0
+}"#;
+
+    fn current(eps: u64) -> String {
+        COMMITTED.replace("\"events_per_sec\": 1000", &format!("\"events_per_sec\": {eps}"))
+    }
+
+    #[test]
+    fn parse_runs_skips_the_baseline_header() {
+        let runs = parse_runs(COMMITTED);
+        assert_eq!(runs, vec![("desk".to_owned(), 1000.0)]);
+    }
+
+    #[test]
+    fn gate_passes_above_and_fails_below_the_floor() {
+        // Same host speed (calib 0.2 both sides): floor is 500 events/s.
+        assert!(gate_with_calib(COMMITTED, &current(501), 0.5, 0.2).is_ok());
+        let err = gate_with_calib(COMMITTED, &current(499), 0.5, 0.2);
+        assert!(err.is_err());
+        assert!(err.unwrap_err().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn gate_adjusts_the_floor_for_host_speed() {
+        // A 2x-slower host (calib 0.4 vs 0.2) halves the floor to 250.
+        assert!(gate_with_calib(COMMITTED, &current(260), 0.5, 0.4).is_ok());
+        assert!(gate_with_calib(COMMITTED, &current(240), 0.5, 0.4).is_err());
+    }
+
+    #[test]
+    fn gate_rejects_disjoint_scenario_sets() {
+        let other = COMMITTED.replace("\"scenario\": \"desk\"", "\"scenario\": \"mega\"");
+        assert!(gate_with_calib(COMMITTED, &other, 0.5, 0.2).is_err());
     }
 }

@@ -47,11 +47,91 @@ pub use replay::{Arrival, ReplayLoad, Schedule};
 
 use microsvc::{Driver, EngineCtx, ResponseInfo};
 use simcore::dist::{Distribution, Exp, WeightedIndex};
-use simcore::SimDuration;
+use simcore::{DetHashMap, SimDuration};
 
 const TOKEN_WARMUP: u64 = u64::MAX;
 const TOKEN_STOP: u64 = u64::MAX - 1;
 const TOKEN_ARRIVAL: u64 = u64::MAX - 2;
+/// Tag bit for coalesced wake-bucket timers; the low bits carry the bucket
+/// key. Distinct from the reserved tokens above (which also have bit 62 set
+/// but sit in the top three values, checked first) and from per-user tokens
+/// (user ids are bounded by the u32 population limit).
+const TOKEN_BUCKET_BIT: u64 = 1 << 62;
+
+/// Wake-up bookkeeping for a coalesced closed loop: a structure-of-arrays
+/// user table plus the pending wake buckets.
+///
+/// Instead of one live calendar timer per sleeping user (1M users = 1M
+/// pending timers), users are parked here: `deadline_ns[user]` packs each
+/// user's exact think-deadline, and `buckets` groups users by quantized
+/// wake instant, with **one** engine timer per non-empty bucket. When a
+/// bucket fires its users are released in deadline order, so the intent
+/// ordering of the un-coalesced loop is preserved within a grain.
+#[derive(Debug, Clone, Default)]
+struct UserTable {
+    /// Packed think-deadline (absolute ns) per user id; index is the id.
+    deadline_ns: Vec<u64>,
+    /// Quantized wake instant (`fire_ns / grain_ns`) → sleeping user ids.
+    /// Deterministically hashed so the capacity — and with it the reported
+    /// footprint — is identical on every run.
+    buckets: DetHashMap<u64, Vec<u32>>,
+    /// Drained bucket vectors kept for reuse, so steady state allocates
+    /// nothing on the wake path.
+    spare: Vec<Vec<u32>>,
+    /// Most users ever parked in buckets at once.
+    high_water: usize,
+    parked: usize,
+}
+
+impl UserTable {
+    /// Parks `user` until `deadline_ns`, returning `Some(fire_ns)` when the
+    /// caller must arm a new bucket timer for that instant.
+    fn park(&mut self, user: u32, deadline_ns: u64, grain_ns: u64) -> Option<u64> {
+        self.deadline_ns[user as usize] = deadline_ns;
+        self.parked += 1;
+        if self.parked > self.high_water {
+            self.high_water = self.parked;
+        }
+        let key = deadline_ns.div_ceil(grain_ns);
+        match self.buckets.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                e.into_mut().push(user);
+                None
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let mut vec = self.spare.pop().unwrap_or_default();
+                vec.push(user);
+                v.insert(vec);
+                Some(key * grain_ns)
+            }
+        }
+    }
+
+    /// Releases the bucket with `key`, returning its users sorted by
+    /// (packed deadline, id) — the order the un-coalesced loop would have
+    /// woken them.
+    fn release(&mut self, key: u64) -> Vec<u32> {
+        let mut users = self.buckets.remove(&key).unwrap_or_default();
+        self.parked -= users.len();
+        let deadlines = &self.deadline_ns;
+        users.sort_unstable_by_key(|&u| (deadlines[u as usize], u));
+        users
+    }
+
+    /// Approximate heap bytes held by the table (capacities, not lengths).
+    fn footprint_bytes(&self) -> usize {
+        let ids: usize = self
+            .buckets
+            .values()
+            .chain(self.spare.iter())
+            .map(|v| v.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        self.deadline_ns.capacity() * std::mem::size_of::<u64>()
+            + self.buckets.capacity()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>())
+            + ids
+    }
+}
 
 /// A fixed population of users with exponential think times.
 ///
@@ -68,6 +148,9 @@ pub struct ClosedLoop {
     completed: u64,
     errors: u64,
     measuring: bool,
+    /// Think-wakeup coalescing grain; `None` = one exact timer per user.
+    coalesce: Option<SimDuration>,
+    table: UserTable,
 }
 
 impl ClosedLoop {
@@ -89,6 +172,8 @@ impl ClosedLoop {
             completed: 0,
             errors: 0,
             measuring: false,
+            coalesce: None,
+            table: UserTable::default(),
         }
     }
 
@@ -121,6 +206,31 @@ impl ClosedLoop {
         self
     }
 
+    /// Coalesces think-time wakeups into buckets of width `grain`.
+    ///
+    /// In coalesced mode the loop keeps a compact structure-of-arrays user
+    /// table (u32 ids, packed think-deadlines) and arms **one** calendar
+    /// timer per non-empty wake bucket instead of one per sleeping user, so
+    /// a million-user population does not mean a million live timers. Each
+    /// wakeup is deferred to the end of its grain bucket (users inside a
+    /// bucket fire in deadline order), trading up to `grain` of think-time
+    /// fidelity for O(active buckets) timer memory. The exact per-user mode
+    /// (`grain = None`, the default) is unchanged and bit-identical to
+    /// previous releases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grain` is zero or the population exceeds `u32::MAX`.
+    pub fn coalesce(mut self, grain: SimDuration) -> Self {
+        assert!(!grain.is_zero(), "coalescing grain must be positive");
+        assert!(
+            self.users <= u64::from(u32::MAX),
+            "coalesced mode packs user ids into u32"
+        );
+        self.coalesce = Some(grain);
+        self
+    }
+
     /// Number of users.
     pub fn users(&self) -> u64 {
         self.users
@@ -143,11 +253,49 @@ impl ClosedLoop {
         self.errors
     }
 
+    /// Users currently parked in wake buckets (coalesced mode only).
+    pub fn parked_users(&self) -> usize {
+        self.table.parked
+    }
+
+    /// Most users ever parked at once (coalesced mode only).
+    pub fn parked_high_water(&self) -> usize {
+        self.table.high_water
+    }
+
+    /// Approximate heap bytes of the generator's per-user state: the packed
+    /// deadline table plus wake-bucket storage. Zero in exact mode, where
+    /// the per-user state lives in the engine calendar instead.
+    pub fn footprint_bytes(&self) -> usize {
+        self.table.footprint_bytes()
+    }
+
     fn submit_for(&mut self, user: u64, ctx: &mut dyn EngineCtx) {
         let mix = WeightedIndex::new(&self.mix);
         let class = mix.sample_index(ctx.rng()) as u32;
         self.issued += 1;
         ctx.submit(class, user);
+    }
+
+    /// Parks `user` until `delay` from now — through the wake-bucket table
+    /// in coalesced mode, or a dedicated timer otherwise.
+    fn sleep_user(&mut self, user: u64, delay: SimDuration, ctx: &mut dyn EngineCtx) {
+        match self.coalesce {
+            Some(grain) => {
+                let now = ctx.now().as_nanos();
+                let deadline = now + delay.as_nanos();
+                if let Some(fire_ns) =
+                    self.table
+                        .park(user as u32, deadline, grain.as_nanos())
+                {
+                    ctx.set_timer(
+                        SimDuration::from_nanos(fire_ns - now),
+                        TOKEN_BUCKET_BIT | (fire_ns / grain.as_nanos()),
+                    );
+                }
+            }
+            None => ctx.set_timer(delay, user),
+        }
     }
 }
 
@@ -157,12 +305,15 @@ impl Driver for ClosedLoop {
         if let Some(measure) = self.measure {
             ctx.set_timer(self.warmup + measure, TOKEN_STOP);
         }
+        if self.coalesce.is_some() {
+            self.table.deadline_ns = vec![0; self.users as usize];
+        }
         // Stagger initial arrivals over half the think time (or 50 ms) so the
         // population does not arrive as one synchronized burst.
         let stagger_ns = (self.think_mean.as_nanos() / 2).max(50_000_000);
         for user in 0..self.users {
             let offset = SimDuration::from_nanos(ctx.rng().next_below(stagger_ns));
-            ctx.set_timer(offset, user);
+            self.sleep_user(user, offset, ctx);
         }
     }
 
@@ -173,6 +324,14 @@ impl Driver for ClosedLoop {
                 self.measuring = true;
             }
             TOKEN_STOP => ctx.request_stop(),
+            bucket if bucket & TOKEN_BUCKET_BIT != 0 && self.coalesce.is_some() => {
+                let mut users = self.table.release(bucket & !TOKEN_BUCKET_BIT);
+                for &user in &users {
+                    self.submit_for(u64::from(user), ctx);
+                }
+                users.clear();
+                self.table.spare.push(users);
+            }
             user => self.submit_for(user, ctx),
         }
     }
@@ -187,7 +346,7 @@ impl Driver for ClosedLoop {
             self.submit_for(user, ctx);
         } else {
             let think = Exp::from_mean_duration(self.think_mean).sample_duration(ctx.rng());
-            ctx.set_timer(think, user);
+            self.sleep_user(user, think, ctx);
         }
     }
 }
@@ -430,6 +589,75 @@ mod tests {
             (load.issued(), load.completed(), eng.report().completed)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn coalesced_loop_matches_exact_loop_statistically() {
+        let run = |coalesce: bool| {
+            let mut eng = engine(300.0, 2, 8, 7);
+            let mut load = ClosedLoop::new(64)
+                .think_time(SimDuration::from_millis(5))
+                .warmup(SimDuration::from_millis(100))
+                .measure(SimDuration::from_secs(1));
+            if coalesce {
+                load = load.coalesce(SimDuration::from_millis(1));
+            }
+            eng.run(&mut load, SimTime::from_secs(30));
+            (eng.report().throughput_rps, load.issued(), load.completed())
+        };
+        let (exact_rps, ..) = run(false);
+        let (coal_rps, issued, completed) = run(true);
+        assert!(issued >= completed);
+        // A 1 ms grain against a 5 ms think time defers each wakeup by at
+        // most one grain; throughput must stay within a few percent.
+        assert!(
+            (coal_rps - exact_rps).abs() / exact_rps < 0.10,
+            "coalesced {coal_rps} vs exact {exact_rps} rps"
+        );
+    }
+
+    #[test]
+    fn coalesced_loop_is_deterministic_and_drains_buckets() {
+        let run = || {
+            let mut eng = engine(300.0, 2, 4, 11);
+            let mut load = ClosedLoop::new(512)
+                .think_time(SimDuration::from_millis(10))
+                .coalesce(SimDuration::from_millis(2))
+                .warmup(SimDuration::from_millis(100))
+                .measure(SimDuration::from_millis(500));
+            eng.run(&mut load, SimTime::from_secs(30));
+            (
+                load.issued(),
+                load.completed(),
+                load.parked_high_water(),
+                eng.report().completed,
+            )
+        };
+        let a = run();
+        assert_eq!(a, run(), "coalesced runs must be bit-reproducible");
+        assert!(
+            a.2 > 0 && a.2 <= 512,
+            "high water {} must reflect parked users",
+            a.2
+        );
+    }
+
+    #[test]
+    fn coalesced_table_is_compact() {
+        let mut eng = engine(300.0, 2, 8, 13);
+        let mut load = ClosedLoop::new(10_000)
+            .think_time(SimDuration::from_millis(50))
+            .coalesce(SimDuration::from_millis(5))
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(400));
+        eng.run(&mut load, SimTime::from_secs(30));
+        let per_user = load.footprint_bytes() as f64 / 10_000.0;
+        // 8 bytes of packed deadline plus bucket-id slots; far from the
+        // ~100+ bytes a per-user calendar entry costs.
+        assert!(
+            per_user < 64.0,
+            "driver footprint {per_user:.1} B/user too fat"
+        );
     }
 
     #[test]

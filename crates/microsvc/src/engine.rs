@@ -59,6 +59,13 @@ pub struct EngineParams {
     /// Sample every n-th request into a [`RequestTrace`]
     /// (`None` = tracing off). See [`crate::trace`].
     pub trace_sample_every: Option<u64>,
+    /// Keep a uniform reservoir sample of this many [`RequestTrace`]s over
+    /// the whole run (Algorithm R) instead of every-nth sampling. Trace
+    /// memory is O(capacity), not O(requests) — the mode for million-user
+    /// populations. Takes precedence over `trace_sample_every`; uses a
+    /// dedicated `"trace"` RNG stream, so enabling it never perturbs
+    /// simulation randomness.
+    pub trace_reservoir: Option<usize>,
     /// Client-side resilience (timeouts, retries, circuit breaking).
     /// `None` (the default) reproduces the legacy engine exactly: calls
     /// wait forever and no instance is ever ejected.
@@ -82,6 +89,7 @@ impl Default for EngineParams {
             lb: LbPolicy::RoundRobin,
             client_net_latency: SimDuration::from_micros(120),
             trace_sample_every: None,
+            trace_reservoir: None,
             resilience: None,
             faults: FaultPlan::none(),
             overload: None,
@@ -143,60 +151,98 @@ enum Phase {
     /// Running the node's `pre` demand plus RPC receive work.
     Pre,
     /// Running the send work of stage `s`.
-    StageSend(usize),
+    StageSend(u8),
     /// Blocked awaiting the replies of stage `s`.
-    WaitStage(usize),
+    WaitStage(u8),
     /// Running the node's `post` demand.
     Post,
     /// Finished.
     Done,
 }
 
+/// `Job::flags` bit: the caller's deadline fired; any produced reply is
+/// discarded.
+const JOB_ABANDONED: u8 = 1 << 0;
+
 /// Jobs live in a slab (`Engine::jobs`) with a free list: a slot is recycled
 /// once the job is `Done` and no scheduled event still names it (`refs`).
+///
+/// The record is deliberately compact — slab slot indices and spec indices
+/// are `u32`, stage/attempt counters are bytes, and the booleans are bit
+/// flags — because at mega-scale populations hundreds of thousands of jobs
+/// can be queued at once and the slab never shrinks: resident memory is
+/// `peak jobs × size_of::<Job>()`.
 #[derive(Debug, Clone)]
 struct Job {
-    request: u64,
-    class: usize,
-    node: usize,
-    instance: usize,
-    parent: Option<u64>,
+    /// Owning request *slot* (index into `Engine::requests`).
+    request: u32,
+    class: u32,
+    node: u32,
+    instance: u32,
+    /// Parent job slot; `None` for root jobs.
+    parent: Option<u32>,
     phase: Phase,
-    pending: usize,
+    /// Child replies still outstanding in the current wait stage.
+    pending: u16,
+    /// Delivery attempt of the call this job serves (0 = first try).
+    attempt: u8,
+    /// Bit flags ([`JOB_ABANDONED`]).
+    flags: u8,
+    /// Scheduled events (arrive / reply / timeout) that still name this job.
+    /// The slot is recycled only when this hits zero after `Done`.
+    refs: u8,
     remaining_cycles: f64,
     enqueued_at: SimTime,
     /// Trace span index when the owning request is sampled.
     span: Option<u32>,
-    /// Delivery attempt of the call this job serves (0 = first try).
-    attempt: u8,
-    /// The caller's deadline fired; any produced reply is discarded.
-    abandoned: bool,
     /// Pending caller-side timeout, cancelled when the reply arrives.
     timeout_token: Option<EventToken>,
-    /// Scheduled events (arrive / reply / timeout) that still name this job.
-    /// The slot is recycled only when this hits zero after `Done`.
-    refs: u8,
     /// The worker currently holding this job, for O(1) reply delivery.
     worker: Option<u32>,
 }
+
+impl Job {
+    #[inline]
+    fn abandoned(&self) -> bool {
+        self.flags & JOB_ABANDONED != 0
+    }
+    #[inline]
+    fn set_abandoned(&mut self) {
+        self.flags |= JOB_ABANDONED;
+    }
+}
+
+/// `RequestInfo::flags` bit: the client has received a response or an error;
+/// late replies for the request are discarded.
+const REQ_RESOLVED: u8 = 1 << 0;
 
 /// Request slots live in a slab (`Engine::requests`) with a free list; a
 /// slot is recycled when the request is resolved and no job or scheduled
 /// event references it. The externally visible [`RequestId`] is the
 /// monotonic `id`, not the slot index, so recycling is invisible to
-/// drivers and traces.
+/// drivers and traces. Compact for the same reason as [`Job`].
 #[derive(Debug, Clone)]
 struct RequestInfo {
     /// External request identity (monotonic submission ordinal).
     id: u64,
-    class: usize,
     client: u64,
     submitted_at: SimTime,
-    /// The client has received a response or an error; late replies for
-    /// the request are discarded.
-    resolved: bool,
+    class: u32,
     /// Live jobs plus scheduled `ClientFail` events naming this slot.
     refs: u32,
+    /// Bit flags ([`REQ_RESOLVED`]).
+    flags: u8,
+}
+
+impl RequestInfo {
+    #[inline]
+    fn resolved(&self) -> bool {
+        self.flags & REQ_RESOLVED != 0
+    }
+    #[inline]
+    fn set_resolved(&mut self) {
+        self.flags |= REQ_RESOLVED;
+    }
 }
 
 #[derive(Debug)]
@@ -469,7 +515,10 @@ impl Engine {
             .collect();
         let cycles_per_us = topo.freq_hz() / 1e6 / 1e3 * 1e3; // GHz × 1000 cycles/µs
         let ncpus = topo.num_cpus();
-        let params_trace = params.trace_sample_every;
+        let tracer = match params.trace_reservoir {
+            Some(capacity) => Tracer::reservoir(capacity, factory.stream("trace")),
+            None => Tracer::new(params.trace_sample_every),
+        };
         Engine {
             topo,
             params,
@@ -500,7 +549,7 @@ impl Engine {
             overload,
             cycles_per_us,
             stop_requested: false,
-            tracer: Tracer::new(params_trace),
+            tracer,
             boost_bucket: 0,
             speed_memo: uarch::SpeedMemo::new(),
             cand_scratch: Vec::new(),
@@ -563,7 +612,24 @@ impl Engine {
         sched.context_switches -= base.context_switches;
         sched.migrations -= base.migrations;
         sched.steals -= base.steals;
-        RunReport::build(&self.metrics, &self.app, &self.topo, sched, self.now())
+        let mut report = RunReport::build(&self.metrics, &self.app, &self.topo, sched, self.now());
+        report.events_processed = self.events_processed;
+        report.calendar_high_water = self.cal.high_water() as u64;
+        report.engine_footprint_bytes = self.footprint_bytes() as u64;
+        report.traces_retained = self.tracer.traces().len() as u64;
+        report
+    }
+
+    /// Heap bytes held by the engine's hot-path structures: calendar wheel
+    /// and overflow, job/request slabs with their free lists, and the
+    /// tracer. Capacities, not lengths, so this tracks true allocation.
+    pub fn footprint_bytes(&self) -> usize {
+        self.cal.footprint_bytes()
+            + self.jobs.capacity() * std::mem::size_of::<Job>()
+            + self.free_jobs.capacity() * std::mem::size_of::<u32>()
+            + self.requests.capacity() * std::mem::size_of::<RequestInfo>()
+            + self.free_requests.capacity() * std::mem::size_of::<u32>()
+            + self.tracer.footprint_bytes()
     }
 
     // ------------------------------------------------------- slab lifecycle
@@ -583,18 +649,18 @@ impl Engine {
     ) -> u64 {
         self.requests[request as usize].refs += 1;
         let job = Job {
-            request,
-            class,
-            node,
-            instance,
-            parent,
+            request: request as u32,
+            class: class as u32,
+            node: node as u32,
+            instance: instance as u32,
+            parent: parent.map(|p| p as u32),
             phase: Phase::Pre,
             pending: 0,
             remaining_cycles,
             enqueued_at: self.now(),
             span: None,
             attempt,
-            abandoned: false,
+            flags: 0,
             timeout_token: None,
             refs: 0,
             worker: None,
@@ -626,15 +692,15 @@ impl Engine {
         self.free_jobs.push(job_id as u32);
         let r = &mut self.requests[request as usize];
         r.refs -= 1;
-        if r.refs == 0 && r.resolved {
-            self.free_requests.push(request as u32);
+        if r.refs == 0 && r.resolved() {
+            self.free_requests.push(request);
         }
     }
 
     /// Recycles a request slot once it is resolved and unreferenced.
     fn maybe_free_request(&mut self, slot: u64) {
         let r = &self.requests[slot as usize];
-        if r.refs == 0 && r.resolved {
+        if r.refs == 0 && r.resolved() {
             self.free_requests.push(slot as u32);
         }
     }
@@ -670,8 +736,8 @@ impl Engine {
 
     fn on_client_reply(&mut self, job_id: u64, driver: &mut dyn Driver) {
         self.jobs[job_id as usize].refs -= 1;
-        let request = self.jobs[job_id as usize].request;
-        if self.jobs[job_id as usize].abandoned || self.requests[request as usize].resolved {
+        let request = u64::from(self.jobs[job_id as usize].request);
+        if self.jobs[job_id as usize].abandoned() || self.requests[request as usize].resolved() {
             // The client already timed out (and possibly retried): the
             // response raced its own deadline and lost.
             self.metrics.late_replies += 1;
@@ -683,16 +749,16 @@ impl Engine {
                 self.jobs[job_id as usize].refs -= 1;
             }
         }
-        let instance = self.jobs[job_id as usize].instance;
+        let instance = self.jobs[job_id as usize].instance as usize;
         self.breaker_success(instance);
         self.budget_deposit(instance);
-        self.requests[request as usize].resolved = true;
+        self.requests[request as usize].set_resolved();
         let now = self.now();
         let rid = self.rid(request);
         self.tracer.complete(rid, now);
         let info = &self.requests[request as usize];
         let latency = self.now() - info.submitted_at;
-        let class = info.class;
+        let class = info.class as usize;
         let client = info.client;
         self.metrics.completed += 1;
         self.metrics.completed_series.record(now, 1.0);
@@ -718,7 +784,7 @@ impl Engine {
         let info = &self.requests[request as usize];
         let rid = RequestId(info.id);
         let latency = self.now() - info.submitted_at;
-        let class = info.class;
+        let class = info.class as usize;
         let client = info.client;
         let outcome = match cause {
             FaultCause::Shed => Outcome::Shed,
@@ -757,7 +823,7 @@ impl Engine {
             let (request, span) = {
                 let j = &mut self.jobs[job_id as usize];
                 j.phase = Phase::Done;
-                (j.request, j.span)
+                (u64::from(j.request), j.span)
             };
             if let Some(span) = span {
                 let rid = self.rid(request);
@@ -770,7 +836,7 @@ impl Engine {
 
     fn on_job_arrive(&mut self, job_id: u64) {
         self.jobs[job_id as usize].refs -= 1;
-        let inst_idx = self.jobs[job_id as usize].instance;
+        let inst_idx = self.jobs[job_id as usize].instance as usize;
         if !self.instances[inst_idx].up {
             // Connection refused: the instance crashed while the call was
             // on the wire. The caller's timeout (if any) recovers.
@@ -784,7 +850,7 @@ impl Engine {
         if self.tracer.enabled() {
             let (request, class, node, attempt) = {
                 let j = &self.jobs[job_id as usize];
-                (j.request, j.class, j.node, j.attempt)
+                (u64::from(j.request), j.class as usize, j.node as usize, j.attempt)
             };
             let rid = self.rid(request);
             let (service, depth) = {
@@ -884,7 +950,7 @@ impl Engine {
         // The job will queue: priority admission first (a class may be
         // refused at a shallower depth than the hard bound) …
         if let Some(priority) = &ov.priority {
-            let class = self.jobs[job_id as usize].class;
+            let class = self.jobs[job_id as usize].class as usize;
             if queue_len >= priority.depth_limit(priority.priority_of(class)) {
                 return Admit::Shed(ShedReason::Priority);
             }
@@ -914,7 +980,7 @@ impl Engine {
             let j = &mut self.jobs[job_id as usize];
             debug_assert!(j.phase != Phase::Done, "shedding a finished job");
             j.phase = Phase::Done;
-            (j.instance, j.parent, j.request, j.span)
+            (j.instance as usize, j.parent, u64::from(j.request), j.span)
         };
         let service = self.instances[instance].service;
         self.metrics.per_service[service].policy_sheds += 1;
@@ -930,7 +996,7 @@ impl Engine {
         let latency = match parent {
             None => self.params.client_net_latency,
             Some(parent_id) => {
-                let parent_inst = self.jobs[parent_id as usize].instance;
+                let parent_inst = self.jobs[parent_id as usize].instance as usize;
                 let proximity = self.topo.proximity(
                     self.instances[instance].rep_cpu,
                     self.instances[parent_inst].rep_cpu,
@@ -953,7 +1019,7 @@ impl Engine {
     /// retry (subject to the retry budget) or fail the call.
     fn on_call_rejected(&mut self, job_id: u64, reason: ShedReason) {
         self.jobs[job_id as usize].refs -= 1;
-        if self.jobs[job_id as usize].abandoned {
+        if self.jobs[job_id as usize].abandoned() {
             // The caller's own deadline fired while the rejection was on the
             // wire; the timeout path already handled retry-or-fail.
             self.maybe_free_job(job_id);
@@ -961,8 +1027,8 @@ impl Engine {
         }
         let (instance, attempt, parent, request) = {
             let j = &mut self.jobs[job_id as usize];
-            j.abandoned = true;
-            (j.instance, j.attempt, j.parent, j.request)
+            j.set_abandoned();
+            (j.instance as usize, j.attempt, j.parent, u64::from(j.request))
         };
         if let Some(token) = self.jobs[job_id as usize].timeout_token.take() {
             if self.cal.cancel(token) {
@@ -983,14 +1049,14 @@ impl Engine {
             self.metrics.per_service[service].retries += 1;
             match parent {
                 None => self.dispatch_root_attempt(request, delay, attempt + 1),
-                Some(parent_id) => self.dispatch_retry_call(parent_id, job_id, delay),
+                Some(parent_id) => self.dispatch_retry_call(u64::from(parent_id), job_id, delay),
             }
         } else {
             match parent {
                 None => self.fail_request(request, FaultCause::PolicyShed(reason)),
                 Some(parent_id) => {
                     self.metrics.per_service[service].fallbacks += 1;
-                    self.reply_to_parent(parent_id);
+                    self.reply_to_parent(u64::from(parent_id));
                 }
             }
         }
@@ -1001,12 +1067,12 @@ impl Engine {
         debug_assert!(self.workers[worker].job.is_none());
         let job = &self.jobs[job_id as usize];
         let wait = self.now().saturating_since(job.enqueued_at);
-        let service = self.instances[job.instance].service;
+        let service = self.instances[job.instance as usize].service;
         self.metrics.per_service[service]
             .queue_wait
             .record_duration(wait);
         if let Some(span) = job.span {
-            let (request, now) = (job.request, self.now());
+            let (request, now) = (u64::from(job.request), self.now());
             let rid = self.rid(request);
             self.tracer.span_started(rid, span, now);
         }
@@ -1018,7 +1084,12 @@ impl Engine {
         self.jobs[child_id as usize].refs -= 1;
         let (abandoned, parent, token, instance) = {
             let j = &mut self.jobs[child_id as usize];
-            (j.abandoned, j.parent, j.timeout_token.take(), j.instance)
+            (
+                j.abandoned(),
+                j.parent,
+                j.timeout_token.take(),
+                j.instance as usize,
+            )
         };
         if abandoned {
             // The caller gave up on this call before the reply landed.
@@ -1033,7 +1104,7 @@ impl Engine {
         }
         self.breaker_success(instance);
         self.budget_deposit(instance);
-        let parent_id = parent.expect("child jobs have parents");
+        let parent_id = u64::from(parent.expect("child jobs have parents"));
         self.reply_to_parent(parent_id);
         self.maybe_free_job(child_id);
     }
@@ -1053,17 +1124,17 @@ impl Engine {
             _ => unreachable!(),
         };
         // All replies in: run the next send stage or the closing work.
-        let class = job.class;
-        let node = job.node;
-        let instance = job.instance;
-        let next_stage = stage + 1;
+        let class = job.class as usize;
+        let node = job.node as usize;
+        let instance = job.instance as usize;
+        let next_stage = stage as usize + 1;
         let has_more = next_stage < self.classes[class].nodes[node].stages.len();
         if has_more {
             let n_calls = self.classes[class].nodes[node].stages[next_stage].len();
             let cycles = self
                 .scale_demand(instance, (n_calls as u64 * self.params.uarch.rpc_endpoint_cycles) as f64);
             let job = &mut self.jobs[parent_id as usize];
-            job.phase = Phase::StageSend(next_stage);
+            job.phase = Phase::StageSend(next_stage as u8);
             job.remaining_cycles = cycles;
         } else {
             let post = self.classes[class].nodes[node].post;
@@ -1103,11 +1174,17 @@ impl Engine {
     fn on_call_timeout(&mut self, job_id: u64) {
         let (instance, attempt, parent, request, span) = {
             let j = &mut self.jobs[job_id as usize];
-            debug_assert!(!j.abandoned, "timeout token outlived abandonment");
+            debug_assert!(!j.abandoned(), "timeout token outlived abandonment");
             j.refs -= 1;
-            j.abandoned = true;
+            j.set_abandoned();
             j.timeout_token = None;
-            (j.instance, j.attempt, j.parent, j.request, j.span)
+            (
+                j.instance as usize,
+                j.attempt,
+                j.parent,
+                u64::from(j.request),
+                j.span,
+            )
         };
         let service = self.instances[instance].service;
         self.metrics.per_service[service].timeouts += 1;
@@ -1130,7 +1207,7 @@ impl Engine {
             self.metrics.per_service[service].retries += 1;
             match parent {
                 None => self.dispatch_root_attempt(request, delay, attempt + 1),
-                Some(parent_id) => self.dispatch_retry_call(parent_id, job_id, delay),
+                Some(parent_id) => self.dispatch_retry_call(u64::from(parent_id), job_id, delay),
             }
         } else {
             match parent {
@@ -1142,7 +1219,7 @@ impl Engine {
                 // (the resilience-library default of failing soft).
                 Some(parent_id) => {
                     self.metrics.per_service[service].fallbacks += 1;
-                    self.reply_to_parent(parent_id);
+                    self.reply_to_parent(u64::from(parent_id));
                 }
             }
         }
@@ -1154,7 +1231,7 @@ impl Engine {
     /// client's own clock (no extra wire time).
     fn fail_request(&mut self, request_id: u64, cause: FaultCause) {
         let now = self.now();
-        self.requests[request_id as usize].resolved = true;
+        self.requests[request_id as usize].set_resolved();
         let rid = self.rid(request_id);
         self.tracer.fail(rid, cause, now);
         let delivery = match cause {
@@ -1248,7 +1325,7 @@ impl Engine {
                 Phase::Pre => {
                     let (class, node, instance) = {
                         let j = &self.jobs[job_id as usize];
-                        (j.class, j.node, j.instance)
+                        (j.class as usize, j.node as usize, j.instance as usize)
                     };
                     if self.classes[class].nodes[node].stages.is_empty() {
                         let post = self.classes[class].nodes[node].post;
@@ -1270,7 +1347,7 @@ impl Engine {
                 }
                 Phase::StageSend(stage) => {
                     // Send work done: dispatch the stage's calls and block.
-                    self.issue_stage(job_id, stage, cpu);
+                    self.issue_stage(job_id, stage as usize, cpu);
                     let j = &mut self.jobs[job_id as usize];
                     j.phase = Phase::WaitStage(stage);
                     self.block_worker(worker, cpu);
@@ -1294,10 +1371,10 @@ impl Engine {
     fn issue_stage(&mut self, job_id: u64, stage: usize, caller_cpu: CpuId) {
         let (class, node, request) = {
             let j = &self.jobs[job_id as usize];
-            (j.class, j.node, j.request)
+            (j.class as usize, j.node as usize, j.request)
         };
         let n_children = self.classes[class].nodes[node].stages[stage].len();
-        self.jobs[job_id as usize].pending = n_children;
+        self.jobs[job_id as usize].pending = n_children as u16;
         for ci in 0..n_children {
             let child_node = self.classes[class].nodes[node].stages[stage][ci];
             let service = self.classes[class].nodes[child_node].service;
@@ -1309,8 +1386,15 @@ impl Engine {
             let pre = self.classes[class].nodes[child_node].pre;
             let cycles = pre.sample_us(&mut self.demand_rng) * self.cycles_per_us
                 + cost.callee_cycles as f64;
-            let child_id =
-                self.alloc_job(request, class, child_node, instance, Some(job_id), cycles, 0);
+            let child_id = self.alloc_job(
+                u64::from(request),
+                class,
+                child_node,
+                instance,
+                Some(job_id),
+                cycles,
+                0,
+            );
             self.instances[instance].outstanding += 1;
             self.jobs[child_id as usize].refs += 1;
             self.cal.schedule(
@@ -1330,7 +1414,7 @@ impl Engine {
         }
         let deadline = self.now() + extra + self.timeouts[service];
         let token = self.cal.schedule(deadline, Event::CallTimeout { job: job_id });
-        let instance = self.jobs[job_id as usize].instance;
+        let instance = self.jobs[job_id as usize].instance as usize;
         self.jobs[job_id as usize].timeout_token = Some(token);
         self.jobs[job_id as usize].refs += 1;
         self.breaker_dispatch(instance);
@@ -1343,7 +1427,14 @@ impl Engine {
         let (instance, parent, request, abandoned, span, enqueued_at) = {
             let j = &mut self.jobs[job_id as usize];
             j.phase = Phase::Done;
-            (j.instance, j.parent, j.request, j.abandoned, j.span, j.enqueued_at)
+            (
+                j.instance as usize,
+                j.parent,
+                u64::from(j.request),
+                j.abandoned(),
+                j.span,
+                j.enqueued_at,
+            )
         };
         // Feed the concurrency limiter its control signal: the job's sojourn
         // (arrival at the instance → completion), which inflates with queue
@@ -1403,7 +1494,7 @@ impl Engine {
             self.jobs[job_id as usize].refs += 1;
             match parent {
                 Some(parent_id) => {
-                    let parent_inst = self.jobs[parent_id as usize].instance;
+                    let parent_inst = self.jobs[parent_id as usize].instance as usize;
                     let proximity = self
                         .topo
                         .proximity(cpu, self.instances[parent_inst].rep_cpu);
@@ -1574,7 +1665,7 @@ impl Engine {
     /// Dispatches (or re-dispatches) the client's entry call for `request_id`
     /// after `delay` (zero on first submit, a backoff on retries).
     fn dispatch_root_attempt(&mut self, request_id: u64, delay: SimDuration, attempt: u8) {
-        let class = self.requests[request_id as usize].class;
+        let class = self.requests[request_id as usize].class as usize;
         let root_service = self.classes[class].nodes[0].service;
         let Some(instance) = self.pick_entry_instance(root_service) else {
             self.fail_request(request_id, FaultCause::Shed);
@@ -1600,9 +1691,10 @@ impl Engine {
     fn dispatch_retry_call(&mut self, parent_id: u64, old_job: u64, delay: SimDuration) {
         let (class, request, node, attempt) = {
             let j = &self.jobs[old_job as usize];
-            (j.class, j.request, j.node, j.attempt)
+            (j.class as usize, u64::from(j.request), j.node as usize, j.attempt)
         };
-        let caller_cpu = self.instances[self.jobs[parent_id as usize].instance].rep_cpu;
+        let caller_cpu =
+            self.instances[self.jobs[parent_id as usize].instance as usize].rep_cpu;
         let service = self.classes[class].nodes[node].service;
         let instance = self.pick_instance(service, caller_cpu);
         let proximity = self
@@ -1835,7 +1927,7 @@ impl Engine {
             .expect("running worker holds a job");
         let job = &mut self.jobs[job_id as usize];
         job.remaining_cycles = (job.remaining_cycles - ref_cycles).max(0.0);
-        let (span, request) = (job.span, job.request);
+        let (span, request) = (job.span, u64::from(job.request));
         if let Some(span) = span {
             let rid = self.rid(request);
             self.tracer.span_cpu(rid, span, elapsed);
@@ -2034,10 +2126,10 @@ impl EngineCtx for Engine {
         self.metrics.submitted_per_class[class] += 1;
         let info = RequestInfo {
             id: ordinal,
-            class,
+            class: class as u32,
             client,
             submitted_at: self.now(),
-            resolved: false,
+            flags: 0,
             refs: 0,
         };
         let request_id = match self.free_requests.pop() {

@@ -13,6 +13,19 @@ use uarch::{DerivedMetrics, PerfCounters};
 /// plots (crash dips, recovery ramps).
 pub(crate) const THROUGHPUT_BUCKET: SimDuration = SimDuration::from_millis(100);
 
+/// Bucket cap for every metrics time series: past this many windows the
+/// series coarsens (window doubles, adjacent buckets merge) instead of
+/// growing, so series memory is O(1) in run length. 4096 × 100 ms ≈ 410 s
+/// of simulated time at full resolution — no existing experiment comes
+/// within an order of magnitude of it, so their output is unchanged.
+pub(crate) const MAX_SERIES_BUCKETS: usize = 4096;
+
+/// A fixed-memory per-class goodput/throughput series at the standard
+/// bucket width.
+fn streaming_series(agg: Agg) -> TimeSeries {
+    TimeSeries::bounded(THROUGHPUT_BUCKET, agg, MAX_SERIES_BUCKETS)
+}
+
 /// Machine-wide overload-control counters: how much work the policies in
 /// [`crate::overload`] refused, deferred, or denied, by mechanism. All zero
 /// unless overload control is configured — the summary only prints them when
@@ -149,7 +162,7 @@ impl Metrics {
                 })
                 .collect(),
             busy_cpus: TimeWeighted::new(now, 0.0),
-            completed_series: TimeSeries::new(THROUGHPUT_BUCKET, Agg::Sum),
+            completed_series: streaming_series(Agg::Sum),
             requests_timed_out: 0,
             requests_shed: 0,
             late_replies: 0,
@@ -159,11 +172,11 @@ impl Metrics {
             submitted_per_class: vec![0; app.classes().len()],
             failed_per_class: vec![0; app.classes().len()],
             completed_per_class_series: vec![
-                TimeSeries::new(THROUGHPUT_BUCKET, Agg::Sum);
+                streaming_series(Agg::Sum);
                 app.classes().len()
             ],
             queued_jobs: 0,
-            queue_depth_series: TimeSeries::new(THROUGHPUT_BUCKET, Agg::Max),
+            queue_depth_series: streaming_series(Agg::Max),
         }
     }
 
@@ -207,7 +220,7 @@ impl Metrics {
         }
         self.busy_cpus.set(now, 0.0);
         self.busy_cpus.reset(now);
-        self.completed_series = TimeSeries::new(THROUGHPUT_BUCKET, Agg::Sum);
+        self.completed_series = streaming_series(Agg::Sum);
         self.requests_timed_out = 0;
         self.requests_shed = 0;
         self.late_replies = 0;
@@ -221,13 +234,13 @@ impl Metrics {
             *c = 0;
         }
         for s in &mut self.completed_per_class_series {
-            *s = TimeSeries::new(THROUGHPUT_BUCKET, Agg::Sum);
+            *s = streaming_series(Agg::Sum);
         }
         // `queued_jobs` is a level, not a counter: the jobs are still queued
         // across the reset, so carry the gauge and re-seed the fresh series
         // with the current depth (zero depth — including every run without
         // overload control configured — seeds nothing).
-        self.queue_depth_series = TimeSeries::new(THROUGHPUT_BUCKET, Agg::Max);
+        self.queue_depth_series = streaming_series(Agg::Max);
         if self.queued_jobs > 0 {
             self.queue_depth_series.record(now, self.queued_jobs as f64);
         }
@@ -327,6 +340,19 @@ pub struct RunReport {
     /// Peak pending-queue depth machine-wide per 100ms bucket. Empty unless
     /// overload control is configured.
     pub queue_depth_series: Vec<(f64, f64)>,
+    /// Calendar events handled since engine construction (never reset —
+    /// the denominator for events/s self-benchmarks). Filled by
+    /// [`Engine::report`](crate::Engine::report); 0 in reports built
+    /// without an engine.
+    pub events_processed: u64,
+    /// Peak simultaneous pending calendar events over the whole run.
+    pub calendar_high_water: u64,
+    /// Heap bytes held by the engine's core structures (calendar wheel,
+    /// job/request slabs, tracer) at report time — capacity, not length,
+    /// so it reflects the true high-water allocation.
+    pub engine_footprint_bytes: u64,
+    /// Request traces retained by the tracer at report time.
+    pub traces_retained: u64,
 }
 
 impl RunReport {
@@ -430,6 +456,10 @@ impl RunReport {
                 .into_iter()
                 .map(|(t, depth)| (t.as_secs_f64(), depth))
                 .collect(),
+            events_processed: 0,
+            calendar_high_water: 0,
+            engine_footprint_bytes: 0,
+            traces_retained: 0,
         }
     }
 

@@ -15,7 +15,7 @@
 use crate::fault::FaultCause;
 use crate::ids::{InstanceId, RequestClassId, RequestId, ServiceId};
 use serde::{Deserialize, Serialize};
-use simcore::{SimDuration, SimTime};
+use simcore::{Rng, SimDuration, SimTime};
 
 /// One service invocation within a traced request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -124,14 +124,30 @@ impl RequestTrace {
 }
 
 /// Collects sampled request traces for the engine.
+///
+/// Two sampling modes:
+///
+/// * **Every-nth** ([`Tracer::new`]) — deterministic systematic sampling,
+///   capped at [`Tracer::MAX_TRACES`]. Long runs keep only the head.
+/// * **Reservoir** ([`Tracer::reservoir`]) — Algorithm R over the whole
+///   request population: every request has equal probability of being
+///   retained, and memory is O(capacity) regardless of run length. The
+///   sample evolves as the run progresses (later requests evict earlier
+///   ones uniformly), so a 100M-request run still costs a fixed few MiB.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    /// Sample every n-th request (None = tracing disabled).
+    /// Sample every n-th request (None = nth-sampling off).
     sample_every: Option<u64>,
+    /// Reservoir capacity and its private RNG (None = reservoir off).
+    reservoir: Option<(usize, Rng)>,
+    /// Requests considered so far (reservoir mode's population counter).
+    seen: u64,
     /// In-flight and finished traces, keyed implicitly by insertion.
     traces: Vec<RequestTrace>,
-    /// request id → trace index for in-flight requests.
-    index: std::collections::HashMap<u64, usize>,
+    /// request id → trace index for in-flight requests. Deterministically
+    /// hashed so capacity (and the reported footprint) never varies run to
+    /// run.
+    index: simcore::DetHashMap<u64, usize>,
 }
 
 impl Tracer {
@@ -142,15 +158,36 @@ impl Tracer {
     pub fn new(sample_every: Option<u64>) -> Self {
         Tracer {
             sample_every,
+            reservoir: None,
+            seen: 0,
             traces: Vec::new(),
-            index: std::collections::HashMap::new(),
+            index: simcore::DetHashMap::default(),
+        }
+    }
+
+    /// Creates a reservoir tracer keeping a uniform sample of `capacity`
+    /// requests over the whole run. `rng` must be a dedicated stream (the
+    /// engine uses `"trace"`) so sampling never perturbs simulation
+    /// randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn reservoir(capacity: usize, rng: Rng) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Tracer {
+            sample_every: None,
+            reservoir: Some((capacity, rng)),
+            seen: 0,
+            traces: Vec::with_capacity(capacity),
+            index: simcore::DetHashMap::default(),
         }
     }
 
     /// Whether tracing is on at all — lets the engine skip span bookkeeping
     /// (including building span arguments) on the hot path entirely.
     pub fn enabled(&self) -> bool {
-        self.sample_every.is_some()
+        self.sample_every.is_some() || self.reservoir.is_some()
     }
 
     /// Should this request (by ordinal) be traced? If so, opens the trace.
@@ -161,22 +198,60 @@ impl Tracer {
         class: RequestClassId,
         now: SimTime,
     ) -> bool {
-        let Some(every) = self.sample_every else {
-            return false;
+        let slot = if let Some((capacity, rng)) = self.reservoir.as_mut() {
+            // Algorithm R: item i (0-based) fills the reservoir while it has
+            // room; afterwards it replaces a uniform slot with probability
+            // capacity/(i+1), keeping the retained set a uniform sample.
+            let i = self.seen;
+            self.seen += 1;
+            if self.traces.len() < *capacity {
+                self.traces.len()
+            } else {
+                let j = rng.next_below(i + 1);
+                if j as usize >= *capacity {
+                    return false;
+                }
+                // Evict the old occupant: forget its in-flight index entry
+                // so late span updates are dropped, like any untraced request.
+                self.index.remove(&self.traces[j as usize].request.0);
+                j as usize
+            }
+        } else {
+            let Some(every) = self.sample_every else {
+                return false;
+            };
+            if !ordinal.is_multiple_of(every) || self.traces.len() >= Self::MAX_TRACES {
+                return false;
+            }
+            self.traces.len()
         };
-        if !ordinal.is_multiple_of(every) || self.traces.len() >= Self::MAX_TRACES {
-            return false;
-        }
-        self.index.insert(request.0, self.traces.len());
-        self.traces.push(RequestTrace {
+        let trace = RequestTrace {
             request,
             class,
             submitted: now,
             completed: None,
             fault: None,
             spans: Vec::new(),
-        });
+        };
+        self.index.insert(request.0, slot);
+        if slot == self.traces.len() {
+            self.traces.push(trace);
+        } else {
+            self.traces[slot] = trace;
+        }
         true
+    }
+
+    /// Heap bytes held by the tracer: trace slots, their span vectors, and
+    /// the in-flight index (capacities, not lengths).
+    pub fn footprint_bytes(&self) -> usize {
+        self.traces.capacity() * std::mem::size_of::<RequestTrace>()
+            + self
+                .traces
+                .iter()
+                .map(|t| t.spans.capacity() * std::mem::size_of::<Span>())
+                .sum::<usize>()
+            + self.index.capacity() * std::mem::size_of::<(u64, usize)>()
     }
 
     /// Opens a span on a traced request, returning its span index.
@@ -355,6 +430,57 @@ mod tests {
         assert_eq!(trace.spans[0].fault, Some(FaultCause::TimedOut));
         assert_eq!(trace.fault, Some(FaultCause::TimedOut));
         assert_eq!(trace.completed, Some(t(99)));
+    }
+
+    #[test]
+    fn reservoir_keeps_exactly_capacity_traces() {
+        let rng = simcore::RngFactory::new(42).stream("trace");
+        let mut tracer = Tracer::reservoir(8, rng);
+        for i in 0..10_000u64 {
+            tracer.maybe_open(i, RequestId(i), RequestClassId(0), t(i));
+        }
+        assert_eq!(tracer.traces().len(), 8);
+        // The retained sample must not just be the head of the run.
+        assert!(
+            tracer.traces().iter().any(|tr| tr.request.0 >= 8),
+            "reservoir never replaced an early trace"
+        );
+    }
+
+    #[test]
+    fn reservoir_eviction_detaches_in_flight_traces() {
+        let rng = simcore::RngFactory::new(1).stream("trace");
+        let mut tracer = Tracer::reservoir(1, rng);
+        tracer.maybe_open(0, RequestId(0), RequestClassId(0), t(0));
+        // Feed candidates until request 0 is evicted by some later request.
+        let mut i = 1u64;
+        while tracer.traces()[0].request.0 == 0 {
+            tracer.maybe_open(i, RequestId(i), RequestClassId(0), t(i));
+            i += 1;
+            assert!(i < 10_000, "eviction never happened");
+        }
+        // Span updates for the evicted request must now be no-ops.
+        assert_eq!(
+            tracer.open_span(RequestId(0), ServiceId(0), InstanceId(0), 0, 0, t(1)),
+            None
+        );
+        let survivor = tracer.traces()[0].request;
+        tracer.complete(RequestId(0), t(2));
+        assert_eq!(tracer.traces()[0].completed, None);
+        assert_eq!(tracer.traces()[0].request, survivor);
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_stream() {
+        let sample = |seed: u64| {
+            let mut tracer = Tracer::reservoir(4, simcore::RngFactory::new(seed).stream("trace"));
+            for i in 0..1000u64 {
+                tracer.maybe_open(i, RequestId(i), RequestClassId(0), t(i));
+            }
+            tracer.traces().iter().map(|tr| tr.request.0).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(7), sample(7));
+        assert_ne!(sample(7), sample(8), "different seeds, different samples");
     }
 
     #[test]

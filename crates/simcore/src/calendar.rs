@@ -178,6 +178,8 @@ pub struct Calendar<E> {
     base: u64,
     next_seq: u64,
     live: usize,
+    /// Most live events ever pending at once (memory high-water mark).
+    high_water: usize,
     now: SimTime,
 }
 
@@ -200,6 +202,7 @@ impl<E> Calendar<E> {
             base: 0,
             next_seq: 0,
             live: 0,
+            high_water: 0,
             now: SimTime::ZERO,
         }
     }
@@ -219,6 +222,37 @@ impl<E> Calendar<E> {
         self.live == 0
     }
 
+    /// The most live events that were ever pending at once.
+    ///
+    /// Slab capacity (and therefore calendar memory) is bounded by this
+    /// number, so it is the figure of merit for timer coalescing: a closed
+    /// loop with per-user timers pushes it to the population size, a
+    /// coalesced loop keeps it near the bucket count.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Approximate heap bytes held by the calendar's internal structures.
+    ///
+    /// Counts capacities (what the allocator handed out), not lengths, since
+    /// the slab and slot vectors never shrink. Payload-owned heap memory is
+    /// not visible from here and is excluded.
+    pub fn footprint_bytes(&self) -> usize {
+        let slab = self.slab.capacity() * std::mem::size_of::<Entry<E>>();
+        let idx = std::mem::size_of::<u32>();
+        let slots: usize = self
+            .levels
+            .iter()
+            .flat_map(|l| l.slots.iter())
+            .map(|s| s.capacity() * idx)
+            .sum();
+        let heap =
+            self.overflow.capacity() * std::mem::size_of::<(Reverse<(u64, u64)>, u32)>();
+        slab + slots
+            + heap
+            + (self.free.capacity() + self.ready.capacity() + self.scratch.capacity()) * idx
+    }
+
     /// Schedules `payload` to fire at `at`, returning a token that can cancel it.
     ///
     /// # Panics
@@ -231,10 +265,84 @@ impl<E> Calendar<E> {
             "cannot schedule into the past: at={at} < now={}",
             self.now
         );
+        let ns = at.as_nanos();
+        let (idx, gen) = self.alloc(ns, payload);
+        if ns < self.base {
+            // Already inside the drained window: merge into the sorted
+            // ready batch (descending, so the earliest stays at the back).
+            self.merge_ready(idx);
+        } else {
+            self.insert_wheel(idx, ns);
+        }
+        EventToken::pack(idx, gen)
+    }
+
+    /// Schedules every payload in `batch` for the same instant `at`,
+    /// returning how many were scheduled.
+    ///
+    /// This is the bulk-insertion path for coalesced timer buckets: the
+    /// wheel placement (level, slot) is computed once and the whole batch is
+    /// appended to that slot, instead of re-deriving it per event. Payloads
+    /// fire in iteration order (they get consecutive sequence numbers), and
+    /// interleave with individually scheduled events exactly as if each had
+    /// been passed to [`Calendar::schedule`] in turn. Batch entries cannot
+    /// be cancelled individually — coalesced wakeups are fire-and-forget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the calendar's current time.
+    pub fn schedule_batch<I>(&mut self, at: SimTime, batch: I) -> usize
+    where
+        I: IntoIterator<Item = E>,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} < now={}",
+            self.now
+        );
+        let ns = at.as_nanos();
+        // Resolve the destination once; every entry of the batch shares it.
+        enum Dest {
+            Ready,
+            Wheel(usize, usize),
+            Overflow,
+        }
+        let dest = if ns < self.base {
+            Dest::Ready
+        } else {
+            (0..LEVELS)
+                .find(|&level| block_of(ns, level) == block_of(self.base, level))
+                .map_or(Dest::Overflow, |level| {
+                    Dest::Wheel(level, slot_of(ns, level))
+                })
+        };
+        let mut n = 0;
+        for payload in batch {
+            let (idx, _gen) = self.alloc(ns, payload);
+            match dest {
+                Dest::Ready => self.merge_ready(idx),
+                Dest::Wheel(level, s) => {
+                    let lvl = &mut self.levels[level];
+                    lvl.slots[s].push(idx);
+                    lvl.mark(s);
+                }
+                Dest::Overflow => {
+                    let seq = self.slab[idx as usize].seq;
+                    self.overflow.push((Reverse((ns, seq)), idx));
+                }
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Allocates a slab entry for an event at `ns`, assigning the next
+    /// sequence number and updating the live count and high-water mark.
+    #[inline]
+    fn alloc(&mut self, ns: u64, payload: E) -> (u32, u32) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let ns = at.as_nanos();
-        let (idx, gen) = match self.free.pop() {
+        let out = match self.free.pop() {
             Some(idx) => {
                 let e = &mut self.slab[idx as usize];
                 e.at = ns;
@@ -256,19 +364,23 @@ impl<E> Calendar<E> {
             }
         };
         self.live += 1;
-        if ns < self.base {
-            // Already inside the drained window: merge into the sorted
-            // ready batch (descending, so the earliest stays at the back).
-            let slab = &self.slab;
-            let key = (ns, seq);
-            let pos = self
-                .ready
-                .partition_point(|&i| (slab[i as usize].at, slab[i as usize].seq) > key);
-            self.ready.insert(pos, idx);
-        } else {
-            self.insert_wheel(idx, ns);
+        if self.live > self.high_water {
+            self.high_water = self.live;
         }
-        EventToken::pack(idx, gen)
+        out
+    }
+
+    /// Inserts an already-allocated entry into the sorted ready batch
+    /// (descending by (at, seq), so the earliest stays at the back).
+    #[inline]
+    fn merge_ready(&mut self, idx: u32) {
+        let slab = &self.slab;
+        let e = &slab[idx as usize];
+        let key = (e.at, e.seq);
+        let pos = self
+            .ready
+            .partition_point(|&i| (slab[i as usize].at, slab[i as usize].seq) > key);
+        self.ready.insert(pos, idx);
     }
 
     /// Cancels a pending event.
@@ -634,6 +746,75 @@ mod tests {
         assert_eq!(cal.pop().unwrap().1, 'b');
         assert_eq!(cal.pop().unwrap().1, 'c');
         assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn batch_fires_in_iteration_order_and_interleaves() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_nanos(50), 100);
+        cal.schedule_batch(SimTime::from_nanos(50), [101, 102, 103]);
+        cal.schedule(SimTime::from_nanos(50), 104);
+        cal.schedule(SimTime::from_nanos(40), 0);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn batch_matches_singles_everywhere_it_can_land() {
+        // Same payloads via schedule() and schedule_batch() must pop
+        // identically whether the batch lands in ready, a wheel slot, or
+        // the overflow heap.
+        let targets = [
+            SimTime::from_nanos(3),    // ready (after the first pop below)
+            SimTime::from_micros(900), // wheel, higher level
+            SimTime::from_secs(7200),  // overflow
+        ];
+        for &at in &targets {
+            let run = |batched: bool| {
+                let mut cal = Calendar::new();
+                cal.schedule(SimTime::from_nanos(1), 0);
+                cal.pop(); // advance base so nanos(3) is inside the drained window
+                if batched {
+                    cal.schedule_batch(at, [1, 2, 3]);
+                } else {
+                    for p in [1, 2, 3] {
+                        cal.schedule(at, p);
+                    }
+                }
+                cal.schedule(at + SimDuration::from_nanos(1), 9);
+                std::iter::from_fn(|| cal.pop()).collect::<Vec<_>>()
+            };
+            assert_eq!(run(true), run(false), "divergence at {at}");
+        }
+    }
+
+    #[test]
+    fn high_water_tracks_peak_pending() {
+        let mut cal = Calendar::new();
+        assert_eq!(cal.high_water(), 0);
+        cal.schedule(SimTime::from_nanos(1), ());
+        cal.schedule(SimTime::from_nanos(2), ());
+        cal.pop();
+        cal.pop();
+        cal.schedule(SimTime::from_nanos(9), ());
+        assert_eq!(cal.len(), 1);
+        assert_eq!(cal.high_water(), 2, "peak was two pending, not current one");
+        cal.schedule_batch(SimTime::from_nanos(10), [(), (), ()]);
+        assert_eq!(cal.high_water(), 4);
+    }
+
+    #[test]
+    fn footprint_counts_slab_growth() {
+        let mut cal = Calendar::new();
+        let empty = cal.footprint_bytes();
+        for i in 0..1000u64 {
+            cal.schedule(SimTime::from_nanos(1 + i), i);
+        }
+        assert!(
+            cal.footprint_bytes() >= empty + 1000 * std::mem::size_of::<Entry<u64>>(),
+            "footprint {} must reflect 1000 slab entries",
+            cal.footprint_bytes()
+        );
     }
 
     #[test]

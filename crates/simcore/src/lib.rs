@@ -67,6 +67,7 @@
 //! identical random draws.
 
 pub mod calendar;
+pub mod detmap;
 pub mod dist;
 pub mod rng;
 pub mod series;
@@ -74,5 +75,6 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::{Calendar, EventToken};
+pub use detmap::{DetHashMap, DetState};
 pub use rng::{Rng, RngFactory};
 pub use time::{SimDuration, SimTime};

@@ -41,6 +41,8 @@ pub struct TimeSeries {
     buckets: Vec<(f64, u64, f64)>,
     origin: SimTime,
     started: bool,
+    /// Bucket-count bound; exceeding it doubles the window (streaming mode).
+    max_buckets: usize,
 }
 
 impl TimeSeries {
@@ -57,7 +59,26 @@ impl TimeSeries {
             buckets: Vec::new(),
             origin: SimTime::ZERO,
             started: false,
+            max_buckets: usize::MAX,
         }
+    }
+
+    /// Creates a *streaming* series whose memory is capped at `max_buckets`
+    /// windows: when a record would land past the cap, the window width
+    /// doubles and adjacent buckets merge (sums add, counts add, maxima
+    /// max), halving the bucket count. Resolution degrades gracefully as
+    /// the run grows; memory never does. The values reported for already
+    /// closed windows are exactly what a fresh series at the final width
+    /// would have recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `max_buckets < 2`.
+    pub fn bounded(window: SimDuration, agg: Agg, max_buckets: usize) -> Self {
+        assert!(max_buckets >= 2, "need at least two buckets to coarsen");
+        let mut s = Self::new(window, agg);
+        s.max_buckets = max_buckets;
+        s
     }
 
     /// The window width.
@@ -81,7 +102,11 @@ impl TimeSeries {
         let offset = now
             .checked_since(self.origin)
             .expect("time series recorded into the past");
-        let idx = (offset.as_nanos() / self.window.as_nanos()) as usize;
+        let mut idx = (offset.as_nanos() / self.window.as_nanos()) as usize;
+        while idx >= self.max_buckets {
+            self.coarsen();
+            idx = (now.saturating_since(self.origin).as_nanos() / self.window.as_nanos()) as usize;
+        }
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, (0.0, 0, f64::NEG_INFINITY));
         }
@@ -128,6 +153,30 @@ impl TimeSeries {
     /// `true` if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.buckets.is_empty()
+    }
+
+    /// Doubles the window width, re-snapping the origin and merging the
+    /// existing buckets into the coarser grid in place.
+    fn coarsen(&mut self) {
+        let old_w = self.window.as_nanos();
+        let new_w = old_w * 2;
+        let old_origin = self.origin.as_nanos();
+        let new_origin = (old_origin / new_w) * new_w;
+        let mut merged: Vec<(f64, u64, f64)> = Vec::with_capacity(self.buckets.len() / 2 + 1);
+        for (i, &(sum, count, max)) in self.buckets.iter().enumerate() {
+            let at = old_origin + i as u64 * old_w;
+            let idx = ((at - new_origin) / new_w) as usize;
+            if idx >= merged.len() {
+                merged.resize(idx + 1, (0.0, 0, f64::NEG_INFINITY));
+            }
+            let b = &mut merged[idx];
+            b.0 += sum;
+            b.1 += count;
+            b.2 = b.2.max(max);
+        }
+        self.window = SimDuration::from_nanos(new_w);
+        self.origin = SimTime::from_nanos(new_origin);
+        self.buckets = merged;
     }
 }
 
@@ -203,6 +252,44 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn rejects_zero_window() {
         TimeSeries::new(SimDuration::ZERO, Agg::Sum);
+    }
+
+    #[test]
+    fn bounded_series_coarsens_instead_of_growing() {
+        let mut ts = TimeSeries::bounded(SimDuration::from_millis(10), Agg::Sum, 4);
+        for t in 0..32u64 {
+            ts.tick(ms(t * 10 + 1));
+        }
+        assert!(ts.len() <= 4, "bucket count {} exceeds the cap", ts.len());
+        // Coarsening is lossless for sums: every tick is still counted.
+        let total: f64 = ts.values().iter().sum();
+        assert_eq!(total, 32.0);
+        // 32 original 10 ms windows squeezed under 4 buckets → 80 ms+ wide.
+        assert!(ts.window() >= SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn bounded_series_matches_fresh_series_at_final_width() {
+        let samples: Vec<(u64, f64)> = (0..50).map(|i| (i * 7 + 3, (i % 5) as f64)).collect();
+        let mut bounded = TimeSeries::bounded(SimDuration::from_millis(10), Agg::Max, 4);
+        for &(t, v) in &samples {
+            bounded.record(ms(t), v);
+        }
+        let mut fresh = TimeSeries::new(bounded.window(), Agg::Max);
+        for &(t, v) in &samples {
+            fresh.record(ms(t), v);
+        }
+        assert_eq!(bounded.points(), fresh.points());
+    }
+
+    #[test]
+    fn unbounded_series_never_coarsens() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10), Agg::Sum);
+        for t in 0..100u64 {
+            ts.tick(ms(t * 10));
+        }
+        assert_eq!(ts.window(), SimDuration::from_millis(10));
+        assert_eq!(ts.len(), 100);
     }
 
     #[test]

@@ -75,6 +75,62 @@ fn e18_e19_quick_tables_match_golden_hashes() {
 }
 
 #[test]
+fn e22_e23_quick_tables_match_golden_hashes() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    let e22 = exp::e22(&config).table;
+    let e23 = exp::e23(&config).table;
+    // Recorded when the mega-scale layer landed: the brownout and recovery
+    // studies must not shift when the compact slabs, streaming series, and
+    // reservoir tracer are present but unconfigured.
+    assert_eq!(
+        fnv1a(&e22),
+        0xe9d7_52fe_b2b9_97d3,
+        "E22 quick table drifted; new hash {:#018x}, table:\n{e22}",
+        fnv1a(&e22)
+    );
+    assert_eq!(
+        fnv1a(&e23),
+        0x20c7_735a_8ca3_4ed1,
+        "E23 quick table drifted; new hash {:#018x}, table:\n{e23}",
+        fnv1a(&e23)
+    );
+}
+
+#[test]
+fn mega_experiments_are_deterministic_at_any_worker_count() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    // E24's table embeds wall-clock events/s, so compare the deterministic
+    // row fields; the E25/E26 tables carry only simulation-derived values
+    // and must match byte for byte.
+    let snapshot = || {
+        let e24: Vec<_> = exp::e24(&config)
+            .rows
+            .iter()
+            .map(|p| {
+                (
+                    p.users,
+                    p.report.completed,
+                    p.report.latency_p99,
+                    p.report.events_processed,
+                    p.bytes_per_user.to_bits(),
+                )
+            })
+            .collect();
+        (e24, exp::e25(&config).table, exp::e26(&config).table)
+    };
+    scaleup::par::set_jobs(1);
+    let seq = snapshot();
+    scaleup::par::set_jobs(8);
+    let par = snapshot();
+    scaleup::par::set_jobs(0); // restore auto
+    assert_eq!(seq.0, par.0, "E24 differs between --jobs 1 and --jobs 8");
+    assert_eq!(seq.1, par.1, "E25 differs between --jobs 1 and --jobs 8");
+    assert_eq!(seq.2, par.2, "E26 differs between --jobs 1 and --jobs 8");
+}
+
+#[test]
 fn overload_experiments_are_byte_identical_at_any_worker_count() {
     let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let config = Config::quick(42);
