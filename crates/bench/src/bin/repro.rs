@@ -9,6 +9,7 @@
 //! repro --csv results e4 e8    # also write plot-ready CSV files
 //! repro --jobs 1 all           # force a sequential sweep (byte-identical)
 //! repro perf                   # simulator self-benchmark -> results/BENCH_simperf.json
+//! repro lint                   # static determinism & invariant pass (simlint)
 //! ```
 //!
 //! Experiments: e1 … e26 (e14–e19 are extensions/validation, e20–e23 the
@@ -61,6 +62,7 @@ fn usage() -> ! {
          a1..a4 ablations\n\
          perf simulator self-benchmark (writes results/BENCH_simperf.json;\n\
               with --gate, fail if events/s regress vs the committed baseline)\n\
+         lint static determinism & invariant pass (simlint; fails on findings)\n\
          list enumerate every experiment (--json for the machine-readable catalog)"
     );
     std::process::exit(2);
@@ -106,6 +108,7 @@ fn main() {
             "all" => wanted.extend(ALL.iter().map(|s| s.to_string())),
             "list" => list_mode = true,
             "perf" => wanted.push("perf".to_owned()),
+            "lint" => wanted.push("lint".to_owned()),
             e if ALL.contains(&e) => wanted.push(e.to_owned()),
             _ => usage(),
         }
@@ -555,6 +558,21 @@ fn main() {
                     }
                 }
                 table
+            }
+            "lint" => {
+                // Static determinism & invariant pass (see DESIGN.md
+                // "Static analysis"). Same engine as `cargo run -p simlint`
+                // and the tier-1 gate in tests/simlint.rs.
+                let root = simlint::find_root(
+                    &std::env::current_dir().expect("current directory"),
+                );
+                let report = simlint::lint_workspace(&root);
+                if report.gating_count() > 0 {
+                    eprint!("{}", simlint::render_text(&report));
+                    eprintln!("repro lint FAILED");
+                    std::process::exit(1);
+                }
+                simlint::render_text(&report)
             }
             _ => unreachable!("validated above"),
         };

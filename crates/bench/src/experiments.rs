@@ -967,7 +967,9 @@ pub fn e17(config: &Config) -> String {
     ];
     let rows = scaleup::par::map(orders, |(name, order)| {
         let mask = enumerate::take_mask(&order, n);
-        let cores: std::collections::HashSet<_> = mask.iter().map(|c| topo.core_of(c)).collect();
+        let mut cores: Vec<_> = mask.iter().map(|c| topo.core_of(c)).collect();
+        cores.sort_unstable();
+        cores.dedup();
         let points = scaling::throughput_vs_cpus(&lab, config.store.app(), &order, &[n], &replicas);
         (name, cores.len(), points)
     });
@@ -2229,6 +2231,7 @@ pub fn catalog() -> Vec<CatalogEntry> {
         e("e24", "population scale-up 1k→1M users: events/s and bytes/user", 5.0, 90.0),
         e("e25", "trace memory vs fidelity: head-capped vs reservoir sampling", 2.0, 20.0),
         e("e26", "mega-scale overload: admission sweep at 100k closed-loop users", 5.0, 45.0),
+        e("lint", "static determinism & invariant pass (simlint)", 0.1, 0.1),
         e("a1", "ablation: topology-aware packing objective", 1.0, 20.0),
         e("a2", "ablation: load-balancer policy under pod placement", 1.0, 20.0),
         e("a3", "ablation: idle-steal scope of the scheduler", 1.0, 20.0),
@@ -2444,7 +2447,7 @@ pub fn csv_e21_series(result: &MetastabilityStudy) -> String {
     let mut csv =
         scaleup::report::Csv::new(&["config", "t_secs", "goodput_rps", "queue_depth"]);
     for (name, r) in &result.rows {
-        let depth: std::collections::HashMap<u64, f64> = r
+        let depth: simcore::DetHashMap<u64, f64> = r
             .queue_depth_series
             .iter()
             .map(|&(t, d)| ((t * 1000.0).round() as u64, d))

@@ -425,6 +425,7 @@ pub fn topology_aware(
 mod tests {
     use super::*;
     use cputopo::Topology;
+    use simcore::{DetHashMap, DetHashSet};
     use teastore::TeaStore;
 
     fn replicas7() -> Vec<usize> {
@@ -451,7 +452,7 @@ mod tests {
         let placed = Policy::Packed.deploy(store.app(), &topo, &replicas7());
         let total: usize = replicas7().iter().sum();
         // With 17 instances and 32 CCXs, only the first 17 CCXs are used.
-        let used: std::collections::HashSet<_> = placed
+        let used: DetHashSet<_> = placed
             .deployment
             .iter()
             .map(|(_, c)| topo.ccx_of(c.affinity.first().expect("non-empty")))
@@ -530,7 +531,7 @@ mod tests {
             );
         }
         // The packing touches most of the machine's L3 domains.
-        let used: std::collections::HashSet<_> = placed
+        let used: DetHashSet<_> = placed
             .deployment
             .iter()
             .map(|(_, c)| topo.ccx_of(c.affinity.first().expect("non-empty")))
@@ -549,8 +550,7 @@ mod tests {
         let placed = Policy::TopologyAware { ccxs: None }.deploy(store.app(), &topo, &[]);
         // No CCX should host two replicas of the same service while other
         // CCXs are free.
-        use std::collections::HashMap;
-        let mut per_ccx: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut per_ccx: DetHashMap<(u32, u32), usize> = DetHashMap::default();
         for (svc, config) in placed.deployment.iter() {
             let ccx = topo.ccx_of(config.affinity.first().expect("non-empty"));
             *per_ccx.entry((svc.0, ccx.0)).or_default() += 1;
@@ -567,7 +567,7 @@ mod tests {
         let topo = Topology::zen2_2p_128c();
         let store = TeaStore::browse();
         let placed = Policy::TopologyAware { ccxs: Some(4) }.deploy(store.app(), &topo, &[]);
-        let used: std::collections::HashSet<_> = placed
+        let used: DetHashSet<_> = placed
             .deployment
             .iter()
             .map(|(_, c)| topo.ccx_of(c.affinity.first().expect("non-empty")))
@@ -584,7 +584,7 @@ mod tests {
         // the same CCD (webui → persistence is a hot edge).
         let webui = store.services().webui;
         let persistence = store.services().persistence;
-        let ccds_of = |svc| -> std::collections::HashSet<u32> {
+        let ccds_of = |svc| -> DetHashSet<u32> {
             placed
                 .deployment
                 .instances_of(svc)

@@ -633,6 +633,8 @@ impl Engine {
     }
 
     // ------------------------------------------------------- slab lifecycle
+    // simlint: hotpath(begin) — slab alloc/free: every request traverses
+    // these on every hop; steady-state must not allocate.
 
     /// Allocates a job slot (recycling the free list), holding a reference
     /// on the owning request slot for the job's lifetime.
@@ -704,6 +706,7 @@ impl Engine {
             self.free_requests.push(slot as u32);
         }
     }
+    // simlint: hotpath(end)
 
     /// The external id of the request in `slot`.
     #[inline]
@@ -834,6 +837,8 @@ impl Engine {
         }
     }
 
+    // simlint: hotpath(begin) — arrival/admission: runs per call hop under
+    // peak load; queue moves must reuse the per-instance deques.
     fn on_job_arrive(&mut self, job_id: u64) {
         self.jobs[job_id as usize].refs -= 1;
         let inst_idx = self.jobs[job_id as usize].instance as usize;
@@ -971,6 +976,7 @@ impl Engine {
         }
         Admit::Queue { deferred }
     }
+    // simlint: hotpath(end)
 
     /// Refuses `job_id` on behalf of an overload policy: the job never runs,
     /// and the caller learns after one return-wire latency (a fast 503 —
@@ -1601,6 +1607,8 @@ impl Engine {
     /// arrivals keep `outstanding` low, making it *more* attractive — the
     /// classic dead-backend black hole). Only the circuit breaker, fed by
     /// call timeouts, ejects it.
+    // simlint: hotpath(begin) — balancer pick + dispatch: per call hop;
+    // candidate lists must go through cand_scratch, never fresh Vecs.
     fn pick_entry_instance(&mut self, service: usize) -> Option<usize> {
         let n = self.per_service_instances[service].len();
         let start = (self.submitted_total % n as u64) as usize;
@@ -1721,6 +1729,7 @@ impl Engine {
         );
         self.arm_call_timeout(child_id, service, delay);
     }
+    // simlint: hotpath(end)
 
     // ------------------------------------------------------ breaker plumbing
 

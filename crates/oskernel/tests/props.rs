@@ -36,7 +36,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn check_invariants(sched: &Scheduler, topo: &Topology, tasks: &[TaskId]) {
     // 1. Each CPU runs at most one task, and that task points back at it.
-    let mut seen_running = std::collections::HashSet::new();
+    let mut seen_running = simcore::DetHashSet::default();
     for cpu in topo.all_cpus().iter() {
         if let Some(task) = sched.running_on(cpu) {
             assert_eq!(sched.state(task), TaskState::Running);

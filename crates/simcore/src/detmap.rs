@@ -65,7 +65,10 @@ impl Hasher for DetHasher {
 pub type DetState = BuildHasherDefault<DetHasher>;
 
 /// A `HashMap` whose capacity evolution is identical on every run.
-pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetState>;
+pub type DetHashMap<K, V> = std::collections::HashMap<K, V, DetState>; // simlint: allow(D1)
+
+/// A `HashSet` whose capacity evolution is identical on every run.
+pub type DetHashSet<T> = std::collections::HashSet<T, DetState>; // simlint: allow(D1)
 
 #[cfg(test)]
 mod tests {
@@ -110,7 +113,7 @@ mod tests {
         // in the low bits (what hashbrown indexes with). A uniform hash
         // drops 128 balls into 128 bins: ~81 distinct expected, so anything
         // above half rules out the degenerate identity/truncation cases.
-        let mut low7 = std::collections::HashSet::new();
+        let mut low7 = DetHashSet::<u64>::default();
         for k in 0u64..128 {
             let mut h = DetHasher::default();
             h.write_u64(k);

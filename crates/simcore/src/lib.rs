@@ -75,6 +75,6 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::{Calendar, EventToken};
-pub use detmap::{DetHashMap, DetState};
+pub use detmap::{DetHashMap, DetHashSet, DetState};
 pub use rng::{Rng, RngFactory};
 pub use time::{SimDuration, SimTime};

@@ -126,7 +126,7 @@ impl SimDuration {
             ns <= u64::MAX as f64,
             "duration overflows u64 nanoseconds: {s}s"
         );
-        SimDuration(ns.round() as u64)
+        SimDuration(ns.round() as u64) // simlint: allow(H2) — range asserted above
     }
 
     /// Creates a span from fractional microseconds, rounding to whole nanoseconds.
@@ -175,7 +175,7 @@ impl SimDuration {
         );
         let ns = self.0 as f64 * factor;
         assert!(ns <= u64::MAX as f64, "duration multiplication overflow");
-        SimDuration(ns.round() as u64)
+        SimDuration(ns.round() as u64) // simlint: allow(H2) — range asserted above
     }
 }
 

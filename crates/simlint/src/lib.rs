@@ -1,0 +1,320 @@
+//! simlint — in-repo determinism & invariant linter.
+//!
+//! The simulator's headline numbers rest on bit-exact replay across seeds,
+//! `--jobs` fan-out, and refactors. The golden-hash tests enforce that
+//! *dynamically*, after a sweep has already run; simlint enforces the
+//! underlying discipline *statically*, at review time:
+//!
+//! * **D1–D4** — determinism hazards (std hash maps in sim state, wall-clock
+//!   reads, unlabeled RNG streams, order-sensitive parallel accumulation);
+//! * **H1–H2** — hot-path invariants (no allocation inside slab fences, no
+//!   truncating casts in simulated-time arithmetic).
+//!
+//! Three front ends share this library: the `simlint` binary, the
+//! `repro lint` subcommand, and the tier-1 integration test
+//! (`tests/simlint.rs`) that gates the tree at zero non-baselined findings.
+
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+use config::Config;
+use rules::FileCtx;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One finding: a rule firing at a specific file:line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`D1` … `H2`).
+    pub rule: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Repo-relative path, `/` separators.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// What fired.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+    /// Tolerated by the `simlint.toml` baseline (reported, not gating).
+    pub baselined: bool,
+}
+
+/// Finding severity. Every current rule denies; the enum leaves room for
+/// advisory rules later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Gating: fails the binary / test / CI when not baselined.
+    Deny,
+    /// Advisory only.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// The result of linting a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not tolerated by the baseline — the gating set.
+    pub fn gating(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.baselined)
+    }
+
+    /// Count of gating findings.
+    pub fn gating_count(&self) -> usize {
+        self.gating().count()
+    }
+}
+
+/// Walks up from `start` looking for `simlint.toml`; that directory is the
+/// workspace root. Falls back to `start` itself.
+pub fn find_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("simlint.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+/// Loads `simlint.toml` from `root` (builtin defaults if absent).
+pub fn load_config(root: &Path) -> Config {
+    match fs::read_to_string(root.join("simlint.toml")) {
+        Ok(text) => Config::from_toml(&text),
+        Err(_) => Config::builtin(),
+    }
+}
+
+/// Directories never scanned, at any depth.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "results", "fixtures"];
+
+/// Collects every `.rs` file under `root` worth linting, sorted for
+/// deterministic report order. Scans `crates/*` and the root `src/`/`tests/`
+/// trees; skips build output, vendored deps, results, and the linter's own
+/// rule fixtures (which are known-bad on purpose).
+pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "benches", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Repo-relative path with `/` separators (for findings and baseline keys).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Whether the file as a whole is test context (outside a crate's `src/`).
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|seg| {
+        seg == "tests" || seg == "benches" || seg == "examples" || seg.starts_with("bench")
+    }) && !rel.contains("/src/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+/// Lints one source string as if it lived at `rel` under the repo root.
+/// This is the seam the fixture tests use.
+pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let model = scan::model(source);
+    let ctx = FileCtx {
+        rel_path: rel,
+        model: &model,
+        file_is_test: is_test_path(rel),
+    };
+    let mut out = Vec::new();
+    rules::run_all(&ctx, cfg, &mut out);
+    for f in &mut out {
+        f.baselined = cfg.is_baselined(f.rule, &f.file);
+    }
+    out
+}
+
+/// Lints the whole workspace under `root`.
+pub fn lint_workspace(root: &Path) -> Report {
+    let cfg = load_config(root);
+    let mut report = Report::default();
+    for path in collect_sources(root) {
+        let Ok(source) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = rel_path(root, &path);
+        report.findings.extend(lint_source(&rel, &source, &cfg));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Renders the report as human-readable text.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let tag = if f.baselined { " (baselined)" } else { "" };
+        out.push_str(&format!(
+            "{}: [{}/{}] {}:{} — {}{}\n    hint: {}\n",
+            f.severity.label(),
+            f.rule,
+            f.severity.label(),
+            f.file,
+            f.line,
+            f.message,
+            tag,
+            f.hint
+        ));
+    }
+    out.push_str(&format!(
+        "simlint: {} file(s) scanned, {} finding(s), {} gating\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.gating_count()
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as JSON (hand-rolled; the crate is dependency-free).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"hint\": \"{}\", \"baselined\": {}}}",
+            f.rule,
+            f.severity.label(),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            json_escape(f.hint),
+            f.baselined
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"files_scanned\": {},\n  \"total\": {},\n  \"gating\": {}\n}}\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.gating_count()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_flags_and_allows_d1() {
+        let cfg = Config::builtin();
+        let bad = "use std::collections::HashMap;\nfn f() { let m: std::collections::HashMap<u32, u32> = Default::default(); let _ = m; }\n";
+        let findings = lint_source("crates/x/src/lib.rs", bad, &cfg);
+        assert_eq!(findings.iter().filter(|f| f.rule == "D1").count(), 2);
+        assert_eq!(findings[0].line, 1);
+
+        let ok = "use std::collections::HashMap; // simlint: allow(D1)\n";
+        let findings = lint_source("crates/x/src/lib.rs", ok, &cfg);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn baseline_marks_but_does_not_gate() {
+        let cfg = Config::from_toml(
+            "[baseline]\nentries = [\"D1:crates/x/src/lib.rs\"]\n",
+        );
+        let findings = lint_source(
+            "crates/x/src/lib.rs",
+            "use std::collections::HashMap;\n",
+            &cfg,
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].baselined);
+        let report = Report {
+            findings,
+            files_scanned: 1,
+        };
+        assert_eq!(report.gating_count(), 0);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "D2",
+                severity: Severity::Deny,
+                file: "a\"b.rs".to_owned(),
+                line: 3,
+                message: "x".to_owned(),
+                hint: "",
+                baselined: false,
+            }],
+            files_scanned: 1,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("\"gating\": 1"));
+    }
+}

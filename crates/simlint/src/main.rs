@@ -1,0 +1,65 @@
+//! `simlint` CLI.
+//!
+//! ```text
+//! cargo run -p simlint --               # text report, exit 1 on gating findings
+//! cargo run -p simlint -- --format json # machine-readable (CI artifact)
+//! cargo run -p simlint -- --root PATH   # lint a tree other than the cwd's
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = "text".to_owned();
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = args.next().unwrap_or_else(|| {
+                    eprintln!("--format needs a value (text|json)");
+                    std::process::exit(2);
+                });
+            }
+            "--root" => {
+                root = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--root needs a path");
+                    std::process::exit(2);
+                })));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "simlint: determinism & invariant linter\n\n  \
+                     --format text|json   output format (default text)\n  \
+                     --root PATH          workspace root (default: walk up to simlint.toml)\n\n\
+                     Exit status: 0 clean, 1 gating findings, 2 usage error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if format != "text" && format != "json" {
+        eprintln!("unknown format: {format} (want text|json)");
+        return ExitCode::from(2);
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = root.unwrap_or_else(|| simlint::find_root(&cwd));
+    let report = simlint::lint_workspace(&root);
+
+    if format == "json" {
+        print!("{}", simlint::render_json(&report));
+    } else {
+        print!("{}", simlint::render_text(&report));
+    }
+
+    if report.gating_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,11 @@
+//! D1 fixture: the same hazards, explicitly allowlisted.
+
+use std::collections::HashMap; // simlint: allow(D1)
+use std::collections::HashSet; // simlint: allow(D1)
+
+pub fn footprint() -> usize {
+    // simlint: allow(D1)
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    let s: HashSet<u32> = HashSet::default();
+    m.capacity() + s.capacity()
+}

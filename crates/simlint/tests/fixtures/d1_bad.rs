@@ -1,0 +1,10 @@
+//! D1 fixture: std hash collections in simulation state (known-bad).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn footprint() -> usize {
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    let s: HashSet<u32> = HashSet::default();
+    m.capacity() + s.capacity()
+}

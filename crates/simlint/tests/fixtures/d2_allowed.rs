@@ -1,0 +1,8 @@
+//! D2 fixture: wall-clock reads, explicitly allowlisted (calibration code).
+
+use std::time::Instant; // simlint: allow(D2)
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now(); // simlint: allow(D2)
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+//! D2 fixture: wall-clock reads in simulation code (known-bad).
+
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! D3 fixture: RNG construction bypassing the labeled-stream API.
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = simcore::rng::Rng::seed_from(seed);
+    rng.next_u64()
+}

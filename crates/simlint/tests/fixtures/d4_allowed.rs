@@ -1,0 +1,22 @@
+//! D4 fixture: per-item results reduced in order — and an allowlisted
+//! accumulation for completeness.
+
+pub fn sum(items: Vec<f64>) -> f64 {
+    let parts = scaleup::par::map(items, |x| {
+        let doubled = x * 2.0;
+        doubled
+    });
+    let mut total = 0.0;
+    for p in parts {
+        total += p;
+    }
+    total
+}
+
+pub fn sum_allowed(items: Vec<f64>) -> f64 {
+    let mut total = 0.0;
+    scaleup::par::map(items, |x| {
+        total += x; // simlint: allow(D4)
+    });
+    total
+}

@@ -1,0 +1,9 @@
+//! D4 fixture: order-sensitive accumulation across a parallel boundary.
+
+pub fn sum(items: Vec<f64>) -> f64 {
+    let mut total = 0.0;
+    scaleup::par::map(items, |x| {
+        total += x;
+    });
+    total
+}

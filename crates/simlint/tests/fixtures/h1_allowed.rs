@@ -1,0 +1,10 @@
+//! H1 fixture: fence-internal allocation, explicitly allowlisted
+//! (cold-start growth, not steady state).
+
+// simlint: hotpath(begin)
+pub fn dispatch(ids: &[u32]) -> Vec<u32> {
+    let mut picked = Vec::new(); // simlint: allow(H1)
+    picked.extend_from_slice(ids);
+    picked
+}
+// simlint: hotpath(end)

@@ -1,0 +1,13 @@
+//! H1 fixture: allocation inside a hotpath fence (known-bad).
+
+// simlint: hotpath(begin)
+pub fn dispatch(ids: &[u32]) -> Vec<u32> {
+    let mut picked = Vec::new();
+    picked.extend_from_slice(ids);
+    picked
+}
+// simlint: hotpath(end)
+
+pub fn outside() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,6 @@
+//! H2 fixture: the same cast, range-asserted and allowlisted.
+
+pub fn to_ns(secs: f64) -> u64 {
+    assert!(secs >= 0.0 && secs * 1e9 <= u64::MAX as f64);
+    (secs * 1e9) as u64 // simlint: allow(H2)
+}

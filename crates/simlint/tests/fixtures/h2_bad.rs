@@ -1,0 +1,5 @@
+//! H2 fixture: truncating cast in simulated-time arithmetic (known-bad).
+
+pub fn to_ns(secs: f64) -> u64 {
+    (secs * 1e9) as u64
+}

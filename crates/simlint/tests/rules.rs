@@ -1,0 +1,160 @@
+//! Fixture tests: every rule must fire on its known-bad sample (exact rule
+//! id and line numbers, asserted against the JSON output) and stay silent
+//! on the allowlisted twin.
+
+use simlint::config::Config;
+use simlint::{lint_source, render_json, Finding, Report};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints `name` as if it lived at `rel` and returns (findings, JSON).
+fn lint_fixture(name: &str, rel: &str) -> (Vec<Finding>, String) {
+    let cfg = Config::builtin();
+    let findings = lint_source(rel, &fixture(name), &cfg);
+    let json = render_json(&Report {
+        findings: findings.clone(),
+        files_scanned: 1,
+    });
+    (findings, json)
+}
+
+/// Asserts the JSON report carries `rule` at exactly `lines` in `rel`.
+fn assert_json_lines(json: &str, rule: &str, rel: &str, lines: &[usize]) {
+    for &line in lines {
+        let needle = format!(
+            "{{\"rule\": \"{rule}\", \"severity\": \"deny\", \"file\": \"{rel}\", \"line\": {line},"
+        );
+        assert!(
+            json.contains(&needle),
+            "JSON must contain {needle}\ngot:\n{json}"
+        );
+    }
+    let occurrences = json.matches(&format!("\"rule\": \"{rule}\"")).count();
+    assert_eq!(
+        occurrences,
+        lines.len(),
+        "expected exactly {} {rule} finding(s)\ngot:\n{json}",
+        lines.len()
+    );
+}
+
+#[test]
+fn d1_fires_on_std_maps() {
+    let rel = "crates/x/src/lib.rs";
+    let (findings, json) = lint_fixture("d1_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "D1"));
+    assert_json_lines(&json, "D1", rel, &[3, 4, 7]);
+}
+
+#[test]
+fn d1_respects_allow() {
+    let (findings, _) = lint_fixture("d1_allowed.rs", "crates/x/src/lib.rs");
+    assert!(findings.is_empty(), "allowlisted: {findings:?}");
+}
+
+#[test]
+fn d2_fires_on_wall_clock() {
+    let rel = "crates/x/src/lib.rs";
+    let (findings, json) = lint_fixture("d2_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "D2"));
+    assert_json_lines(&json, "D2", rel, &[3, 6]);
+}
+
+#[test]
+fn d2_respects_allow() {
+    let (findings, _) = lint_fixture("d2_allowed.rs", "crates/x/src/lib.rs");
+    assert!(findings.is_empty(), "allowlisted: {findings:?}");
+}
+
+#[test]
+fn d2_respects_allow_paths() {
+    // Path-level allowlisting (the simlint.toml escape hatch for bench).
+    let cfg = Config::from_toml("[rules.D2]\nallow_paths = [\"crates/bench/\"]\n");
+    let findings = lint_source("crates/bench/src/perf.rs", &fixture("d2_bad.rs"), &cfg);
+    assert!(findings.is_empty(), "bench is allowlisted: {findings:?}");
+}
+
+#[test]
+fn d3_fires_on_direct_seeding() {
+    let rel = "crates/x/src/lib.rs";
+    let (findings, json) = lint_fixture("d3_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "D3"));
+    assert_json_lines(&json, "D3", rel, &[4]);
+}
+
+#[test]
+fn d3_respects_allow() {
+    let (findings, _) = lint_fixture("d3_allowed.rs", "crates/x/src/lib.rs");
+    assert!(findings.is_empty(), "allowlisted: {findings:?}");
+}
+
+#[test]
+fn d4_fires_on_captured_accumulation() {
+    let rel = "crates/x/src/lib.rs";
+    let (findings, json) = lint_fixture("d4_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "D4"));
+    assert_json_lines(&json, "D4", rel, &[6]);
+}
+
+#[test]
+fn d4_silent_on_ordered_reduce_and_allow() {
+    let (findings, _) = lint_fixture("d4_allowed.rs", "crates/x/src/lib.rs");
+    assert!(
+        findings.is_empty(),
+        "ordered reduce / allowlisted: {findings:?}"
+    );
+}
+
+#[test]
+fn h1_fires_inside_fence_only() {
+    let rel = "crates/x/src/lib.rs";
+    let (findings, json) = lint_fixture("h1_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "H1"));
+    // Line 12 allocates too, but outside the fence — must not fire.
+    assert_json_lines(&json, "H1", rel, &[5]);
+}
+
+#[test]
+fn h1_respects_allow() {
+    let (findings, _) = lint_fixture("h1_allowed.rs", "crates/x/src/lib.rs");
+    assert!(findings.is_empty(), "allowlisted: {findings:?}");
+}
+
+#[test]
+fn h2_fires_in_scoped_path_only() {
+    // H2 is scoped to simcore's time arithmetic; the same source elsewhere
+    // is silent.
+    let rel = "crates/simcore/src/time.rs";
+    let (findings, json) = lint_fixture("h2_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "H2"));
+    assert_json_lines(&json, "H2", rel, &[4]);
+
+    let (elsewhere, _) = lint_fixture("h2_bad.rs", "crates/x/src/lib.rs");
+    assert!(elsewhere.is_empty(), "H2 out of scope: {elsewhere:?}");
+}
+
+#[test]
+fn h2_respects_allow() {
+    let (findings, _) = lint_fixture("h2_allowed.rs", "crates/simcore/src/time.rs");
+    assert!(findings.is_empty(), "allowlisted: {findings:?}");
+}
+
+#[test]
+fn baseline_demotes_findings_without_hiding_them() {
+    let cfg = Config::from_toml("[baseline]\nentries = [\"D3:crates/x/src/lib.rs\"]\n");
+    let findings = lint_source("crates/x/src/lib.rs", &fixture("d3_bad.rs"), &cfg);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].baselined, "reported but tolerated");
+    let report = Report {
+        findings,
+        files_scanned: 1,
+    };
+    assert_eq!(report.gating_count(), 0);
+    assert!(render_json(&report).contains("\"baselined\": true"));
+}

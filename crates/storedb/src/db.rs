@@ -5,13 +5,14 @@ use crate::table::{OpStats, Row, Table};
 use crate::value::Value;
 use crate::StoreError;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use simcore::DetHashMap;
 
 /// A named collection of [`Table`]s with pass-through, cost-accounted
-/// operations.
+/// operations. Tables are keyed in a fixed-seed hash map (all access is by
+/// name; [`Database::table_names`] sorts at the observation point).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    tables: DetHashMap<String, Table>,
 }
 
 impl Database {
@@ -48,7 +49,9 @@ impl Database {
 
     /// Table names in sorted order.
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(String::as_str).collect()
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
     }
 
     /// Number of rows in `table`.

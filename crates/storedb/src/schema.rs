@@ -19,7 +19,7 @@ impl Schema {
     /// Panics if `columns` is empty or contains duplicates.
     pub fn new(name: &str, columns: &[&str]) -> Schema {
         assert!(!columns.is_empty(), "a table needs at least one column");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = simcore::DetHashSet::default();
         for c in columns {
             assert!(seen.insert(*c), "duplicate column {c:?}");
         }

@@ -4,6 +4,7 @@ use crate::schema::Schema;
 use crate::value::Value;
 use crate::StoreError;
 use serde::{Deserialize, Serialize};
+use simcore::DetHashMap;
 use std::collections::BTreeMap;
 
 /// A row: primary key plus values in schema column order.
@@ -42,12 +43,18 @@ impl OpStats {
 }
 
 /// One table: schema, primary storage, secondary indexes.
+///
+/// Primary storage and the per-column index routing are `DetHashMap` (O(1)
+/// point lookups, fixed-seed so capacity — hence any footprint accounting —
+/// is identical on every run). The *inner* index stays a `BTreeMap`: its
+/// keys are [`Value`]s (which include floats, so they cannot be hashed) and
+/// its range order is what makes paged selects deterministic.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Table {
     schema: Option<Schema>,
-    rows: BTreeMap<u64, Vec<Value>>,
+    rows: DetHashMap<u64, Vec<Value>>,
     // column name → value → keys (insertion-ordered within a value).
-    indexes: BTreeMap<String, BTreeMap<Value, Vec<u64>>>,
+    indexes: DetHashMap<String, BTreeMap<Value, Vec<u64>>>,
 }
 
 impl Table {
@@ -60,7 +67,7 @@ impl Table {
             .collect();
         Table {
             schema: Some(schema),
-            rows: BTreeMap::new(),
+            rows: DetHashMap::default(),
             indexes,
         }
     }
@@ -246,7 +253,13 @@ impl Table {
     pub fn scan(&self, mut pred: impl FnMut(&Row) -> bool) -> (Vec<Row>, OpStats) {
         let mut stats = OpStats::default();
         let mut out = Vec::new();
-        for (&key, values) in &self.rows {
+        // Visit rows in key order: hash-map iteration order is seed-stable
+        // but arbitrary, and scans are observable (result order, cost
+        // attribution order).
+        let mut keys: Vec<u64> = self.rows.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let values = &self.rows[&key];
             stats.rows_read += 1;
             let row = Row {
                 key,

@@ -144,6 +144,22 @@ fn overload_experiments_are_byte_identical_at_any_worker_count() {
 }
 
 #[test]
+fn enumeration_orders_are_byte_identical_at_any_worker_count() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    // E17 sweeps the five CPU-mask enumeration orders under par::map and
+    // counts distinct cores per mask — the path the D1 migration moved off
+    // std HashSet (cputopo enumeration + sorted dedup). Loadgen's wake
+    // buckets ride the same guarantee via the E24 leg above.
+    scaleup::par::set_jobs(1);
+    let seq = exp::e17(&config);
+    scaleup::par::set_jobs(8);
+    let par = exp::e17(&config);
+    scaleup::par::set_jobs(0); // restore auto
+    assert_eq!(seq, par, "E17 differs between --jobs 1 and --jobs 8");
+}
+
+#[test]
 fn sweeps_are_byte_identical_at_any_worker_count() {
     let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let config = Config::quick(42);

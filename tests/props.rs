@@ -77,9 +77,8 @@ proptest! {
 
     #[test]
     fn cpuset_matches_hashset_model(ops in proptest::collection::vec((0u8..4, 0u32..200), 1..200)) {
-        use std::collections::HashSet;
         let mut set = CpuSet::empty();
-        let mut model: HashSet<u32> = HashSet::new();
+        let mut model: simcore::DetHashSet<u32> = simcore::DetHashSet::default();
         for (op, v) in ops {
             match op {
                 0 => {

@@ -1,0 +1,78 @@
+//! Tier-1 gate: the static determinism & invariant pass must be clean.
+//!
+//! Runs the same engine as `cargo run -p simlint` and `repro lint` over the
+//! real tree and fails on any non-baselined finding. The golden-hash tests
+//! catch nondeterminism *after* it corrupts a sweep; this catches the
+//! hazard patterns at review time.
+
+use std::path::Path;
+
+fn repo_root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR of the root package is the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_gating_findings() {
+    let root = repo_root();
+    assert!(
+        root.join("simlint.toml").is_file(),
+        "simlint.toml must be checked in at the workspace root"
+    );
+    let report = simlint::lint_workspace(&root);
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    let gating: Vec<String> = report
+        .gating()
+        .map(|f| format!("[{}] {}:{} — {}", f.rule, f.file, f.line, f.message))
+        .collect();
+    assert!(
+        gating.is_empty(),
+        "simlint found {} gating finding(s):\n{}\n\
+         Fix the hazard, or annotate with `// simlint: allow(<rule>)` and a reason.",
+        gating.len(),
+        gating.join("\n")
+    );
+}
+
+#[test]
+fn baseline_is_empty_for_determinism_rules() {
+    // The ratchet: the D-rule baseline was driven to empty in the migration
+    // and must stay there. (H rules could baseline during an incremental
+    // hot-path cleanup; determinism hazards may not.)
+    let cfg = simlint::load_config(&repo_root());
+    let stale: Vec<&String> = cfg
+        .baseline
+        .iter()
+        .filter(|e| e.starts_with("D1:") || e.starts_with("D2:") || e.starts_with("D3:"))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "determinism rules must not be baselined: {stale:?}"
+    );
+}
+
+#[test]
+fn baseline_entries_are_live() {
+    // A baseline entry whose finding no longer fires is stale and must be
+    // removed — otherwise the baseline only ever grows.
+    let root = repo_root();
+    let cfg = simlint::load_config(&root);
+    if cfg.baseline.is_empty() {
+        return;
+    }
+    let report = simlint::lint_workspace(&root);
+    for entry in &cfg.baseline {
+        let (rule, file) = entry.split_once(':').expect("baseline entry RULE:path");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == rule && f.file == file),
+            "stale baseline entry {entry:?}: the finding no longer fires"
+        );
+    }
+}
