@@ -197,6 +197,7 @@ fn main() {
         think: SimDuration::from_millis(opts.think_ms),
         warmup: SimDuration::from_millis(750),
         measure: SimDuration::from_millis(opts.measure_ms),
+        checkpoint: false,
     };
     let mix = store.mix();
     let mut engine = Engine::new(

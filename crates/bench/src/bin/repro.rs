@@ -10,10 +10,12 @@
 //! repro --jobs 1 all           # force a sequential sweep (byte-identical)
 //! repro perf                   # simulator self-benchmark -> results/BENCH_simperf.json
 //! repro lint                   # static determinism & invariant pass (simlint)
+//! repro snap                   # snapshot/resume identity check -> results/snapshot_quick.bin
 //! ```
 //!
-//! Experiments: e1 … e26 (e14–e19 are extensions/validation, e20–e23 the
-//! overload & metastability studies, e24–e26 the mega-scale studies),
+//! Experiments: e1 … e27 (e14–e19 are extensions/validation, e20–e23 the
+//! overload & metastability studies, e24–e26 the mega-scale studies, e27
+//! the warm-started checkpoint sweep),
 //! ablations: a1 (packing objective) a2 (LB) a3 (steal scope) a4 (quantum),
 //! plus `perf`, the simulator self-benchmark.
 //!
@@ -27,8 +29,8 @@ use std::time::Instant;
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "a1", "a2", "a3",
-    "a4",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "a1",
+    "a2", "a3", "a4",
 ];
 
 fn list(json: bool) -> ! {
@@ -45,7 +47,7 @@ fn list(json: bool) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] [--gate BASELINE.json] <e1..e26 | a1..a4 | perf | all>...\n\
+        "usage: repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] [--gate BASELINE.json] <e1..e27 | a1..a4 | perf | snap | all>...\n\
          e1  platform table          e8  placement comparison (+22% headline)\n\
          e2  TeaStore table          e9  latency at fixed load (−18% headline)\n\
          e3  load curve              e10 SMT study\n\
@@ -62,7 +64,8 @@ fn usage() -> ! {
          a1..a4 ablations\n\
          perf simulator self-benchmark (writes results/BENCH_simperf.json;\n\
               with --gate, fail if events/s regress vs the committed baseline)\n\
-         lint static determinism & invariant pass (simlint; fails on findings)\n\
+         lint static determinism & invariant pass (simlint; fails on findings)
+         snap snapshot/resume identity check (writes results/snapshot_quick.bin)\n\
          list enumerate every experiment (--json for the machine-readable catalog)"
     );
     std::process::exit(2);
@@ -109,6 +112,7 @@ fn main() {
             "list" => list_mode = true,
             "perf" => wanted.push("perf".to_owned()),
             "lint" => wanted.push("lint".to_owned()),
+            "snap" => wanted.push("snap".to_owned()),
             e if ALL.contains(&e) => wanted.push(e.to_owned()),
             _ => usage(),
         }
@@ -118,6 +122,12 @@ fn main() {
     }
     if wanted.is_empty() {
         usage();
+    }
+    // --gate without the perf experiment used to parse and then silently do
+    // nothing; fail up front instead.
+    if let Err(msg) = scaleup_bench::perf::gate_requires_perf(&wanted, gate_path.is_some()) {
+        eprintln!("{msg}");
+        std::process::exit(2);
     }
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create CSV output directory");
@@ -532,6 +542,29 @@ fn main() {
                 }
                 r.table
             }
+            "e27" => {
+                let r = exp::e27(&config);
+                csv = Some(("e27_warm_start.csv".into(), exp::csv_e27(&r)));
+                if !r.identical {
+                    eprintln!("{}", r.table);
+                    eprintln!("e27 FAILED: warm-started grid diverged from the cold run");
+                    std::process::exit(1);
+                }
+                r.table
+            }
+            "snap" => match exp::snap_check(&config) {
+                Ok((table, bytes)) => {
+                    std::fs::create_dir_all("results").expect("create results directory");
+                    std::fs::write("results/snapshot_quick.bin", &bytes)
+                        .expect("write results/snapshot_quick.bin");
+                    println!("[wrote results/snapshot_quick.bin]");
+                    table
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+            },
             "a1" => exp::ablate_objective(&config),
             "a2" => exp::ablate_lb(&config),
             "a3" => exp::ablate_balance(&config),
@@ -540,8 +573,10 @@ fn main() {
                 // Read the committed baseline before the fresh results
                 // overwrite it (the gate file is usually the same path).
                 let committed = gate_path.as_ref().map(|p| {
-                    std::fs::read_to_string(p)
-                        .unwrap_or_else(|e| panic!("read gate baseline {}: {e}", p.display()))
+                    scaleup_bench::perf::read_baseline(p).unwrap_or_else(|msg| {
+                        eprintln!("{msg}\nperf gate FAILED");
+                        std::process::exit(1);
+                    })
                 });
                 let (table, json) = scaleup_bench::perf::run(quick);
                 std::fs::create_dir_all("results").expect("create results directory");

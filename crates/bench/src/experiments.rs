@@ -14,9 +14,10 @@ use microsvc::{
 use scaleup::placement::{self, Objective, Policy};
 use scaleup::scaling::{self, ScalePoint};
 use scaleup::{tuner, Lab, UslFit};
-use simcore::{SimDuration, SimTime};
+use simcore::{SimDuration, SimTime, SnapReader, SnapWriter};
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Instant;
 use teastore::TeaStore;
 use uarch::comparison;
 
@@ -1240,6 +1241,9 @@ fn overload_lab(config: &Config, warmup: SimDuration, measure: SimDuration) -> L
     let mut lab = Lab::small(config.lab.seed);
     lab.warmup = warmup;
     lab.measure = measure;
+    // Inherit the checkpoint flag so the overload studies participate in
+    // the snapshot/resume differential battery (tests/snapshot.rs).
+    lab.checkpoint = config.lab.checkpoint;
     lab
 }
 
@@ -2171,6 +2175,213 @@ pub fn e26(config: &Config) -> MegaOverload {
     }
 }
 
+// ---------------------------------------------------------------------- E27
+
+/// E27 result: the same measurement grid run cold and warm-started.
+#[derive(Debug, Clone)]
+pub struct WarmStartStudy {
+    /// `(users, horizon extent past warm-up, report)` cells, cold arm.
+    pub cold: Vec<(u64, SimDuration, RunReport)>,
+    /// The same cells warm-started from one checkpoint per population.
+    pub warm: Vec<(u64, SimDuration, RunReport)>,
+    /// Wall-clock seconds of the cold arm (every cell replays warm-up).
+    pub cold_secs: f64,
+    /// Wall-clock seconds of the warm arm (one warm-up per population).
+    pub warm_secs: f64,
+    /// `true` when both arms agree bit-for-bit on every reported figure.
+    pub identical: bool,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// Builds one E27 grid cell: the tuned unpinned deployment under a
+/// closed-loop population. No `.measure(..)` — the run horizon bounds each
+/// cell instead of a STOP timer, so every extent of the grid can resume
+/// from the same warm-up checkpoint.
+fn warm_grid_build(config: &Config, users: u64) -> (Engine, ClosedLoop) {
+    let lab = &config.lab;
+    let app = config.store.app();
+    let replicas = config.baseline_replicas();
+    let placed = Policy::Unpinned.deploy(app, &lab.topo, &replicas);
+    let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+    let mut params = lab.engine_params.clone();
+    params.lb = placed.lb;
+    let engine = Engine::new(
+        lab.topo.clone(),
+        params,
+        app.clone(),
+        placed.deployment,
+        lab.seed,
+    );
+    let load = ClosedLoop::new(users)
+        .think_time(lab.think)
+        .mix(&mix)
+        .warmup(lab.warmup);
+    (engine, load)
+}
+
+/// The deterministic fields of one grid cell, for the cold-vs-warm check.
+fn warm_grid_fingerprint(
+    rows: &[(u64, SimDuration, RunReport)],
+) -> Vec<(u64, u64, u64, u64, u64)> {
+    rows.iter()
+        .map(|(users, extent, r)| {
+            (
+                *users,
+                extent.as_nanos(),
+                r.completed,
+                r.events_processed,
+                r.throughput_rps.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// E27 — warm-started sweeps: one shared checkpoint per closed-loop
+/// population serves every measurement extent of the grid. The cold arm
+/// replays the warm-up prefix for each cell; the warm arm pays it once,
+/// snapshots the full simulation state, and resumes per cell. The two arms
+/// must agree bit-for-bit — the snapshot layer's end-to-end guarantee —
+/// while the warm arm skips the shared prefix.
+pub fn e27(config: &Config) -> WarmStartStudy {
+    // Two populations keep the grid honest (a checkpoint is per-population:
+    // the user table it captures cannot be reshaped) without dominating the
+    // suite's runtime; the extents share one warm-up each.
+    let populations: Vec<u64> = config.user_sweep.iter().copied().take(2).collect();
+    let extents: Vec<SimDuration> = [1u32, 2, 4]
+        .iter()
+        .map(|&k| config.lab.measure.mul_f64(0.25 * k as f64))
+        .collect();
+    let t_warm = SimTime::ZERO + config.lab.warmup;
+
+    let cold_t0 = Instant::now();
+    let mut cold = Vec::new();
+    for &users in &populations {
+        for &extent in &extents {
+            let (mut engine, mut load) = warm_grid_build(config, users);
+            engine.run(&mut load, t_warm + extent);
+            cold.push((users, extent, engine.report()));
+        }
+    }
+    let cold_secs = cold_t0.elapsed().as_secs_f64();
+
+    let warm_t0 = Instant::now();
+    let mut warm = Vec::new();
+    let mut checkpoint_bytes = 0usize;
+    for &users in &populations {
+        let (mut engine, mut load) = warm_grid_build(config, users);
+        engine.run(&mut load, t_warm);
+        let mut w = SnapWriter::new();
+        engine.snap_save(&mut w);
+        load.snap_save(&mut w);
+        let checkpoint = w.finish();
+        checkpoint_bytes = checkpoint.len();
+        for &extent in &extents {
+            let (mut engine, mut load) = warm_grid_build(config, users);
+            let mut r = SnapReader::new(&checkpoint)
+                .expect("the checkpoint written above is well-formed");
+            engine
+                .snap_restore(&mut r)
+                .expect("the checkpoint restores into the engine that wrote it");
+            load.snap_restore(&mut r)
+                .expect("the checkpoint restores into the driver that wrote it");
+            engine.run_resumed(&mut load, t_warm + extent);
+            warm.push((users, extent, engine.report()));
+        }
+    }
+    let warm_secs = warm_t0.elapsed().as_secs_f64();
+
+    let identical = warm_grid_fingerprint(&cold) == warm_grid_fingerprint(&warm);
+
+    let mut table = String::from(
+        "E27: warm-started sweep from one shared checkpoint per population\n users  extent      req/s  completed      p99\n",
+    );
+    for (users, extent, r) in &warm {
+        let _ = writeln!(
+            table,
+            "{:>6} {:>7} {:>10.0} {:>10} {:>8}",
+            users,
+            extent.to_string(),
+            r.throughput_rps,
+            r.completed,
+            r.latency_p99,
+        );
+    }
+    let _ = writeln!(
+        table,
+        "cold arm: {cold_secs:.2}s wall ({} cells, each replaying the {} warm-up)",
+        cold.len(),
+        config.lab.warmup,
+    );
+    let _ = writeln!(
+        table,
+        "warm arm: {warm_secs:.2}s wall (one warm-up + {checkpoint_bytes}-byte checkpoint per population, resumed per cell)",
+    );
+    let _ = writeln!(
+        table,
+        "warm start saved {:.0}% wall time; cold vs warm reports: {}",
+        100.0 * (1.0 - warm_secs / cold_secs.max(1e-9)),
+        if identical { "identical" } else { "DIVERGED" },
+    );
+    WarmStartStudy {
+        cold,
+        warm,
+        cold_secs,
+        warm_secs,
+        identical,
+        table,
+    }
+}
+
+/// `repro snap` — end-to-end snapshot/resume identity self-check. Runs the
+/// configured TeaStore cell straight and checkpointed, compares the
+/// reports bit-for-bit, and returns the rendered verdict plus the snapshot
+/// bytes (the CLI writes them to `results/snapshot_quick.bin`). `Err`
+/// carries the diagnostic when identity is violated.
+pub fn snap_check(config: &Config) -> Result<(String, Vec<u8>), String> {
+    let lab = &config.lab;
+    let app = config.store.app();
+    let replicas = config.baseline_replicas();
+    let placed = Policy::Unpinned.deploy(app, &lab.topo, &replicas);
+    let straight = lab.run_app(app, placed.deployment.clone(), placed.lb);
+    let bytes = lab.snapshot_app(
+        app,
+        placed.deployment.clone(),
+        placed.lb,
+        SimTime::ZERO + lab.warmup,
+    );
+    let resumed = lab
+        .resume_app(app, placed.deployment, placed.lb, &bytes)
+        .map_err(|e| format!("snap: resume failed: {e}"))?;
+    let same = straight.completed == resumed.completed
+        && straight.events_processed == resumed.events_processed
+        && straight.mean_latency == resumed.mean_latency
+        && straight.latency_p99 == resumed.latency_p99
+        && straight.throughput_rps.to_bits() == resumed.throughput_rps.to_bits();
+    if !same {
+        return Err(format!(
+            "snap: snapshot identity FAILED\n straight: {} done, {} events, mean {}, p99 {}\n resumed:  {} done, {} events, mean {}, p99 {}",
+            straight.completed,
+            straight.events_processed,
+            straight.mean_latency,
+            straight.latency_p99,
+            resumed.completed,
+            resumed.events_processed,
+            resumed.mean_latency,
+            resumed.latency_p99,
+        ));
+    }
+    let table = format!(
+        "snap: snapshot identity: OK\n {} requests, {} events, p99 {} — run-to-warmup → snapshot → resume matches the straight run bit-for-bit\n checkpoint: {} bytes of serialized simulation state at t = {}\n",
+        resumed.completed,
+        resumed.events_processed,
+        resumed.latency_p99,
+        bytes.len(),
+        lab.warmup,
+    );
+    Ok((table, bytes))
+}
+
 // ------------------------------------------------------- experiment catalog
 
 /// One entry of the experiment catalog: id, one-line title, and coarse
@@ -2231,6 +2442,8 @@ pub fn catalog() -> Vec<CatalogEntry> {
         e("e24", "population scale-up 1k→1M users: events/s and bytes/user", 5.0, 90.0),
         e("e25", "trace memory vs fidelity: head-capped vs reservoir sampling", 2.0, 20.0),
         e("e26", "mega-scale overload: admission sweep at 100k closed-loop users", 5.0, 45.0),
+        e("e27", "warm-started sweeps: one shared checkpoint serves a measurement grid", 2.0, 60.0),
+        e("snap", "snapshot/resume identity self-check (writes results/snapshot_quick.bin)", 1.0, 15.0),
         e("lint", "static determinism & invariant pass (simlint)", 0.1, 0.1),
         e("a1", "ablation: topology-aware packing objective", 1.0, 20.0),
         e("a2", "ablation: load-balancer policy under pod placement", 1.0, 20.0),
@@ -2594,6 +2807,35 @@ pub fn csv_e26(result: &MegaOverload) -> String {
     csv.finish()
 }
 
+/// CSV rows of one E27 arm; the cold and warm arms must render identically.
+pub fn csv_e27_arm(rows: &[(u64, SimDuration, RunReport)]) -> String {
+    let mut csv = scaleup::report::Csv::new(&[
+        "users",
+        "extent_us",
+        "completed",
+        "events",
+        "throughput_rps",
+        "p99_latency_us",
+    ]);
+    for (users, extent, r) in rows {
+        csv.row(&[
+            &users.to_string(),
+            &format!("{:.0}", extent.as_micros_f64()),
+            &r.completed.to_string(),
+            &r.events_processed.to_string(),
+            &format!("{:.3}", r.throughput_rps),
+            &format!("{:.1}", r.latency_p99.as_micros_f64()),
+        ]);
+    }
+    csv.finish()
+}
+
+/// CSV of the E27 grid (the warm arm; identical to the cold arm by the
+/// study's own check).
+pub fn csv_e27(result: &WarmStartStudy) -> String {
+    csv_e27_arm(&result.warm)
+}
+
 // ---------------------------------------------------------------- ablations
 
 /// Ablation A1 — bin-packing objective of the topology-aware policy.
@@ -2850,12 +3092,37 @@ mod tests {
     #[test]
     fn catalog_covers_every_runnable_experiment() {
         let names: Vec<&str> = catalog().iter().map(|e| e.id).collect();
-        for e in 1..=26 {
+        for e in 1..=27 {
             assert!(names.contains(&format!("e{e}").as_str()), "missing e{e}");
         }
         for a in 1..=4 {
             assert!(names.contains(&format!("a{a}").as_str()), "missing a{a}");
         }
+        for extra in ["lint", "snap"] {
+            assert!(names.contains(&extra), "missing {extra}");
+        }
+    }
+
+    #[test]
+    fn e27_warm_start_matches_cold_and_skips_the_prefix() {
+        let c = quick();
+        let study = e27(&c);
+        assert_eq!(study.cold.len(), study.warm.len());
+        assert!(study.identical, "warm-started grid diverged:\n{}", study.table);
+        assert_eq!(
+            csv_e27_arm(&study.cold),
+            csv_e27_arm(&study.warm),
+            "cold and warm CSV must be identical"
+        );
+        // Every cell completed work after the checkpoint.
+        assert!(study.warm.iter().all(|(_, _, r)| r.completed > 0));
+    }
+
+    #[test]
+    fn snap_check_passes_on_the_quick_config() {
+        let (table, bytes) = snap_check(&quick()).expect("identity should hold");
+        assert!(table.contains("snapshot identity: OK"));
+        assert!(!bytes.is_empty());
     }
 
     #[test]

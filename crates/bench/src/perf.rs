@@ -451,6 +451,32 @@ fn parse_field(json: &str, key: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// Reads the committed gate baseline, failing with an actionable message —
+/// never silently — when the file is missing or unreadable. A missing
+/// baseline must fail the gate loudly: skipping it would let regressions
+/// through a CI job that claims to guard against them.
+pub fn read_baseline(path: &std::path::Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "perf gate: cannot read baseline {}: {e}\nrun `repro perf` and commit results/BENCH_simperf.json to record one",
+            path.display()
+        )
+    })
+}
+
+/// `--gate` only has an effect when the `perf` experiment actually runs;
+/// catching the mismatch up front beats parsing the flag and silently
+/// ignoring it (which used to make `repro --gate X e3` pass vacuously).
+pub fn gate_requires_perf(wanted: &[String], gate_requested: bool) -> Result<(), String> {
+    if gate_requested && !wanted.iter().any(|w| w == "perf") {
+        return Err(
+            "--gate only applies to the `perf` experiment; add `perf` to the experiment list"
+                .to_owned(),
+        );
+    }
+    Ok(())
+}
+
 /// The regression tripwire behind `repro --gate`: compares the current
 /// results against a committed baseline JSON and fails when any scenario
 /// present in both runs below `threshold` × its committed events/s, after
@@ -578,5 +604,24 @@ mod tests {
     fn gate_rejects_disjoint_scenario_sets() {
         let other = COMMITTED.replace("\"scenario\": \"desk\"", "\"scenario\": \"mega\"");
         assert!(gate_with_calib(COMMITTED, &other, 0.5, 0.2).is_err());
+    }
+
+    #[test]
+    fn read_baseline_reports_a_missing_file_instead_of_passing() {
+        let path = std::path::Path::new("results/this_baseline_does_not_exist.json");
+        let err = read_baseline(path).unwrap_err();
+        assert!(err.contains("cannot read baseline"), "message: {err}");
+        assert!(err.contains("this_baseline_does_not_exist.json"));
+        assert!(err.contains("repro perf"), "must say how to record one: {err}");
+    }
+
+    #[test]
+    fn gate_flag_without_perf_is_an_error_not_a_silent_pass() {
+        let wanted = vec!["e3".to_owned(), "e8".to_owned()];
+        let err = gate_requires_perf(&wanted, true).unwrap_err();
+        assert!(err.contains("perf"), "message: {err}");
+        assert!(gate_requires_perf(&wanted, false).is_ok());
+        let with_perf = vec!["e3".to_owned(), "perf".to_owned()];
+        assert!(gate_requires_perf(&with_perf, true).is_ok());
     }
 }

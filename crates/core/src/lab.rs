@@ -4,9 +4,24 @@ use crate::placement::{PlacedDeployment, Policy};
 use cputopo::Topology;
 use loadgen::{ClosedLoop, OpenLoop};
 use microsvc::{AppSpec, Deployment, Engine, EngineParams, LbPolicy, RunReport};
-use simcore::{SimDuration, SimTime};
+use simcore::{SimDuration, SimTime, SnapError, SnapReader, SnapWriter};
 use std::sync::Arc;
 use teastore::TeaStore;
+
+/// What a branched run changes relative to the checkpoint it forks from.
+///
+/// The default overrides nothing: the branch replays the checkpointed run
+/// exactly. `reseed` perturbs every random stream with the given salt, so
+/// two branches with different salts explore different trajectories from
+/// the same history; `demand_scale` multiplies per-instance CPU demand, the
+/// "requests get x% more expensive from here on" what-if.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BranchOverrides {
+    /// Salt for perturbing the engine's random streams; `None` keeps them.
+    pub reseed: Option<u64>,
+    /// Multiplier on every instance's CPU demand; `None` keeps it.
+    pub demand_scale: Option<f64>,
+}
 
 /// A configured scale-up laboratory: machine, engine parameters, load shape.
 ///
@@ -28,6 +43,11 @@ pub struct Lab {
     pub warmup: SimDuration,
     /// Measurement window length.
     pub measure: SimDuration,
+    /// Route every [`Lab::run_app`] / [`Lab::run_app_open`] through a
+    /// snapshot at the end of warm-up and resume from it. Results are identical to a straight run (the
+    /// differential tests enforce this); the flag exists so the entire
+    /// experiment suite can double as a checkpoint/resume test battery.
+    pub checkpoint: bool,
 }
 
 impl Lab {
@@ -42,6 +62,7 @@ impl Lab {
             think: SimDuration::from_millis(10),
             warmup: SimDuration::from_millis(750),
             measure: SimDuration::from_millis(1500),
+            checkpoint: false,
         }
     }
 
@@ -55,6 +76,7 @@ impl Lab {
             think: SimDuration::from_millis(10),
             warmup: SimDuration::from_millis(300),
             measure: SimDuration::from_millis(800),
+            checkpoint: false,
         }
     }
 
@@ -70,32 +92,142 @@ impl Lab {
         self
     }
 
+    /// Routes every closed-loop run through snapshot-at-warmup + resume.
+    pub fn with_checkpoint(mut self, checkpoint: bool) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
     fn horizon(&self) -> SimTime {
         // Generous slack beyond warm-up + measurement; the STOP timer ends
         // the run first in any healthy configuration.
         SimTime::ZERO + (self.warmup + self.measure) * 4
     }
 
-    /// Runs `app` as `deployment` under the lab's closed-loop load, with the
-    /// mix taken from the app's class weights.
-    pub fn run_app(&self, app: &AppSpec, deployment: Deployment, lb: LbPolicy) -> RunReport {
+    /// Builds the engine + closed-loop driver pair every closed-loop entry
+    /// point shares. Snapshot and resume must construct *identical* engines,
+    /// so there is exactly one place that does it.
+    fn build_closed(
+        &self,
+        app: &AppSpec,
+        deployment: Deployment,
+        lb: LbPolicy,
+    ) -> (Engine, ClosedLoop) {
         let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
         let mut params = self.engine_params.clone();
         params.lb = lb;
-        let mut engine = Engine::new(
+        let engine = Engine::new(
             self.topo.clone(),
             params,
             app.clone(),
             deployment,
             self.seed,
         );
-        let mut load = ClosedLoop::new(self.users)
+        let load = ClosedLoop::new(self.users)
             .think_time(self.think)
             .mix(&mix)
             .warmup(self.warmup)
             .measure(self.measure);
+        (engine, load)
+    }
+
+    /// Runs `app` as `deployment` under the lab's closed-loop load, with the
+    /// mix taken from the app's class weights.
+    pub fn run_app(&self, app: &AppSpec, deployment: Deployment, lb: LbPolicy) -> RunReport {
+        if self.checkpoint {
+            let bytes = self.snapshot_app(app, deployment.clone(), lb, SimTime::ZERO + self.warmup);
+            return self
+                .resume_app(app, deployment, lb, &bytes)
+                .expect("a snapshot taken in-process restores into the same config");
+        }
+        let (mut engine, mut load) = self.build_closed(app, deployment, lb);
         engine.run(&mut load, self.horizon());
         engine.report()
+    }
+
+    /// Runs `app` under the lab's closed-loop load until `at` and returns
+    /// the serialized state of the run (engine and driver) at that instant.
+    ///
+    /// The snapshot can be resumed ([`Lab::resume_app`]) or forked
+    /// ([`Lab::branch_app`]) any number of times; each consumer rebuilds the
+    /// engine from the same `(app, deployment, lb)` configuration.
+    pub fn snapshot_app(
+        &self,
+        app: &AppSpec,
+        deployment: Deployment,
+        lb: LbPolicy,
+        at: SimTime,
+    ) -> Vec<u8> {
+        let (mut engine, mut load) = self.build_closed(app, deployment, lb);
+        engine.run(&mut load, at);
+        let mut w = SnapWriter::new();
+        engine.snap_save(&mut w);
+        load.snap_save(&mut w);
+        w.finish()
+    }
+
+    /// Resumes a [`Lab::snapshot_app`] checkpoint and runs it to completion.
+    ///
+    /// `app`, `deployment`, and `lb` must match what the snapshot was taken
+    /// from; a mismatch is rejected with a [`SnapError`] diagnostic.
+    pub fn resume_app(
+        &self,
+        app: &AppSpec,
+        deployment: Deployment,
+        lb: LbPolicy,
+        bytes: &[u8],
+    ) -> Result<RunReport, SnapError> {
+        self.branch_app(app, deployment, lb, bytes, &BranchOverrides::default())
+    }
+
+    /// Resumes a checkpoint with [`BranchOverrides`] applied at the fork
+    /// point: the branched run shares the checkpoint's entire history and
+    /// diverges only through the overrides.
+    pub fn branch_app(
+        &self,
+        app: &AppSpec,
+        deployment: Deployment,
+        lb: LbPolicy,
+        bytes: &[u8],
+        overrides: &BranchOverrides,
+    ) -> Result<RunReport, SnapError> {
+        let (mut engine, mut load) = self.build_closed(app, deployment, lb);
+        let mut r = SnapReader::new(bytes)?;
+        engine.snap_restore(&mut r)?;
+        load.snap_restore(&mut r)?;
+        if let Some(salt) = overrides.reseed {
+            engine.perturb_rngs(salt);
+        }
+        if let Some(scale) = overrides.demand_scale {
+            engine.apply_demand_scale(scale);
+        }
+        engine.run_resumed(&mut load, self.horizon());
+        Ok(engine.report())
+    }
+
+    /// Builds the engine + open-loop driver pair (see [`Lab::build_closed`]).
+    fn build_open(
+        &self,
+        app: &AppSpec,
+        deployment: Deployment,
+        lb: LbPolicy,
+        rate_rps: f64,
+    ) -> (Engine, OpenLoop) {
+        let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+        let mut params = self.engine_params.clone();
+        params.lb = lb;
+        let engine = Engine::new(
+            self.topo.clone(),
+            params,
+            app.clone(),
+            deployment,
+            self.seed,
+        );
+        let load = OpenLoop::new(rate_rps)
+            .mix(&mix)
+            .warmup(self.warmup)
+            .measure(self.measure);
+        (engine, load)
     }
 
     /// Runs `app` under an open-loop Poisson load at `rate_rps`.
@@ -106,20 +238,27 @@ impl Lab {
         lb: LbPolicy,
         rate_rps: f64,
     ) -> RunReport {
-        let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
-        let mut params = self.engine_params.clone();
-        params.lb = lb;
-        let mut engine = Engine::new(
-            self.topo.clone(),
-            params,
-            app.clone(),
-            deployment,
-            self.seed,
-        );
-        let mut load = OpenLoop::new(rate_rps)
-            .mix(&mix)
-            .warmup(self.warmup)
-            .measure(self.measure);
+        if self.checkpoint {
+            // Snapshot at the end of warm-up, then resume into a freshly
+            // built engine — the open-loop twin of the run_app dance.
+            let (mut engine, mut load) = self.build_open(app, deployment.clone(), lb, rate_rps);
+            engine.run(&mut load, SimTime::ZERO + self.warmup);
+            let mut w = SnapWriter::new();
+            engine.snap_save(&mut w);
+            load.snap_save(&mut w);
+            let bytes = w.finish();
+            let (mut engine, mut load) = self.build_open(app, deployment, lb, rate_rps);
+            let mut r = SnapReader::new(&bytes)
+                .expect("a snapshot taken in-process is well-formed");
+            engine
+                .snap_restore(&mut r)
+                .expect("a snapshot taken in-process restores into the same config");
+            load.snap_restore(&mut r)
+                .expect("a snapshot taken in-process restores into the same driver");
+            engine.run_resumed(&mut load, self.horizon());
+            return engine.report();
+        }
+        let (mut engine, mut load) = self.build_open(app, deployment, lb, rate_rps);
         engine.run(&mut load, self.horizon());
         engine.report()
     }
@@ -191,5 +330,111 @@ mod tests {
         let report = lab.run_policy(&store, Policy::Unpinned, &[2, 1, 1, 1, 1, 1, 1]);
         assert!(report.completed > 50, "completed {}", report.completed);
         assert!(report.services.iter().any(|s| s.jobs_completed > 0));
+    }
+
+    #[test]
+    fn checkpointed_run_matches_straight_run() {
+        let lab = Lab::small(5);
+        let app = tiny_app();
+        let d1 = Deployment::uniform(&app, &lab.topo, 2, 4);
+        let d2 = Deployment::uniform(&app, &lab.topo, 2, 4);
+        let straight = lab.run_app(&app, d1, LbPolicy::RoundRobin);
+        let checked = lab
+            .with_checkpoint(true)
+            .run_app(&app, d2, LbPolicy::RoundRobin);
+        assert_eq!(straight.completed, checked.completed);
+        assert_eq!(straight.mean_latency, checked.mean_latency);
+        assert_eq!(straight.latency_p99, checked.latency_p99);
+        assert_eq!(straight.events_processed, checked.events_processed);
+    }
+
+    #[test]
+    fn branches_fork_deterministically() {
+        let lab = Lab::small(6);
+        let app = tiny_app();
+        let deploy = || Deployment::uniform(&app, &lab.topo, 2, 4);
+        let bytes = lab.snapshot_app(
+            &app,
+            deploy(),
+            LbPolicy::RoundRobin,
+            SimTime::ZERO + lab.warmup,
+        );
+        let fork = |salt| {
+            lab.branch_app(
+                &app,
+                deploy(),
+                LbPolicy::RoundRobin,
+                &bytes,
+                &BranchOverrides {
+                    reseed: Some(salt),
+                    demand_scale: None,
+                },
+            )
+            .expect("branch restores")
+        };
+        let a1 = fork(1);
+        let a2 = fork(1);
+        assert_eq!(a1.completed, a2.completed, "same salt, same fork");
+        assert_eq!(a1.mean_latency, a2.mean_latency);
+        let b = fork(2);
+        assert!(
+            a1.mean_latency != b.mean_latency || a1.completed != b.completed,
+            "different salts must explore different trajectories"
+        );
+    }
+
+    #[test]
+    fn branch_demand_scale_slows_the_fork() {
+        let lab = Lab::small(7);
+        let app = tiny_app();
+        let deploy = || Deployment::uniform(&app, &lab.topo, 2, 4);
+        let bytes = lab.snapshot_app(
+            &app,
+            deploy(),
+            LbPolicy::RoundRobin,
+            SimTime::ZERO + lab.warmup,
+        );
+        let run = |scale| {
+            lab.branch_app(
+                &app,
+                deploy(),
+                LbPolicy::RoundRobin,
+                &bytes,
+                &BranchOverrides {
+                    reseed: None,
+                    demand_scale: scale,
+                },
+            )
+            .expect("branch restores")
+        };
+        let base = run(None);
+        let slow = run(Some(4.0));
+        assert!(
+            slow.mean_latency > base.mean_latency,
+            "4x demand must raise latency: {} vs {}",
+            slow.mean_latency,
+            base.mean_latency
+        );
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_deployment() {
+        let lab = Lab::small(8);
+        let app = tiny_app();
+        let bytes = lab.snapshot_app(
+            &app,
+            Deployment::uniform(&app, &lab.topo, 2, 4),
+            LbPolicy::RoundRobin,
+            SimTime::ZERO + lab.warmup,
+        );
+        let err = lab
+            .resume_app(
+                &app,
+                Deployment::uniform(&app, &lab.topo, 1, 4),
+                LbPolicy::RoundRobin,
+                &bytes,
+            )
+            .expect_err("a different deployment must be refused");
+        assert!(matches!(err, SnapError::Corrupt(_)), "got {err:?}");
     }
 }

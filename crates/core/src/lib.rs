@@ -45,6 +45,6 @@ pub mod scaling;
 pub mod tuner;
 pub mod usl;
 
-pub use lab::Lab;
+pub use lab::{BranchOverrides, Lab};
 pub use placement::{Objective, PlacedDeployment, Policy};
 pub use usl::UslFit;

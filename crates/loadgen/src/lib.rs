@@ -47,6 +47,7 @@ pub use replay::{Arrival, ReplayLoad, Schedule};
 
 use microsvc::{Driver, EngineCtx, ResponseInfo};
 use simcore::dist::{Distribution, Exp, WeightedIndex};
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use simcore::{DetHashMap, SimDuration};
 
 const TOKEN_WARMUP: u64 = u64::MAX;
@@ -116,6 +117,41 @@ impl UserTable {
         let deadlines = &self.deadline_ns;
         users.sort_unstable_by_key(|&u| (deadlines[u as usize], u));
         users
+    }
+
+    /// Serializes the table with buckets in sorted-key order; the spare pool
+    /// is captured as a count (its vectors are always empty — only their
+    /// allocations are reused).
+    fn snap_save(&self, w: &mut SnapWriter) {
+        self.deadline_ns.save(w);
+        let mut keys: Vec<u64> = self.buckets.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for key in keys {
+            w.u64(key);
+            self.buckets[&key].save(w);
+        }
+        w.usize(self.spare.len());
+        w.usize(self.high_water);
+        w.usize(self.parked);
+    }
+
+    fn snap_load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let deadline_ns = Vec::<u64>::load(r)?;
+        let nbuckets = r.usize()?;
+        let mut buckets = DetHashMap::default();
+        for _ in 0..nbuckets {
+            let key = r.u64()?;
+            buckets.insert(key, Vec::<u32>::load(r)?);
+        }
+        let spare = vec![Vec::new(); r.usize()?];
+        Ok(UserTable {
+            deadline_ns,
+            buckets,
+            spare,
+            high_water: r.usize()?,
+            parked: r.usize()?,
+        })
     }
 
     /// Approximate heap bytes held by the table (capacities, not lengths).
@@ -277,6 +313,46 @@ impl ClosedLoop {
         ctx.submit(class, user);
     }
 
+    /// Serializes the loop's run-time state (counters, measuring flag, the
+    /// user table). The configuration is captured only as a fingerprint: a
+    /// restored loop must be rebuilt with the same builder calls first.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.section("closed-loop");
+        w.u64(self.users);
+        w.bool(self.coalesce.is_some());
+        w.u64(self.issued);
+        w.u64(self.completed);
+        w.u64(self.errors);
+        w.bool(self.measuring);
+        self.table.snap_save(w);
+    }
+
+    /// Restores state captured by [`ClosedLoop::snap_save`] into an
+    /// identically configured loop.
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("closed-loop")?;
+        let users = r.u64()?;
+        let coalesced = r.bool()?;
+        if users != self.users || coalesced != self.coalesce.is_some() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot is of a {users}-user {} loop, this loop has {} users ({})",
+                if coalesced { "coalesced" } else { "exact" },
+                self.users,
+                if self.coalesce.is_some() {
+                    "coalesced"
+                } else {
+                    "exact"
+                },
+            )));
+        }
+        self.issued = r.u64()?;
+        self.completed = r.u64()?;
+        self.errors = r.u64()?;
+        self.measuring = r.bool()?;
+        self.table = UserTable::snap_load(r)?;
+        Ok(())
+    }
+
     /// Parks `user` until `delay` from now — through the wake-bucket table
     /// in coalesced mode, or a dedicated timer otherwise.
     fn sleep_user(&mut self, user: u64, delay: SimDuration, ctx: &mut dyn EngineCtx) {
@@ -407,6 +483,22 @@ impl OpenLoop {
     /// Responses received over the whole run.
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Serializes the loop's run-time state; see [`ClosedLoop::snap_save`].
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.section("open-loop");
+        w.u64(self.next_client);
+        w.u64(self.completed);
+    }
+
+    /// Restores state captured by [`OpenLoop::snap_save`] into an
+    /// identically configured loop.
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("open-loop")?;
+        self.next_client = r.u64()?;
+        self.completed = r.u64()?;
+        Ok(())
     }
 
     fn schedule_next_arrival(&self, ctx: &mut dyn EngineCtx) {
@@ -658,6 +750,48 @@ mod tests {
             per_user < 64.0,
             "driver footprint {per_user:.1} B/user too fat"
         );
+    }
+
+    #[test]
+    fn closed_loop_snapshot_round_trip() {
+        use simcore::snap::{SnapReader, SnapWriter};
+        let mut eng = engine(300.0, 2, 4, 17);
+        let mut load = ClosedLoop::new(256)
+            .think_time(SimDuration::from_millis(10))
+            .coalesce(SimDuration::from_millis(2))
+            .warmup(SimDuration::from_millis(100));
+        eng.run(&mut load, SimTime::from_millis(250));
+        let mut w = SnapWriter::new();
+        load.snap_save(&mut w);
+        let bytes = w.finish();
+        let mut restored = ClosedLoop::new(256)
+            .think_time(SimDuration::from_millis(10))
+            .coalesce(SimDuration::from_millis(2))
+            .warmup(SimDuration::from_millis(100));
+        let mut r = SnapReader::new(&bytes).unwrap();
+        restored.snap_restore(&mut r).expect("restores");
+        assert_eq!(restored.issued(), load.issued());
+        assert_eq!(restored.completed(), load.completed());
+        assert_eq!(restored.parked_users(), load.parked_users());
+        assert_eq!(restored.parked_high_water(), load.parked_high_water());
+        let mut w2 = SnapWriter::new();
+        restored.snap_save(&mut w2);
+        assert_eq!(w2.finish(), bytes, "snapshot→restore→snapshot stable");
+    }
+
+    #[test]
+    fn closed_loop_snapshot_rejects_mismatched_population() {
+        use simcore::snap::{SnapError, SnapReader, SnapWriter};
+        let load = ClosedLoop::new(8);
+        let mut w = SnapWriter::new();
+        load.snap_save(&mut w);
+        let bytes = w.finish();
+        let mut other = ClosedLoop::new(16);
+        let mut r = SnapReader::new(&bytes).unwrap();
+        match other.snap_restore(&mut r) {
+            Err(SnapError::Corrupt(msg)) => assert!(msg.contains("8-user"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -592,6 +592,14 @@ impl Engine {
     /// engine should be driven by one `run` per driver.
     pub fn run(&mut self, driver: &mut dyn Driver, until: SimTime) {
         driver.start(self);
+        self.run_resumed(driver, until);
+    }
+
+    /// Continues a run *without* invoking `driver.start`: the event loop
+    /// alone. This is the entry point after [`Engine::snap_restore`], where
+    /// the driver's timers are already armed inside the restored calendar —
+    /// re-arming them would double every warmup/stop event.
+    pub fn run_resumed(&mut self, driver: &mut dyn Driver, until: SimTime) {
         while !self.stop_requested {
             match self.cal.peek_time() {
                 Some(t) if t <= until => {}
@@ -2113,6 +2121,569 @@ impl Engine {
             self.on_placement(p);
         }
     }
+
+    // ---------------------------------------------------------- snapshotting
+
+    /// A fingerprint of the configuration this engine was built from.
+    ///
+    /// Snapshots capture *mutable* state only; everything derived from the
+    /// topology, application, and parameters is rebuilt by [`Engine::new`].
+    /// Restoring into an engine built from a different configuration would
+    /// silently misinterpret slab indices, so the fingerprint is written
+    /// first and checked first.
+    fn config_fingerprint(&self) -> u64 {
+        fnv64(
+            format!(
+                "{:?}|cpus={}|services={}|classes={}|instances={}|workers={}",
+                self.params,
+                self.topo.num_cpus(),
+                self.app.services().len(),
+                self.classes.len(),
+                self.instances.len(),
+                self.workers.len()
+            )
+            .as_bytes(),
+        )
+    }
+
+    /// Serializes the engine's complete mutable state: calendar, scheduler,
+    /// instance queues, job/request slabs, RNG positions, metrics, breakers,
+    /// overload state, and the tracer.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.section("engine");
+        w.u64(self.config_fingerprint());
+        self.cal.save(w);
+        self.sched.snap_save(w);
+        w.usize(self.instances.len());
+        for inst in &self.instances {
+            w.u32(inst.rep_cpu.0);
+            inst.idle_workers.save(w);
+            w.usize(inst.pending.len());
+            for &job in &inst.pending {
+                w.u64(job);
+            }
+            w.usize(inst.outstanding);
+            w.bool(inst.up);
+            w.f64(inst.demand_factor);
+        }
+        w.usize(self.balancers.len());
+        for b in &self.balancers {
+            b.snap_save(w);
+        }
+        w.usize(self.workers.len());
+        for wk in &self.workers {
+            wk.job.save(w);
+        }
+        self.jobs.save(w);
+        self.free_jobs.save(w);
+        self.requests.save(w);
+        self.free_requests.save(w);
+        w.u64(self.submitted_total);
+        self.exec.save(w);
+        w.u64(self.next_gen);
+        self.metrics.snap_save(w);
+        let base = self.sched_stats_baseline;
+        w.u64(base.wakeups);
+        w.u64(base.context_switches);
+        w.u64(base.migrations);
+        w.u64(base.steals);
+        self.demand_rng.save(w);
+        self.driver_rng.save(w);
+        self.fault_rng.save(w);
+        self.resil_rng.save(w);
+        w.usize(self.breakers.len());
+        for brk in &self.breakers {
+            brk.snap_save(w);
+        }
+        match &self.overload {
+            None => w.u8(0),
+            Some(ov) => {
+                w.u8(1);
+                w.usize(ov.limiters.len());
+                for lim in &ov.limiters {
+                    lim.snap_save(w);
+                }
+                w.usize(ov.budgets.len());
+                for budget in &ov.budgets {
+                    budget.snap_save(w);
+                }
+            }
+        }
+        w.bool(self.stop_requested);
+        self.tracer.snap_save(w);
+        w.u32(self.boost_bucket);
+        w.u64(self.events_processed);
+    }
+
+    /// Restores state captured by [`Engine::snap_save`] into an engine built
+    /// from the *same* configuration (topology, application, deployment, and
+    /// parameters). On success the engine continues the snapshotted run via
+    /// [`Engine::run_resumed`]; on error the engine is in an unspecified
+    /// state and must be discarded.
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("engine")?;
+        let fingerprint = r.u64()?;
+        let own = self.config_fingerprint();
+        if fingerprint != own {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot was taken from engine config {fingerprint:#018x}, \
+                 this engine is built from {own:#018x}"
+            )));
+        }
+        let cal = Calendar::<Event>::load(r)?;
+        self.sched.snap_restore(r)?;
+
+        struct InstState {
+            rep_cpu: u32,
+            idle_workers: Vec<usize>,
+            pending: VecDeque<u64>,
+            outstanding: usize,
+            up: bool,
+            demand_factor: f64,
+        }
+        let n_inst = r.usize()?;
+        if n_inst != self.instances.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {n_inst} instances, engine has {}",
+                self.instances.len()
+            )));
+        }
+        let num_cpus = self.topo.num_cpus();
+        let mut inst_states = Vec::with_capacity(n_inst);
+        for idx in 0..n_inst {
+            let rep_cpu = r.u32()?;
+            if rep_cpu as usize >= num_cpus {
+                return Err(SnapError::Corrupt(format!(
+                    "instance {idx} sits on cpu {rep_cpu}, machine has {num_cpus}"
+                )));
+            }
+            let idle_workers = Vec::<usize>::load(r)?;
+            let n_pending = r.usize()?;
+            let mut pending = VecDeque::with_capacity(n_pending);
+            for _ in 0..n_pending {
+                pending.push_back(r.u64()?);
+            }
+            inst_states.push(InstState {
+                rep_cpu,
+                idle_workers,
+                pending,
+                outstanding: r.usize()?,
+                up: r.bool()?,
+                demand_factor: r.f64()?,
+            });
+        }
+        let n_bal = r.usize()?;
+        if n_bal != self.balancers.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {n_bal} balancers, engine has {}",
+                self.balancers.len()
+            )));
+        }
+        for b in &mut self.balancers {
+            b.snap_restore(r)?;
+        }
+        let n_workers = r.usize()?;
+        if n_workers != self.workers.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {n_workers} workers, engine has {}",
+                self.workers.len()
+            )));
+        }
+        let mut worker_jobs = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            worker_jobs.push(Option::<u64>::load(r)?);
+        }
+        let jobs = Vec::<Job>::load(r)?;
+        let free_jobs = Vec::<u32>::load(r)?;
+        let requests = Vec::<RequestInfo>::load(r)?;
+        let free_requests = Vec::<u32>::load(r)?;
+        let submitted_total = r.u64()?;
+        let exec = Vec::<Option<CpuExec>>::load(r)?;
+        let next_gen = r.u64()?;
+        self.metrics.snap_restore(r)?;
+        let baseline = SchedStats {
+            wakeups: r.u64()?,
+            context_switches: r.u64()?,
+            migrations: r.u64()?,
+            steals: r.u64()?,
+        };
+        let demand_rng = Rng::load(r)?;
+        let driver_rng = Rng::load(r)?;
+        let fault_rng = Rng::load(r)?;
+        let resil_rng = Rng::load(r)?;
+        let n_brk = r.usize()?;
+        if n_brk != self.breakers.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {n_brk} circuit breakers, engine has {}",
+                self.breakers.len()
+            )));
+        }
+        for brk in &mut self.breakers {
+            brk.snap_restore(r)?;
+        }
+        match (r.u8()?, self.overload.as_mut()) {
+            (0, None) => {}
+            (1, Some(ov)) => {
+                let n_lim = r.usize()?;
+                if n_lim != ov.limiters.len() {
+                    return Err(SnapError::Corrupt(format!(
+                        "snapshot has {n_lim} AIMD limiters, engine has {}",
+                        ov.limiters.len()
+                    )));
+                }
+                for lim in &mut ov.limiters {
+                    lim.snap_restore(r)?;
+                }
+                let n_bud = r.usize()?;
+                if n_bud != ov.budgets.len() {
+                    return Err(SnapError::Corrupt(format!(
+                        "snapshot has {n_bud} retry budgets, engine has {}",
+                        ov.budgets.len()
+                    )));
+                }
+                for budget in &mut ov.budgets {
+                    budget.snap_restore(r)?;
+                }
+            }
+            (0, Some(_)) => {
+                return Err(SnapError::Corrupt(
+                    "snapshot has no overload state, but the engine enables overload control"
+                        .into(),
+                ))
+            }
+            (1, None) => {
+                return Err(SnapError::Corrupt(
+                    "snapshot carries overload state, but the engine disables overload control"
+                        .into(),
+                ))
+            }
+            (tag, _) => {
+                return Err(SnapError::Corrupt(format!(
+                    "unknown overload-state tag {tag}"
+                )))
+            }
+        }
+        let stop_requested = r.bool()?;
+        self.tracer.snap_restore(r)?;
+        let boost_bucket = r.u32()?;
+        let events_processed = r.u64()?;
+
+        // Cheap shape checks: every slab cross-reference must stay in range.
+        for (idx, st) in inst_states.iter().enumerate() {
+            if let Some(&bad) = st.idle_workers.iter().find(|&&wk| wk >= n_workers) {
+                return Err(SnapError::Corrupt(format!(
+                    "instance {idx} lists idle worker {bad}, engine has {n_workers}"
+                )));
+            }
+            if let Some(&bad) = st.pending.iter().find(|&&j| j as usize >= jobs.len()) {
+                return Err(SnapError::Corrupt(format!(
+                    "instance {idx} queues job {bad}, slab holds {}",
+                    jobs.len()
+                )));
+            }
+        }
+        if let Some(bad) = worker_jobs.iter().flatten().find(|&&j| j as usize >= jobs.len()) {
+            return Err(SnapError::Corrupt(format!(
+                "a worker holds job {bad}, slab holds {}",
+                jobs.len()
+            )));
+        }
+        if exec.len() != num_cpus {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {} execution slots, machine has {num_cpus} cpus",
+                exec.len()
+            )));
+        }
+        if let Some(bad) = exec.iter().flatten().find(|e| e.worker >= n_workers) {
+            return Err(SnapError::Corrupt(format!(
+                "cpu executes worker {}, engine has {n_workers}",
+                bad.worker
+            )));
+        }
+
+        self.cal = cal;
+        for (inst, st) in self.instances.iter_mut().zip(inst_states) {
+            inst.rep_cpu = CpuId(st.rep_cpu);
+            inst.idle_workers = st.idle_workers;
+            inst.pending = st.pending;
+            inst.outstanding = st.outstanding;
+            inst.up = st.up;
+            inst.demand_factor = st.demand_factor;
+        }
+        for (wk, job) in self.workers.iter_mut().zip(worker_jobs) {
+            wk.job = job;
+        }
+        self.jobs = jobs;
+        self.free_jobs = free_jobs;
+        self.requests = requests;
+        self.free_requests = free_requests;
+        self.submitted_total = submitted_total;
+        self.exec = exec;
+        self.next_gen = next_gen;
+        self.sched_stats_baseline = baseline;
+        self.demand_rng = demand_rng;
+        self.driver_rng = driver_rng;
+        self.fault_rng = fault_rng;
+        self.resil_rng = resil_rng;
+        self.stop_requested = stop_requested;
+        self.boost_bucket = boost_bucket;
+        self.events_processed = events_processed;
+        Ok(())
+    }
+
+    /// Deterministically perturbs all four random streams with `salt`,
+    /// branching a restored snapshot onto a different random trajectory
+    /// while keeping everything else (queues, clocks, in-flight work)
+    /// byte-identical to the checkpoint.
+    pub fn perturb_rngs(&mut self, salt: u64) {
+        self.demand_rng.perturb(salt);
+        self.driver_rng.perturb(salt);
+        self.fault_rng.perturb(salt);
+        self.resil_rng.perturb(salt);
+    }
+
+    /// Multiplies every instance's CPU-demand factor by `factor`: a what-if
+    /// override for branched runs ("same history, x% more expensive requests
+    /// from here on").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn apply_demand_scale(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "demand scale must be positive and finite, got {factor}"
+        );
+        if factor == 1.0 {
+            return;
+        }
+        for inst in &mut self.instances {
+            inst.demand_factor *= factor;
+        }
+    }
+}
+
+use simcore::snap::{fnv64, Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Event {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            Event::Timer(token) => {
+                w.u8(0);
+                w.u64(token);
+            }
+            Event::WorkDone { cpu, gen } => {
+                w.u8(1);
+                w.u32(cpu);
+                w.u64(gen);
+            }
+            Event::Quantum { cpu, gen } => {
+                w.u8(2);
+                w.u32(cpu);
+                w.u64(gen);
+            }
+            Event::JobArrive { job } => {
+                w.u8(3);
+                w.u64(job);
+            }
+            Event::ReplyArrive { child } => {
+                w.u8(4);
+                w.u64(child);
+            }
+            Event::ClientReply { job } => {
+                w.u8(5);
+                w.u64(job);
+            }
+            Event::CallTimeout { job } => {
+                w.u8(6);
+                w.u64(job);
+            }
+            Event::ClientFail { request, cause } => {
+                w.u8(7);
+                w.u64(request);
+                cause.save(w);
+            }
+            Event::CallRejected { job, reason } => {
+                w.u8(8);
+                w.u64(job);
+                reason.save(w);
+            }
+            Event::CrashStart { instance } => {
+                w.u8(9);
+                w.u32(instance);
+            }
+            Event::CrashEnd { instance } => {
+                w.u8(10);
+                w.u32(instance);
+            }
+            Event::SlowStart { instance, slowdown } => {
+                w.u8(11);
+                w.u32(instance);
+                w.u32(slowdown);
+            }
+            Event::SlowEnd { instance } => {
+                w.u8(12);
+                w.u32(instance);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Event::Timer(r.u64()?),
+            1 => Event::WorkDone {
+                cpu: r.u32()?,
+                gen: r.u64()?,
+            },
+            2 => Event::Quantum {
+                cpu: r.u32()?,
+                gen: r.u64()?,
+            },
+            3 => Event::JobArrive { job: r.u64()? },
+            4 => Event::ReplyArrive { child: r.u64()? },
+            5 => Event::ClientReply { job: r.u64()? },
+            6 => Event::CallTimeout { job: r.u64()? },
+            7 => Event::ClientFail {
+                request: r.u64()?,
+                cause: FaultCause::load(r)?,
+            },
+            8 => Event::CallRejected {
+                job: r.u64()?,
+                reason: ShedReason::load(r)?,
+            },
+            9 => Event::CrashStart { instance: r.u32()? },
+            10 => Event::CrashEnd { instance: r.u32()? },
+            11 => Event::SlowStart {
+                instance: r.u32()?,
+                slowdown: r.u32()?,
+            },
+            12 => Event::SlowEnd { instance: r.u32()? },
+            other => return Err(SnapError::Corrupt(format!("unknown Event tag {other}"))),
+        })
+    }
+}
+
+impl Snap for Phase {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            Phase::Pre => w.u8(0),
+            Phase::StageSend(s) => {
+                w.u8(1);
+                w.u8(s);
+            }
+            Phase::WaitStage(s) => {
+                w.u8(2);
+                w.u8(s);
+            }
+            Phase::Post => w.u8(3),
+            Phase::Done => w.u8(4),
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Phase::Pre,
+            1 => Phase::StageSend(r.u8()?),
+            2 => Phase::WaitStage(r.u8()?),
+            3 => Phase::Post,
+            4 => Phase::Done,
+            other => return Err(SnapError::Corrupt(format!("unknown Phase tag {other}"))),
+        })
+    }
+}
+
+impl Snap for Job {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.request);
+        w.u32(self.class);
+        w.u32(self.node);
+        w.u32(self.instance);
+        self.parent.save(w);
+        self.phase.save(w);
+        self.pending.save(w);
+        w.u8(self.attempt);
+        w.u8(self.flags);
+        w.u8(self.refs);
+        w.f64(self.remaining_cycles);
+        self.enqueued_at.save(w);
+        self.span.save(w);
+        self.timeout_token.save(w);
+        self.worker.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Job {
+            request: r.u32()?,
+            class: r.u32()?,
+            node: r.u32()?,
+            instance: r.u32()?,
+            parent: Option::<u32>::load(r)?,
+            phase: Phase::load(r)?,
+            pending: u16::load(r)?,
+            attempt: r.u8()?,
+            flags: r.u8()?,
+            refs: r.u8()?,
+            remaining_cycles: r.f64()?,
+            enqueued_at: SimTime::load(r)?,
+            span: Option::<u32>::load(r)?,
+            timeout_token: Option::<EventToken>::load(r)?,
+            worker: Option::<u32>::load(r)?,
+        })
+    }
+}
+
+impl Snap for RequestInfo {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.id);
+        w.u64(self.client);
+        self.submitted_at.save(w);
+        w.u32(self.class);
+        w.u32(self.refs);
+        w.u8(self.flags);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RequestInfo {
+            id: r.u64()?,
+            client: r.u64()?,
+            submitted_at: SimTime::load(r)?,
+            class: r.u32()?,
+            refs: r.u32()?,
+            flags: r.u8()?,
+        })
+    }
+}
+
+impl Snap for CpuExec {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.worker);
+        w.f64(self.rate);
+        w.f64(self.wall_rate);
+        w.bool(self.ctx.smt_sibling_busy);
+        w.f64(self.ctx.ccx_pressure);
+        w.bool(self.ctx.numa_local);
+        self.since.save(w);
+        w.u64(self.gen);
+        self.done_token.save(w);
+        self.quantum_token.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CpuExec {
+            worker: r.usize()?,
+            rate: r.f64()?,
+            wall_rate: r.f64()?,
+            ctx: ExecContext {
+                smt_sibling_busy: r.bool()?,
+                ccx_pressure: r.f64()?,
+                numa_local: r.bool()?,
+            },
+            since: SimTime::load(r)?,
+            gen: r.u64()?,
+            done_token: EventToken::load(r)?,
+            quantum_token: EventToken::load(r)?,
+        })
+    }
 }
 
 // EngineCtx is how drivers see the engine.
@@ -3292,4 +3863,88 @@ mod tests {
             .outcomes
             .contains(&Outcome::ShedByPolicy(ShedReason::QueueFull)));
     }
+
+    /// A closed-loop driver whose behavior is a pure function of the
+    /// engine's responses: a fresh copy paired with a restored engine acts
+    /// exactly like the original driver would have.
+    struct ResubmitDriver {
+        clients: u32,
+    }
+
+    impl Driver for ResubmitDriver {
+        fn start(&mut self, ctx: &mut dyn EngineCtx) {
+            for client in 0..self.clients {
+                ctx.submit(0, client as u64);
+            }
+        }
+        fn on_response(&mut self, resp: ResponseInfo, ctx: &mut dyn EngineCtx) {
+            ctx.submit(0, resp.client.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical_to_straight_run() {
+        let build = || {
+            let topo = Arc::new(Topology::desktop_8c());
+            let (app, _) = one_service_app(400.0);
+            let deployment = Deployment::uniform(&app, &topo, 2, 2);
+            Engine::new(topo, EngineParams::default(), app, deployment, 7)
+        };
+        let t_snap = SimTime::from_millis(5);
+        let t_end = SimTime::from_millis(10);
+
+        let mut straight = build();
+        straight.run(&mut ResubmitDriver { clients: 16 }, t_end);
+
+        // Run to the checkpoint, snapshot (with jobs in flight and events
+        // pending), restore into a fresh engine, and continue.
+        let mut first = build();
+        first.run(&mut ResubmitDriver { clients: 16 }, t_snap);
+        let mut w = SnapWriter::new();
+        first.snap_save(&mut w);
+        let bytes = w.finish();
+
+        let mut resumed = build();
+        let mut r = SnapReader::new(&bytes).expect("valid envelope");
+        resumed.snap_restore(&mut r).expect("restores");
+        resumed.run_resumed(&mut ResubmitDriver { clients: 16 }, t_end);
+
+        let mut w_a = SnapWriter::new();
+        straight.snap_save(&mut w_a);
+        let mut w_b = SnapWriter::new();
+        resumed.snap_save(&mut w_b);
+        assert_eq!(
+            w_a.finish(),
+            w_b.finish(),
+            "resumed run diverged from the straight run"
+        );
+        assert!(straight.report().completed > 0, "the run did real work");
+    }
+
+    #[test]
+    fn snapshot_rejects_a_different_configuration() {
+        let topo = Arc::new(Topology::desktop_8c());
+        let (app, _) = one_service_app(400.0);
+        let deployment = Deployment::uniform(&app, &topo, 1, 1);
+        let mut engine = Engine::new(topo.clone(), EngineParams::default(), app, deployment, 7);
+        engine.run(&mut ResubmitDriver { clients: 4 }, SimTime::from_millis(2));
+        let mut w = SnapWriter::new();
+        engine.snap_save(&mut w);
+        let bytes = w.finish();
+
+        // Same app shape, different instance count: the slab indices in the
+        // snapshot would be meaningless, so the restore must refuse.
+        let (app2, _) = one_service_app(400.0);
+        let deployment2 = Deployment::uniform(&app2, &topo, 2, 1);
+        let mut other = Engine::new(topo, EngineParams::default(), app2, deployment2, 7);
+        let mut r = SnapReader::new(&bytes).expect("valid envelope");
+        match other.snap_restore(&mut r) {
+            Err(SnapError::Corrupt(msg)) => {
+                assert!(msg.contains("engine config"), "diagnostic: {msg}")
+            }
+            other => panic!("expected a config-fingerprint rejection, got {other:?}"),
+        }
+    }
+
+
 }

@@ -229,6 +229,38 @@ impl FaultPlan {
     }
 }
 
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for FaultCause {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            FaultCause::TimedOut => w.u8(0),
+            FaultCause::ReplyDropped => w.u8(1),
+            FaultCause::Crashed => w.u8(2),
+            FaultCause::Shed => w.u8(3),
+            FaultCause::PolicyShed(reason) => {
+                w.u8(4);
+                reason.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => FaultCause::TimedOut,
+            1 => FaultCause::ReplyDropped,
+            2 => FaultCause::Crashed,
+            3 => FaultCause::Shed,
+            4 => FaultCause::PolicyShed(ShedReason::load(r)?),
+            other => {
+                return Err(SnapError::Corrupt(format!(
+                    "unknown FaultCause tag {other}"
+                )))
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

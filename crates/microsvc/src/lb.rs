@@ -154,6 +154,19 @@ impl Balancer {
             }
         }
     }
+
+    /// Serializes the rotation cursor (the policy is configuration).
+    pub(crate) fn snap_save(&self, w: &mut simcore::SnapWriter) {
+        w.usize(self.next);
+    }
+
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut simcore::SnapReader<'_>,
+    ) -> Result<(), simcore::SnapError> {
+        self.next = r.usize()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -247,6 +247,134 @@ impl Metrics {
     }
 }
 
+fn save_counters(c: &PerfCounters, w: &mut simcore::SnapWriter) {
+    w.u64(c.instructions);
+    w.u64(c.cycles);
+    w.u64(c.kernel_cycles);
+    w.u64(c.l2_misses);
+    w.u64(c.l3_misses);
+    w.u64(c.branch_mispredicts);
+    w.u64(c.frontend_stall_cycles);
+    w.u64(c.context_switches);
+    w.u64(c.migrations);
+}
+
+fn load_counters(
+    r: &mut simcore::SnapReader<'_>,
+) -> Result<PerfCounters, simcore::SnapError> {
+    let mut c = PerfCounters::new();
+    c.instructions = r.u64()?;
+    c.cycles = r.u64()?;
+    c.kernel_cycles = r.u64()?;
+    c.l2_misses = r.u64()?;
+    c.l3_misses = r.u64()?;
+    c.branch_mispredicts = r.u64()?;
+    c.frontend_stall_cycles = r.u64()?;
+    c.context_switches = r.u64()?;
+    c.migrations = r.u64()?;
+    Ok(c)
+}
+
+impl Metrics {
+    pub(crate) fn snap_save(&self, w: &mut simcore::SnapWriter) {
+        use simcore::Snap;
+        w.section("metrics");
+        self.window_start.save(w);
+        w.u64(self.completed);
+        self.latency.save(w);
+        self.latency_per_class.save(w);
+        w.usize(self.per_service.len());
+        for s in &self.per_service {
+            s.busy.save(w);
+            save_counters(&s.counters, w);
+            w.u64(s.jobs_completed);
+            s.queue_wait.save(w);
+            w.u64(s.timeouts);
+            w.u64(s.retries);
+            w.u64(s.fallbacks);
+            w.u64(s.breaker_opened);
+            w.u64(s.breaker_closed);
+            w.u64(s.policy_sheds);
+            w.u64(s.deferred);
+            w.u64(s.budget_denied);
+        }
+        self.busy_cpus.save(w);
+        self.completed_series.save(w);
+        w.u64(self.requests_timed_out);
+        w.u64(self.requests_shed);
+        w.u64(self.late_replies);
+        w.u64(self.replies_dropped);
+        w.u64(self.rejected_arrivals);
+        w.u64(self.overload.shed_queue_full);
+        w.u64(self.overload.shed_queue_deadline);
+        w.u64(self.overload.shed_concurrency);
+        w.u64(self.overload.shed_priority);
+        w.u64(self.overload.deferred);
+        w.u64(self.overload.budget_denied);
+        w.u64(self.overload.requests_shed_policy);
+        self.submitted_per_class.save(w);
+        self.failed_per_class.save(w);
+        self.completed_per_class_series.save(w);
+        w.u64(self.queued_jobs);
+        self.queue_depth_series.save(w);
+    }
+
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut simcore::SnapReader<'_>,
+    ) -> Result<(), simcore::SnapError> {
+        use simcore::{Snap, SnapError};
+        r.section("metrics")?;
+        self.window_start = simcore::SimTime::load(r)?;
+        self.completed = r.u64()?;
+        self.latency = LogHistogram::load(r)?;
+        self.latency_per_class = Vec::load(r)?;
+        let nservices = r.usize()?;
+        if nservices != self.per_service.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {nservices} services, app has {}",
+                self.per_service.len()
+            )));
+        }
+        for s in &mut self.per_service {
+            s.busy = TimeWeighted::load(r)?;
+            s.counters = load_counters(r)?;
+            s.jobs_completed = r.u64()?;
+            s.queue_wait = LogHistogram::load(r)?;
+            s.timeouts = r.u64()?;
+            s.retries = r.u64()?;
+            s.fallbacks = r.u64()?;
+            s.breaker_opened = r.u64()?;
+            s.breaker_closed = r.u64()?;
+            s.policy_sheds = r.u64()?;
+            s.deferred = r.u64()?;
+            s.budget_denied = r.u64()?;
+        }
+        self.busy_cpus = TimeWeighted::load(r)?;
+        self.completed_series = TimeSeries::load(r)?;
+        self.requests_timed_out = r.u64()?;
+        self.requests_shed = r.u64()?;
+        self.late_replies = r.u64()?;
+        self.replies_dropped = r.u64()?;
+        self.rejected_arrivals = r.u64()?;
+        self.overload = OverloadTotals {
+            shed_queue_full: r.u64()?,
+            shed_queue_deadline: r.u64()?,
+            shed_concurrency: r.u64()?,
+            shed_priority: r.u64()?,
+            deferred: r.u64()?,
+            budget_denied: r.u64()?,
+            requests_shed_policy: r.u64()?,
+        };
+        self.submitted_per_class = Vec::load(r)?;
+        self.failed_per_class = Vec::load(r)?;
+        self.completed_per_class_series = Vec::load(r)?;
+        self.queued_jobs = r.u64()?;
+        self.queue_depth_series = TimeSeries::load(r)?;
+        Ok(())
+    }
+}
+
 /// Per-service results in a [`RunReport`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServiceReport {

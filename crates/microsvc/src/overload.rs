@@ -367,6 +367,81 @@ impl OverloadParams {
     }
 }
 
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for ShedReason {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            ShedReason::QueueFull => 0,
+            ShedReason::QueueDeadline => 1,
+            ShedReason::Concurrency => 2,
+            ShedReason::Priority => 3,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => ShedReason::QueueFull,
+            1 => ShedReason::QueueDeadline,
+            2 => ShedReason::Concurrency,
+            3 => ShedReason::Priority,
+            other => {
+                return Err(SnapError::Corrupt(format!(
+                    "unknown ShedReason tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl RetryBudget {
+    /// Serializes the bucket level (the policy is configuration, rebuilt from
+    /// params on restore).
+    pub(crate) fn snap_save(&self, w: &mut SnapWriter) {
+        w.f64(self.tokens);
+    }
+
+    pub(crate) fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tokens = r.f64()?;
+        if !tokens.is_finite() || tokens < 0.0 || tokens > self.policy.cap {
+            return Err(SnapError::Corrupt(format!(
+                "retry-budget level {tokens} is outside [0, {}]",
+                self.policy.cap
+            )));
+        }
+        self.tokens = tokens;
+        Ok(())
+    }
+}
+
+impl AimdLimiter {
+    /// Serializes the control-loop state (the policy is configuration,
+    /// rebuilt from params on restore).
+    pub(crate) fn snap_save(&self, w: &mut SnapWriter) {
+        w.f64(self.limit);
+        w.f64(self.learned_baseline_ns);
+    }
+
+    pub(crate) fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let limit = r.f64()?;
+        let learned = r.f64()?;
+        if !limit.is_finite() || !(self.policy.min..=self.policy.max).contains(&limit) {
+            return Err(SnapError::Corrupt(format!(
+                "AIMD limit {limit} is outside [{}, {}]",
+                self.policy.min, self.policy.max
+            )));
+        }
+        if learned.is_nan() || learned < 0.0 {
+            return Err(SnapError::Corrupt(format!(
+                "learned baseline {learned}ns is not a valid sojourn"
+            )));
+        }
+        self.limit = limit;
+        self.learned_baseline_ns = learned;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -211,7 +211,49 @@ impl CircuitBreaker {
             self.probes_in_flight = 0;
         }
     }
+
+    /// Serializes the state machine (the policy is configuration, rebuilt
+    /// from params on restore).
+    pub(crate) fn snap_save(&self, w: &mut SnapWriter) {
+        w.u8(match self.state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        });
+        w.u32(self.consecutive_failures);
+        self.open_until.save(w);
+        w.u32(self.probes_in_flight);
+    }
+
+    pub(crate) fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let state = match r.u8()? {
+            0 => BreakerState::Closed,
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            other => {
+                return Err(SnapError::Corrupt(format!(
+                    "unknown BreakerState tag {other}"
+                )))
+            }
+        };
+        let consecutive_failures = r.u32()?;
+        let open_until = SimTime::load(r)?;
+        let probes_in_flight = r.u32()?;
+        if probes_in_flight > self.policy.half_open_probes {
+            return Err(SnapError::Corrupt(format!(
+                "{probes_in_flight} probes in flight, policy admits {}",
+                self.policy.half_open_probes
+            )));
+        }
+        self.state = state;
+        self.consecutive_failures = consecutive_failures;
+        self.open_until = open_until;
+        self.probes_in_flight = probes_in_flight;
+        Ok(())
+    }
 }
+
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Caller-side resilience configuration for the whole engine.
 ///

@@ -336,6 +336,127 @@ impl Tracer {
     pub fn traces(&self) -> &[RequestTrace] {
         &self.traces
     }
+
+    /// Serializes the full sampling state: mode, reservoir RNG position,
+    /// retained traces, and the in-flight index (sorted by request id for
+    /// byte stability).
+    pub(crate) fn snap_save(&self, w: &mut SnapWriter) {
+        w.section("tracer");
+        self.sample_every.save(w);
+        match &self.reservoir {
+            None => w.u8(0),
+            Some((capacity, rng)) => {
+                w.u8(1);
+                w.usize(*capacity);
+                rng.save(w);
+            }
+        }
+        w.u64(self.seen);
+        self.traces.save(w);
+        let mut keys: Vec<&u64> = self.index.keys().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for k in keys {
+            w.u64(*k);
+            w.usize(self.index[k]);
+        }
+    }
+
+    pub(crate) fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("tracer")?;
+        let sample_every = Option::<u64>::load(r)?;
+        let reservoir = match r.u8()? {
+            0 => None,
+            1 => {
+                let capacity = r.usize()?;
+                if capacity == 0 {
+                    return Err(SnapError::Corrupt(
+                        "reservoir capacity is zero".to_owned(),
+                    ));
+                }
+                Some((capacity, Rng::load(r)?))
+            }
+            other => {
+                return Err(SnapError::Corrupt(format!(
+                    "unknown reservoir tag {other}"
+                )))
+            }
+        };
+        let seen = r.u64()?;
+        let traces = Vec::<RequestTrace>::load(r)?;
+        let nindex = r.usize()?;
+        let mut index = simcore::DetHashMap::default();
+        for _ in 0..nindex {
+            let key = r.u64()?;
+            let slot = r.usize()?;
+            if slot >= traces.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "trace index for request {key} points at slot {slot}, \
+                     but only {} traces were captured",
+                    traces.len()
+                )));
+            }
+            index.insert(key, slot);
+        }
+        self.sample_every = sample_every;
+        self.reservoir = reservoir;
+        self.seen = seen;
+        self.traces = traces;
+        self.index = index;
+        Ok(())
+    }
+}
+
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Span {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.service.0);
+        w.u32(self.instance.0);
+        w.u8(self.depth);
+        w.u8(self.attempt);
+        self.fault.save(w);
+        self.enqueued.save(w);
+        self.started.save(w);
+        self.finished.save(w);
+        self.cpu_time.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Span {
+            service: ServiceId(r.u32()?),
+            instance: InstanceId(r.u32()?),
+            depth: r.u8()?,
+            attempt: r.u8()?,
+            fault: Option::load(r)?,
+            enqueued: SimTime::load(r)?,
+            started: SimTime::load(r)?,
+            finished: SimTime::load(r)?,
+            cpu_time: SimDuration::load(r)?,
+        })
+    }
+}
+
+impl Snap for RequestTrace {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.request.0);
+        w.u32(self.class.0);
+        self.submitted.save(w);
+        self.completed.save(w);
+        self.fault.save(w);
+        self.spans.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RequestTrace {
+            request: RequestId(r.u64()?),
+            class: RequestClassId(r.u32()?),
+            submitted: SimTime::load(r)?,
+            completed: Option::load(r)?,
+            fault: Option::load(r)?,
+            spans: Vec::load(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -481,6 +602,69 @@ mod tests {
         };
         assert_eq!(sample(7), sample(7));
         assert_ne!(sample(7), sample(8), "different seeds, different samples");
+    }
+
+    #[test]
+    fn snapshot_resumes_reservoir_sampling_identically() {
+        use simcore::snap::{SnapReader, SnapWriter};
+        let feed = |tracer: &mut Tracer, range: std::ops::Range<u64>| {
+            for i in range {
+                if tracer.maybe_open(i, RequestId(i), RequestClassId(0), t(i)) {
+                    let span = tracer
+                        .open_span(RequestId(i), ServiceId(0), InstanceId(0), 0, 0, t(i))
+                        .expect("traced");
+                    tracer.span_cpu(RequestId(i), span, SimDuration::from_micros(3));
+                    if i % 2 == 0 {
+                        tracer.complete(RequestId(i), t(i + 1));
+                    }
+                }
+            }
+        };
+        let mut straight = Tracer::reservoir(8, simcore::RngFactory::new(9).stream("trace"));
+        feed(&mut straight, 0..500);
+
+        let mut first_half = Tracer::reservoir(8, simcore::RngFactory::new(9).stream("trace"));
+        feed(&mut first_half, 0..250);
+        let mut w = SnapWriter::new();
+        first_half.snap_save(&mut w);
+        let bytes = w.finish();
+        // Restore into a differently-seeded tracer: every field must come
+        // from the snapshot, including the RNG position.
+        let mut resumed = Tracer::reservoir(8, simcore::RngFactory::new(1).stream("trace"));
+        let mut r = SnapReader::new(&bytes).unwrap();
+        resumed.snap_restore(&mut r).expect("restores");
+        feed(&mut resumed, 250..500);
+
+        assert_eq!(resumed.traces(), straight.traces());
+        // Byte stability: snapshot of the restored tracer matches a fresh
+        // snapshot of the straight run's first half.
+        let mut reload = Tracer::new(None);
+        let mut r2 = SnapReader::new(&bytes).unwrap();
+        reload.snap_restore(&mut r2).expect("restores");
+        let mut w2 = SnapWriter::new();
+        reload.snap_save(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
+    fn snapshot_rejects_dangling_trace_index() {
+        use simcore::snap::{SnapError, SnapReader, SnapWriter};
+        let mut w = SnapWriter::new();
+        w.section("tracer");
+        Some(1u64).save(&mut w); // sample_every
+        w.u8(0); // no reservoir
+        w.u64(0); // seen
+        Vec::<RequestTrace>::new().save(&mut w); // no traces …
+        w.usize(1); // … but one index entry
+        w.u64(7);
+        w.usize(0);
+        let bytes = w.finish();
+        let mut tracer = Tracer::new(None);
+        let mut r = SnapReader::new(&bytes).unwrap();
+        match tracer.snap_restore(&mut r) {
+            Err(SnapError::Corrupt(msg)) => assert!(msg.contains("slot"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

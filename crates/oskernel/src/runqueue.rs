@@ -10,8 +10,8 @@ use std::collections::BTreeSet;
 /// sequence breaks ties deterministically.
 #[derive(Debug, Clone, Default)]
 pub struct RunQueue {
-    queue: BTreeSet<(SimDuration, u64, TaskId)>,
-    next_arrival: u64,
+    pub(crate) queue: BTreeSet<(SimDuration, u64, TaskId)>,
+    pub(crate) next_arrival: u64,
 }
 
 impl RunQueue {

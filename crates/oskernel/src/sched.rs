@@ -4,6 +4,7 @@ use crate::runqueue::RunQueue;
 use crate::task::{Task, TaskId, TaskState};
 use cputopo::{CpuId, CpuSet, Topology};
 use serde::{Deserialize, Serialize};
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use simcore::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -489,6 +490,127 @@ impl Scheduler {
             })
             .expect("affinity validated non-empty")
     }
+
+    // ---- snapshot ----
+
+    /// Serializes the scheduler's mutable state: tasks (including runtime
+    /// affinity changes), runqueues, the running table, and counters. The
+    /// topology and params are *not* captured — a restored scheduler must be
+    /// constructed over the same machine first.
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.section("scheduler");
+        w.usize(self.tasks.len());
+        for t in &self.tasks {
+            w.u8(match t.state {
+                TaskState::Runnable => 0,
+                TaskState::Running => 1,
+                TaskState::Blocked => 2,
+                TaskState::Terminated => 3,
+            });
+            let mask: Vec<u32> = t.affinity.iter().map(|c| c.0).collect();
+            mask.save(w);
+            t.cpu.map(|c| c.0).save(w);
+            t.last_cpu.map(|c| c.0).save(w);
+            t.vruntime.save(w);
+        }
+        w.usize(self.runqueues.len());
+        for rq in &self.runqueues {
+            let entries: Vec<(SimDuration, u64, u64)> =
+                rq.queue.iter().map(|&(v, s, t)| (v, s, t.0)).collect();
+            entries.save(w);
+            w.u64(rq.next_arrival);
+        }
+        let running: Vec<Option<u64>> = self.running.iter().map(|t| t.map(|t| t.0)).collect();
+        running.save(w);
+        w.usize(self.queued_total);
+        w.u64(self.stats.wakeups);
+        w.u64(self.stats.context_switches);
+        w.u64(self.stats.migrations);
+        w.u64(self.stats.steals);
+    }
+
+    /// Restores state captured by [`Scheduler::snap_save`] into a scheduler
+    /// freshly built over the same topology and params.
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("scheduler")?;
+        let ncpus = self.runqueues.len();
+        let ntasks = r.usize()?;
+        let mut tasks = Vec::with_capacity(ntasks.min(1 << 24));
+        for _ in 0..ntasks {
+            let state = match r.u8()? {
+                0 => TaskState::Runnable,
+                1 => TaskState::Running,
+                2 => TaskState::Blocked,
+                3 => TaskState::Terminated,
+                other => {
+                    return Err(SnapError::Corrupt(format!("unknown task state {other}")));
+                }
+            };
+            let mask = Vec::<u32>::load(r)?;
+            let affinity: CpuSet = mask.into_iter().map(CpuId).collect();
+            if affinity.is_empty() || !affinity.is_subset(self.topo.all_cpus()) {
+                return Err(SnapError::Corrupt(
+                    "task affinity does not fit the machine".into(),
+                ));
+            }
+            let cpu = Option::<u32>::load(r)?.map(CpuId);
+            let last_cpu = Option::<u32>::load(r)?.map(CpuId);
+            tasks.push(Task {
+                state,
+                affinity,
+                cpu,
+                last_cpu,
+                vruntime: SimDuration::load(r)?,
+            });
+        }
+        let nqueues = r.usize()?;
+        if nqueues != ncpus {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {nqueues} runqueues, machine has {ncpus} CPUs"
+            )));
+        }
+        let mut runqueues = Vec::with_capacity(ncpus);
+        for _ in 0..ncpus {
+            let entries = Vec::<(SimDuration, u64, u64)>::load(r)?;
+            let queue: std::collections::BTreeSet<_> = entries
+                .into_iter()
+                .map(|(v, s, t)| (v, s, TaskId(t)))
+                .collect();
+            runqueues.push(RunQueue {
+                queue,
+                next_arrival: r.u64()?,
+            });
+        }
+        let running_raw = Vec::<Option<u64>>::load(r)?;
+        if running_raw.len() != ncpus {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot running table covers {} CPUs, machine has {ncpus}",
+                running_raw.len()
+            )));
+        }
+        let running: Vec<Option<TaskId>> = running_raw
+            .into_iter()
+            .map(|t| t.map(TaskId))
+            .collect();
+        for t in running.iter().flatten() {
+            if t.index() >= tasks.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "running table names {t} beyond the task table"
+                )));
+            }
+        }
+        self.tasks = tasks;
+        self.runqueues = runqueues;
+        self.running = running;
+        self.queued_total = r.usize()?;
+        self.stats = SchedStats {
+            wakeups: r.u64()?,
+            context_switches: r.u64()?,
+            migrations: r.u64()?,
+            steals: r.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -729,6 +851,74 @@ mod tests {
     fn oob_affinity_rejected() {
         let (_, mut sched) = small();
         sched.spawn([CpuId(999)].into_iter().collect());
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_placement_and_fairness() {
+        let (topo, mut sched) = small();
+        let mask: CpuSet = [CpuId(0), CpuId(1)].into_iter().collect();
+        let tasks: Vec<TaskId> = (0..6)
+            .map(|i| {
+                let t = sched.spawn(if i < 4 {
+                    mask.clone()
+                } else {
+                    topo.all_cpus().clone()
+                });
+                sched.account(t, SimDuration::from_micros(100 * i));
+                sched.wake(t, SimTime::ZERO);
+                t
+            })
+            .collect();
+        sched.block(tasks[0]);
+        sched.terminate(tasks[5]);
+
+        let mut w = SnapWriter::new();
+        sched.snap_save(&mut w);
+        let bytes = w.finish();
+        let mut restored = Scheduler::new(topo.clone(), SchedParams::default());
+        let mut r = SnapReader::new(&bytes).unwrap();
+        restored.snap_restore(&mut r).expect("restores");
+
+        assert_eq!(restored.stats(), sched.stats());
+        for &t in &tasks {
+            assert_eq!(restored.state(t), sched.state(t));
+            assert_eq!(restored.cpu_of(t), sched.cpu_of(t));
+            assert_eq!(restored.last_cpu_of(t), sched.last_cpu_of(t));
+            assert_eq!(restored.affinity_of(t), sched.affinity_of(t));
+        }
+        // The restored scheduler makes the same decisions from here on.
+        let a = sched.block(tasks[1]);
+        let b = restored.block(tasks[1]);
+        assert_eq!(a, b, "post-restore promotion must match");
+        assert_eq!(
+            sched.wake_outcome(tasks[0]),
+            restored.wake_outcome(tasks[0])
+        );
+        // Re-snapshotting the restored scheduler is byte-stable.
+        let mut w2 = SnapWriter::new();
+        restored.snap_save(&mut w2);
+        let mut w3 = SnapWriter::new();
+        sched.snap_save(&mut w3);
+        assert_eq!(w2.finish(), w3.finish());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_machine() {
+        let (_, sched) = small();
+        let mut w = SnapWriter::new();
+        sched.snap_save(&mut w);
+        let bytes = w.finish();
+        let tiny = Arc::new(Topology::desktop_8c());
+        // Same topology type but pretend a different CPU count by truncating
+        // the runqueue section: load into a scheduler with fewer CPUs.
+        let mut other = Scheduler::new(tiny, SchedParams::default());
+        other.runqueues.truncate(4);
+        other.running.truncate(4);
+        let mut r = SnapReader::new(&bytes).unwrap();
+        match other.snap_restore(&mut r) {
+            Err(SnapError::Corrupt(msg)) => assert!(msg.contains("runqueues"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

@@ -540,10 +540,21 @@ impl<E> Calendar<E> {
 
     /// Re-distributes one slot's entries into lower levels relative to the
     /// current base, reclaiming tombstones along the way.
+    ///
+    /// Entries are processed in (time, seq) order, *not* slot insertion
+    /// order. Pop order never depends on slot order (ready batches are
+    /// sorted), but the order tombstones hit the free list here decides
+    /// which slab slots later events reuse — and a snapshot-restored wheel
+    /// cannot reproduce insertion order. Sorting makes the recycle sequence
+    /// a pure function of the entries themselves, so a restored calendar
+    /// stays byte-identical to the live one it was taken from.
     fn cascade(&mut self, level: usize, slot: usize) {
         debug_assert!(self.scratch.is_empty());
         std::mem::swap(&mut self.scratch, &mut self.levels[level].slots[slot]);
         self.levels[level].unmark(slot);
+        let slab = &self.slab;
+        self.scratch
+            .sort_unstable_by_key(|&i| (slab[i as usize].at, slab[i as usize].seq));
         for i in 0..self.scratch.len() {
             let idx = self.scratch[i];
             let e = &self.slab[idx as usize];
@@ -582,6 +593,90 @@ impl<E> Calendar<E> {
             let kb = (slab[b as usize].at, slab[b as usize].seq);
             kb.cmp(&ka)
         });
+    }
+}
+
+// ------------------------------------------------------------- snapshotting
+
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for EventToken {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(EventToken(r.u64()?))
+    }
+}
+
+/// The calendar serializes its slab *exactly* — entry order, generations,
+/// free list, and the sorted `ready` batch — so outstanding [`EventToken`]s
+/// held elsewhere in a snapshot stay valid after restore. Only the wheel
+/// levels and the overflow heap are rebuilt: given the restored `base`, an
+/// entry's (level, slot) placement is a pure function of its timestamp
+/// (`insert_wheel`), and pop order within a slot is recovered by the sorted
+/// refill, so the rebuilt calendar replays the exact event sequence.
+impl<E: Snap> Snap for Calendar<E> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section("calendar");
+        w.u64(self.now.as_nanos());
+        w.u64(self.base);
+        w.u64(self.next_seq);
+        w.usize(self.live);
+        w.usize(self.high_water);
+        w.usize(self.slab.len());
+        for e in &self.slab {
+            w.u64(e.at);
+            w.u64(e.seq);
+            w.u32(e.gen);
+            w.bool(e.cancelled);
+            e.payload.save(w);
+        }
+        self.free.save(w);
+        self.ready.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.section("calendar")?;
+        let mut cal = Calendar::new();
+        cal.now = SimTime::from_nanos(r.u64()?);
+        cal.base = r.u64()?;
+        cal.next_seq = r.u64()?;
+        cal.live = r.usize()?;
+        cal.high_water = r.usize()?;
+        let n = r.usize()?;
+        cal.slab = Vec::with_capacity(n);
+        for _ in 0..n {
+            cal.slab.push(Entry {
+                at: r.u64()?,
+                seq: r.u64()?,
+                gen: r.u32()?,
+                cancelled: r.bool()?,
+                payload: Option::<E>::load(r)?,
+            });
+        }
+        cal.free = Vec::<u32>::load(r)?;
+        cal.ready = Vec::<u32>::load(r)?;
+        let mut in_wheel = vec![true; n];
+        for &idx in cal.free.iter().chain(cal.ready.iter()) {
+            let slot = in_wheel
+                .get_mut(idx as usize)
+                .ok_or_else(|| SnapError::Corrupt(format!("calendar index {idx} out of range")))?;
+            *slot = false;
+        }
+        for (idx, pending) in in_wheel.into_iter().enumerate() {
+            if !pending {
+                continue;
+            }
+            let at = cal.slab[idx].at;
+            if at < cal.base {
+                return Err(SnapError::Corrupt(format!(
+                    "calendar entry {idx} is before the wheel base but not in ready"
+                )));
+            }
+            cal.insert_wheel(idx as u32, at);
+        }
+        Ok(cal)
     }
 }
 
@@ -828,5 +923,105 @@ mod tests {
         assert_eq!(cal.pop().unwrap().1, 'b');
         assert_eq!(cal.pop().unwrap().1, 'z');
         assert_eq!(cal.pop(), None);
+    }
+
+    /// A calendar mid-simulation: events in ready, wheel slots at several
+    /// levels, the overflow heap, plus tombstones and recycled slots.
+    fn busy_calendar() -> (Calendar<u64>, Vec<EventToken>) {
+        let mut cal = Calendar::new();
+        let mut tokens = Vec::new();
+        cal.schedule(SimTime::from_nanos(1), 0);
+        cal.pop(); // advance base so late schedules land in ready
+        for i in 0..200u64 {
+            let at = SimTime::from_nanos(3 + i * 7919); // spans several slots
+            tokens.push(cal.schedule(at, i));
+        }
+        cal.schedule(SimTime::from_micros(800), 900); // higher wheel level
+        cal.schedule(SimTime::from_secs(7200), 901); // overflow heap
+        cal.schedule(SimTime::from_nanos(2), 902); // ready (before base)
+        for i in (0..200).step_by(3) {
+            assert!(cal.cancel(tokens[i]), "tombstone setup");
+        }
+        for _ in 0..25 {
+            cal.pop(); // recycle some slots, bump generations
+        }
+        (cal, tokens)
+    }
+
+    #[test]
+    fn snapshot_round_trip_replays_identical_event_sequence() {
+        let (cal, _) = busy_calendar();
+        let (mut original, _) = busy_calendar();
+        let mut w = crate::snap::SnapWriter::new();
+        cal.save(&mut w);
+        let bytes = w.finish();
+        let mut r = crate::snap::SnapReader::new(&bytes).expect("valid snapshot");
+        let mut restored = Calendar::<u64>::load(&mut r).expect("loads");
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.now(), original.now());
+        assert_eq!(restored.high_water(), original.high_water());
+        let a: Vec<_> = std::iter::from_fn(|| original.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| restored.pop()).collect();
+        assert_eq!(a, b, "restored calendar must replay the exact sequence");
+    }
+
+    #[test]
+    fn snapshot_keeps_outstanding_tokens_valid() {
+        let (cal, tokens) = busy_calendar();
+        let (mut original, orig_tokens) = busy_calendar();
+        let mut w = crate::snap::SnapWriter::new();
+        cal.save(&mut w);
+        let bytes = w.finish();
+        let mut r = crate::snap::SnapReader::new(&bytes).expect("valid snapshot");
+        let mut restored = Calendar::<u64>::load(&mut r).expect("loads");
+        // Cancel the same token set on both sides; results must agree (some
+        // are live, some already fired or were cancelled before snapshot).
+        for (t, o) in tokens.iter().zip(orig_tokens.iter()) {
+            assert_eq!(restored.cancel(*t), original.cancel(*o));
+        }
+        let a: Vec<_> = std::iter::from_fn(|| original.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| restored.pop()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_of_restored_calendar_is_byte_identical() {
+        let (cal, _) = busy_calendar();
+        let mut w = crate::snap::SnapWriter::new();
+        cal.save(&mut w);
+        let first = w.finish();
+        let mut r = crate::snap::SnapReader::new(&first).expect("valid");
+        let restored = Calendar::<u64>::load(&mut r).expect("loads");
+        let mut w2 = crate::snap::SnapWriter::new();
+        restored.save(&mut w2);
+        assert_eq!(w2.finish(), first, "snapshot→load→snapshot must be stable");
+    }
+
+    #[test]
+    fn corrupt_ready_index_is_rejected() {
+        let (cal, _) = busy_calendar();
+        let mut w = crate::snap::SnapWriter::new();
+        cal.save(&mut w);
+        // Append a bogus trailing ready index by re-writing with a bad list:
+        // simplest corruption that passes the checksum is a hand-built
+        // buffer, so write one directly.
+        let mut w = crate::snap::SnapWriter::new();
+        w.section("calendar");
+        w.u64(0); // now
+        w.u64(0); // base
+        w.u64(1); // next_seq
+        w.usize(1); // live
+        w.usize(1); // high_water
+        w.usize(0); // empty slab …
+        Vec::<u32>::new().save(&mut w);
+        vec![7u32].save(&mut w); // … but ready names entry 7
+        let bytes = w.finish();
+        let mut r = crate::snap::SnapReader::new(&bytes).expect("envelope ok");
+        match Calendar::<u64>::load(&mut r) {
+            Err(crate::snap::SnapError::Corrupt(msg)) => {
+                assert!(msg.contains("out of range"), "got: {msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 }

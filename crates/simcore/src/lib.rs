@@ -71,10 +71,12 @@ pub mod detmap;
 pub mod dist;
 pub mod rng;
 pub mod series;
+pub mod snap;
 pub mod stats;
 pub mod time;
 
 pub use calendar::{Calendar, EventToken};
 pub use detmap::{DetHashMap, DetHashSet, DetState};
 pub use rng::{Rng, RngFactory};
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

@@ -152,6 +152,27 @@ impl Rng {
     pub fn fork(&mut self) -> Rng {
         Rng::seed_from(self.next_u64())
     }
+
+    /// Deterministically perturbs the generator's state with `salt`.
+    ///
+    /// The new state is a function of *both* the current state and the salt,
+    /// so branching a snapshot with two different salts yields two streams
+    /// that diverge immediately, while the same salt applied to the same
+    /// state always lands on the same stream.
+    pub fn perturb(&mut self, salt: u64) {
+        let mut sm = salt;
+        for word in &mut self.s {
+            *word ^= splitmix64(&mut sm);
+        }
+        if self.s == [0; 4] {
+            // The XOR happened to cancel everything out; refill from the
+            // salt stream so we never sit on the xoshiro fixed point.
+            for word in &mut self.s {
+                *word = splitmix64(&mut sm);
+            }
+            self.s[3] |= 1;
+        }
+    }
 }
 
 /// Derives independent, reproducible [`Rng`] streams by name.
@@ -200,6 +221,29 @@ impl RngFactory {
         // Jump `index` times through fresh seeds rather than sharing a state.
         let mut sm = base.next_u64() ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Rng::seed_from(splitmix64(&mut sm))
+    }
+}
+
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Rng {
+    fn save(&self, w: &mut SnapWriter) {
+        for word in &self.s {
+            w.u64(*word);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        if s == [0; 4] {
+            return Err(SnapError::Corrupt(
+                "rng state is all zeros (a xoshiro fixed point)".into(),
+            ));
+        }
+        Ok(Rng { s })
     }
 }
 
@@ -336,5 +380,55 @@ mod tests {
             .filter(|_| parent.next_u64() == child.next_u64())
             .count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn perturb_is_deterministic_and_salt_sensitive() {
+        let base = {
+            let mut r = Rng::seed_from(77);
+            for _ in 0..50 {
+                r.next_u64();
+            }
+            r
+        };
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.perturb(0xDEAD_BEEF);
+        b.perturb(0xDEAD_BEEF);
+        assert_eq!(a, b, "same state + same salt must agree");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+
+        let mut c = base.clone();
+        let mut d = base.clone();
+        c.perturb(1);
+        d.perturb(2);
+        let same = (0..64).filter(|_| c.next_u64() == d.next_u64()).count();
+        assert_eq!(same, 0, "different salts must diverge");
+
+        let mut e = base.clone();
+        e.perturb(3);
+        let mut untouched = base.clone();
+        let same = (0..64)
+            .filter(|_| e.next_u64() == untouched.next_u64())
+            .count();
+        assert_eq!(same, 0, "perturbed stream must leave the original");
+    }
+
+    #[test]
+    fn snapshot_resumes_the_exact_stream() {
+        let mut rng = Rng::seed_from(4242);
+        for _ in 0..100 {
+            rng.next_u64(); // advance to mid-stream
+        }
+        let mut w = SnapWriter::new();
+        rng.save(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let mut restored = Rng::load(&mut r).unwrap();
+        for _ in 0..100 {
+            assert_eq!(restored.next_u64(), rng.next_u64());
+        }
     }
 }

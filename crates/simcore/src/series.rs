@@ -180,6 +180,53 @@ impl TimeSeries {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Agg {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            Agg::Sum => 0,
+            Agg::Mean => 1,
+            Agg::Max => 2,
+        });
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Agg::Sum),
+            1 => Ok(Agg::Mean),
+            2 => Ok(Agg::Max),
+            other => Err(SnapError::Corrupt(format!("unknown Agg tag {other}"))),
+        }
+    }
+}
+
+impl Snap for TimeSeries {
+    fn save(&self, w: &mut SnapWriter) {
+        self.window.save(w);
+        self.agg.save(w);
+        self.buckets.save(w);
+        self.origin.save(w);
+        w.bool(self.started);
+        w.usize(self.max_buckets);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let window = SimDuration::load(r)?;
+        if window.is_zero() {
+            return Err(SnapError::Corrupt("time series window is zero".into()));
+        }
+        Ok(TimeSeries {
+            window,
+            agg: Agg::load(r)?,
+            buckets: Vec::load(r)?,
+            origin: SimTime::load(r)?,
+            started: r.bool()?,
+            max_buckets: r.usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +345,24 @@ mod tests {
         assert!(ts.is_empty());
         assert_eq!(ts.len(), 0);
         assert!(ts.points().is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_keeps_coarsening_state() {
+        use crate::snap::{Snap, SnapReader, SnapWriter};
+        let mut ts = TimeSeries::bounded(SimDuration::from_millis(10), Agg::Mean, 4);
+        for i in 0..40u64 {
+            ts.record(ms(i * 10 + 3), (i % 5) as f64);
+        }
+        let mut w = SnapWriter::new();
+        ts.save(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let mut restored = TimeSeries::load(&mut r).unwrap();
+        assert_eq!(restored, ts);
+        // Continuing both series stays in lockstep (same width, same origin).
+        ts.record(ms(500), 9.0);
+        restored.record(ms(500), 9.0);
+        assert_eq!(restored.points(), ts.points());
     }
 }

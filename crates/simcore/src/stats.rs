@@ -435,6 +435,90 @@ impl RateMeter {
     }
 }
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Welford {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Welford {
+            n: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        })
+    }
+}
+
+impl Snap for LogHistogram {
+    fn save(&self, w: &mut SnapWriter) {
+        self.counts.save(w);
+        w.u64(self.total);
+        w.u128(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let counts = Vec::<u64>::load(r)?;
+        let expected = LogHistogram::new().counts.len();
+        if counts.len() != expected {
+            return Err(SnapError::Corrupt(format!(
+                "histogram has {} buckets, this build uses {expected}",
+                counts.len()
+            )));
+        }
+        Ok(LogHistogram {
+            counts,
+            total: r.u64()?,
+            sum: r.u128()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        })
+    }
+}
+
+impl Snap for TimeWeighted {
+    fn save(&self, w: &mut SnapWriter) {
+        self.start.save(w);
+        self.last_change.save(w);
+        w.f64(self.level);
+        w.f64(self.integral);
+        w.f64(self.peak);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TimeWeighted {
+            start: SimTime::load(r)?,
+            last_change: SimTime::load(r)?,
+            level: r.f64()?,
+            integral: r.f64()?,
+            peak: r.f64()?,
+        })
+    }
+}
+
+impl Snap for RateMeter {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.count);
+        self.window_start.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RateMeter {
+            count: r.u64()?,
+            window_start: SimTime::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,5 +686,30 @@ mod tests {
         assert_eq!(m.rate_per_sec(SimTime::ZERO), 0.0);
         m.reset(SimTime::from_secs(2));
         assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn accumulators_snapshot_round_trip() {
+        let mut wf = Welford::new();
+        let mut hist = LogHistogram::new();
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        let mut rate = RateMeter::new(SimTime::ZERO);
+        for i in 1..500u64 {
+            wf.push((i as f64).sin() * 100.0);
+            hist.record(i * 997);
+            tw.set(SimTime::from_millis(i), (i % 7) as f64);
+            rate.tick();
+        }
+        let mut w = SnapWriter::new();
+        wf.save(&mut w);
+        hist.save(&mut w);
+        tw.save(&mut w);
+        rate.save(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert_eq!(Welford::load(&mut r).unwrap(), wf);
+        assert_eq!(LogHistogram::load(&mut r).unwrap(), hist);
+        assert_eq!(TimeWeighted::load(&mut r).unwrap(), tw);
+        assert_eq!(RateMeter::load(&mut r).unwrap(), rate);
     }
 }

@@ -66,6 +66,22 @@ impl Config {
             },
         );
         rules.insert(
+            "D5".to_owned(),
+            RuleCfg {
+                include_tests: false, // tests build throwaway state on purpose
+                // Only the simulation crates carry checkpointable state; the
+                // bench/tooling crates hold host-side state by design.
+                paths: vec![
+                    "crates/simcore/src/".to_owned(),
+                    "crates/oskernel/src/".to_owned(),
+                    "crates/microsvc/src/".to_owned(),
+                    "crates/loadgen/src/".to_owned(),
+                    "crates/storedb/src/".to_owned(),
+                ],
+                ..RuleCfg::default()
+            },
+        );
+        rules.insert(
             "H1".to_owned(),
             RuleCfg {
                 include_tests: true, // fences are in non-test code anyway
@@ -232,5 +248,12 @@ entries = [
         assert_eq!(cfg.rule("H2").paths, vec!["crates/simcore/src/time.rs"]);
         assert!(cfg.rule("D1").include_tests);
         assert!(!cfg.rule("D3").include_tests);
+        assert!(
+            cfg.rule("D5")
+                .paths
+                .iter()
+                .any(|p| p == "crates/simcore/src/"),
+            "D5 scopes to the simulation crates"
+        );
     }
 }

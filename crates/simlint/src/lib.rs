@@ -5,8 +5,9 @@
 //! *dynamically*, after a sweep has already run; simlint enforces the
 //! underlying discipline *statically*, at review time:
 //!
-//! * **D1–D4** — determinism hazards (std hash maps in sim state, wall-clock
-//!   reads, unlabeled RNG streams, order-sensitive parallel accumulation);
+//! * **D1–D5** — determinism hazards (std hash maps in sim state, wall-clock
+//!   reads, unlabeled RNG streams, order-sensitive parallel accumulation,
+//!   sim state held outside the snapshot registry);
 //! * **H1–H2** — hot-path invariants (no allocation inside slab fences, no
 //!   truncating casts in simulated-time arithmetic).
 //!

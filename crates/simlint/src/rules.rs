@@ -6,6 +6,7 @@
 //! | D2 | determinism | wall-clock reads (`Instant::now`, `SystemTime`) outside the perf-calibration allowlist: simulations must only read `SimTime` |
 //! | D3 | determinism | ad-hoc RNG construction (`Rng::seed_from`) bypassing the labeled-stream API (`RngFactory::stream`/`substream`): unlabeled streams shift when a new consumer appears |
 //! | D4 | determinism | compound float accumulation (`+=` on a captured binding) inside a `par::map` closure: cross-worker accumulation order is nondeterministic |
+//! | D5 | determinism | sim-state type (`Rng`, `Calendar`, running statistics) held in a sim-crate file with no snapshot plumbing: checkpoint/resume silently loses that state |
 //! | H1 | hot path | allocation-prone calls (`Vec::new`, `clone`, `format!`, …) inside a `// simlint: hotpath(begin/end)` fence: the slab request path must not allocate in steady state |
 //! | H2 | hot path | `as` integer casts in `simcore::time` arithmetic: truncation silently wraps simulated nanoseconds; use checked/asserted conversions |
 //!
@@ -47,6 +48,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "D4",
         summary: "order-sensitive accumulation inside a par::map closure",
         hint: "return per-item values and reduce the ordered result vector on the caller's thread",
+    },
+    RuleInfo {
+        id: "D5",
+        summary: "sim-state type held in a file with no snapshot plumbing (checkpoint/resume would lose it)",
+        hint: "give the owning struct snap_save/snap_restore and wire it into its parent's snapshot (see DESIGN.md \"Snapshot & branch\"), or waive derived state with simlint: allow(D5)",
     },
     RuleInfo {
         id: "H1",
@@ -373,6 +379,63 @@ fn assign_base(prefix: &str) -> Option<String> {
     }
 }
 
+/// D5: sim-state types held in a file with no snapshot plumbing.
+///
+/// The checkpoint layer (`simcore::snap`) can only restore state that some
+/// `snap_save`/`snap_restore` pair covers. A file that *owns* live sim state
+/// — an RNG stream, the calendar, a running statistic — but never touches
+/// the snapshot registry is state a checkpoint silently loses. Heuristic:
+/// if any code line mentions `SnapWriter`/`SnapReader` or `snap_save`, the
+/// file participates in the registry and its coverage is proven dynamically
+/// by the differential battery (`tests/snapshot.rs`); otherwise every field
+/// of a known stateful type is flagged.
+pub fn d5_unsnapshotted_state(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
+    const STATE_TYPES: &[&str] = &[
+        "Rng",
+        "Calendar",
+        "TimeSeries",
+        "TimeWeighted",
+        "RateMeter",
+        "Welford",
+        "LogHistogram",
+    ];
+    if !rule_in_scope(cfg, ctx.rel_path) {
+        return;
+    }
+    let participates = ctx.model.code.iter().any(|line| {
+        find_token(line, "SnapWriter").is_some()
+            || find_token(line, "SnapReader").is_some()
+            || find_token(line, "snap_save").is_some()
+    });
+    if participates {
+        return;
+    }
+    per_line_rule(ctx, cfg, "D5", out, |line| {
+        if line.contains("fn ") || line.contains("->") {
+            return None; // signatures borrow state; only fields *hold* it
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            return None; // imports name the type without holding it
+        }
+        for ty in STATE_TYPES {
+            let Some(at) = find_token(line, ty) else {
+                continue;
+            };
+            if line[at + ty.len()..].starts_with("::") {
+                continue; // path expression (e.g. a constructor), not a type
+            }
+            let before = line[..at].trim_end();
+            if before.ends_with(':') || before.ends_with('<') {
+                return Some(format!(
+                    "sim-state `{ty}` held in a file with no snapshot plumbing"
+                ));
+            }
+        }
+        None
+    });
+}
+
 /// H1: allocation-prone calls inside hotpath fences.
 pub fn h1_hotpath_alloc(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
     if !rule_in_scope(cfg, ctx.rel_path) {
@@ -455,6 +518,7 @@ pub fn run_all(ctx: &FileCtx, cfg: &crate::config::Config, out: &mut Vec<Finding
     d2_wall_clock(ctx, &cfg.rule("D2"), out);
     d3_unlabeled_rng(ctx, &cfg.rule("D3"), out);
     d4_parallel_accumulation(ctx, &cfg.rule("D4"), out);
+    d5_unsnapshotted_state(ctx, &cfg.rule("D5"), out);
     h1_hotpath_alloc(ctx, &cfg.rule("H1"), out);
     h2_time_casts(ctx, &cfg.rule("H2"), out);
 }

@@ -1,0 +1,11 @@
+//! D5 fixture: the same state, each field explicitly waived — scratch or
+//! derived state that a resume rebuilds rather than restores.
+
+pub struct Widget {
+    rng: Rng,            // simlint: allow(D5) — forked per call, never carried
+    history: TimeSeries, // simlint: allow(D5) — re-derived on restore
+}
+
+pub struct Meter {
+    rate: RateMeter, // simlint: allow(D5) — measurement-side only
+}

@@ -1,0 +1,10 @@
+//! D5 fixture: live sim state with no snapshot plumbing in the file.
+
+pub struct Widget {
+    rng: Rng,
+    history: TimeSeries,
+}
+
+pub struct Meter {
+    rate: RateMeter,
+}

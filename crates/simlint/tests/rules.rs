@@ -112,6 +112,38 @@ fn d4_silent_on_ordered_reduce_and_allow() {
 }
 
 #[test]
+fn d5_fires_on_unsnapshotted_state_in_sim_crates_only() {
+    // D5 is scoped to the simulation crates; the same source in bench or
+    // tooling code is silent.
+    let rel = "crates/simcore/src/widget.rs";
+    let (findings, json) = lint_fixture("d5_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "D5"));
+    assert_json_lines(&json, "D5", rel, &[4, 5, 9]);
+
+    let (elsewhere, _) = lint_fixture("d5_bad.rs", "crates/bench/src/lib.rs");
+    assert!(elsewhere.is_empty(), "D5 out of scope: {elsewhere:?}");
+}
+
+#[test]
+fn d5_respects_allow() {
+    let (findings, _) = lint_fixture("d5_allowed.rs", "crates/simcore/src/widget.rs");
+    assert!(findings.is_empty(), "allowlisted: {findings:?}");
+}
+
+#[test]
+fn d5_skips_files_that_participate_in_the_snapshot_registry() {
+    // A file carrying any snapshot plumbing is covered dynamically by the
+    // differential battery (tests/snapshot.rs), not flagged statically.
+    let cfg = Config::builtin();
+    let source = format!(
+        "{}\nimpl Widget {{\n    pub fn snap_save(&self) {{}}\n}}\n",
+        fixture("d5_bad.rs")
+    );
+    let findings = lint_source("crates/simcore/src/widget.rs", &source, &cfg);
+    assert!(findings.is_empty(), "registered file: {findings:?}");
+}
+
+#[test]
 fn h1_fires_inside_fence_only() {
     let rel = "crates/x/src/lib.rs";
     let (findings, json) = lint_fixture("h1_bad.rs", rel);

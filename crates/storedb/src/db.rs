@@ -132,6 +132,32 @@ impl Database {
     }
 }
 
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Database {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section("database");
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort_unstable();
+        w.usize(names.len());
+        for name in names {
+            w.str(name);
+            self.tables[name].save(w);
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.section("database")?;
+        let ntables = r.usize()?;
+        let mut tables = DetHashMap::default();
+        for _ in 0..ntables {
+            let name = r.str()?;
+            tables.insert(name, Table::load(r)?);
+        }
+        Ok(Database { tables })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +177,67 @@ mod tests {
         assert_eq!(db.row_count("a").expect("exists"), 1);
         assert_eq!(db.get("a", 1).expect("row").0.values[0], Value::Int(10));
         assert!(matches!(db.get("zzz", 1), Err(StoreError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_stable_and_query_identical() {
+        use simcore::snap::{SnapReader, SnapWriter};
+        let mut db = Database::new();
+        db.create_table(Schema::new("products", &["category", "price"]).index_on("category"))
+            .expect("fresh");
+        db.create_table(Schema::new("users", &["name"])).expect("fresh");
+        for i in 0..40u64 {
+            db.insert(
+                "products",
+                i,
+                vec![Value::Int((i % 4) as i64), Value::Int(100 + i as i64)],
+            )
+            .expect("insert");
+        }
+        db.insert("users", 1, vec![Value::text("alice")])
+            .expect("insert");
+        db.update("products", 7, "category", Value::Int(9))
+            .expect("update");
+
+        let mut w = SnapWriter::new();
+        db.save(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let restored = Database::load(&mut r).expect("loads");
+        assert_eq!(restored.table_names(), db.table_names());
+        assert_eq!(restored.row_count("products"), db.row_count("products"));
+        // Queries over the restored database give identical rows AND costs.
+        assert_eq!(
+            restored.select_eq("products", "category", &Value::Int(2), 0, 10),
+            db.select_eq("products", "category", &Value::Int(2), 0, 10)
+        );
+        assert_eq!(
+            restored.count_eq("products", "category", &Value::Int(9)),
+            db.count_eq("products", "category", &Value::Int(9))
+        );
+        let mut w2 = SnapWriter::new();
+        restored.save(&mut w2);
+        assert_eq!(w2.finish(), bytes, "snapshot→load→snapshot stable");
+    }
+
+    #[test]
+    fn snapshot_rejects_dangling_index() {
+        use simcore::snap::{SnapError, SnapReader, SnapWriter};
+        let mut w = SnapWriter::new();
+        w.section("table");
+        Some(Schema::new("t", &["x"]).index_on("x")).save(&mut w);
+        w.usize(0); // no rows …
+        w.usize(1);
+        w.str("x");
+        w.usize(1);
+        Value::Int(1).save(&mut w);
+        vec![5u64].save(&mut w); // … but the index names row 5
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        match Table::load(&mut r) {
+            Err(SnapError::Corrupt(msg)) => assert!(msg.contains("missing row"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

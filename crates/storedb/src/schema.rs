@@ -69,6 +69,35 @@ impl Schema {
     }
 }
 
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Schema {
+    fn save(&self, w: &mut SnapWriter) {
+        w.str(&self.name);
+        self.columns.save(w);
+        self.indexed.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let name = r.str()?;
+        let columns = Vec::<String>::load(r)?;
+        let indexed = Vec::<String>::load(r)?;
+        if columns.is_empty() {
+            return Err(SnapError::Corrupt(format!("table {name:?} has no columns")));
+        }
+        if indexed.iter().any(|c| !columns.contains(c)) {
+            return Err(SnapError::Corrupt(format!(
+                "table {name:?} indexes a column it does not have"
+            )));
+        }
+        Ok(Schema {
+            name,
+            columns,
+            indexed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

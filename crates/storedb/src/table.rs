@@ -274,6 +274,71 @@ impl Table {
     }
 }
 
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Table {
+    /// Rows travel sorted by primary key and index routing sorted by column
+    /// name, so two logically equal tables snapshot to identical bytes
+    /// regardless of insertion history.
+    fn save(&self, w: &mut SnapWriter) {
+        w.section("table");
+        self.schema.save(w);
+        let mut keys: Vec<u64> = self.rows.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for key in keys {
+            w.u64(key);
+            self.rows[&key].save(w);
+        }
+        let mut cols: Vec<&String> = self.indexes.keys().collect();
+        cols.sort_unstable();
+        w.usize(cols.len());
+        for col in cols {
+            w.str(col);
+            let index = &self.indexes[col];
+            w.usize(index.len());
+            for (value, keys) in index {
+                value.save(w);
+                keys.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.section("table")?;
+        let schema = Option::<Schema>::load(r)?;
+        let nrows = r.usize()?;
+        let mut rows = DetHashMap::default();
+        for _ in 0..nrows {
+            let key = r.u64()?;
+            rows.insert(key, Vec::<Value>::load(r)?);
+        }
+        let ncols = r.usize()?;
+        let mut indexes = DetHashMap::default();
+        for _ in 0..ncols {
+            let col = r.str()?;
+            let nvalues = r.usize()?;
+            let mut index = BTreeMap::new();
+            for _ in 0..nvalues {
+                let value = Value::load(r)?;
+                let keys = Vec::<u64>::load(r)?;
+                if let Some(bad) = keys.iter().find(|k| !rows.contains_key(k)) {
+                    return Err(SnapError::Corrupt(format!(
+                        "index on {col:?} points at missing row {bad}"
+                    )));
+                }
+                index.insert(value, keys);
+            }
+            indexes.insert(col, index);
+        }
+        Ok(Table {
+            schema,
+            rows,
+            indexes,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,41 @@ impl From<f64> for Value {
     }
 }
 
+use simcore::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Value {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            Value::Int(v) => {
+                w.u8(0);
+                v.save(w);
+            }
+            Value::Float(v) => {
+                w.u8(1);
+                w.f64(*v);
+            }
+            Value::Text(s) => {
+                w.u8(2);
+                w.str(s);
+            }
+            Value::Blob(b) => {
+                w.u8(3);
+                w.bytes(b);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Value::Int(i64::load(r)?)),
+            1 => Ok(Value::Float(r.f64()?)),
+            2 => Ok(Value::Text(r.str()?)),
+            3 => Ok(Value::Blob(r.bytes()?.to_vec())),
+            other => Err(SnapError::Corrupt(format!("unknown Value tag {other}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

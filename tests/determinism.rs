@@ -40,6 +40,79 @@ fn experiment_harness_is_deterministic() {
     assert_eq!(a.uplift_pct, b.uplift_pct);
 }
 
+/// Negative path: determinism tests only prove something if a *perturbed*
+/// run actually changes the outcome. Branch a run at the warm-up point with
+/// a perturbed RNG stream and assert the golden hash of the report changes —
+/// if it didn't, the positive tests above would be vacuous.
+mod perturbation {
+    use scaleup::{placement::Policy, tuner, BranchOverrides, Lab};
+    use simcore::SimTime;
+    use teastore::TeaStore;
+
+    /// FNV-1a golden hash of the deterministic report fields.
+    fn golden_hash(r: &microsvc::RunReport) -> u64 {
+        let rendered = format!(
+            "{} {} {} {} {}",
+            r.completed,
+            r.events_processed,
+            r.mean_latency.as_nanos(),
+            r.latency_p99.as_nanos(),
+            r.throughput_rps.to_bits(),
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in rendered.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    #[test]
+    fn perturbing_one_rng_stream_mid_run_changes_the_golden_hash() {
+        let lab = Lab::small(42).with_users(64);
+        let store = TeaStore::with_demand_scale(0.25);
+        let replicas = tuner::proportional_replicas(store.app(), 12);
+        let placed = Policy::Unpinned.deploy(store.app(), &lab.topo, &replicas);
+        let bytes = lab.snapshot_app(
+            store.app(),
+            placed.deployment.clone(),
+            placed.lb,
+            SimTime::ZERO + lab.warmup,
+        );
+        // Control arm: an unperturbed resume replays the straight run.
+        let straight = lab.run_app(store.app(), placed.deployment.clone(), placed.lb);
+        let resumed = lab
+            .resume_app(store.app(), placed.deployment.clone(), placed.lb, &bytes)
+            .expect("resume from an in-process snapshot");
+        assert_eq!(
+            golden_hash(&straight),
+            golden_hash(&resumed),
+            "unperturbed resume must match the straight run"
+        );
+        // Perturbed arm: one salted reseed of the engine's RNG streams at
+        // the fork point must change the trajectory, and thus the hash.
+        let perturbed = lab
+            .branch_app(
+                store.app(),
+                placed.deployment,
+                placed.lb,
+                &bytes,
+                &BranchOverrides {
+                    reseed: Some(1),
+                    demand_scale: None,
+                },
+            )
+            .expect("branch from an in-process snapshot");
+        assert_ne!(
+            golden_hash(&straight),
+            golden_hash(&perturbed),
+            "a perturbed RNG stream must change the golden hash — \
+             otherwise the determinism tests prove nothing"
+        );
+        assert!(perturbed.completed > 0, "perturbed run must still work");
+    }
+}
+
 #[test]
 fn faulted_run_same_seed_bitwise_identical() {
     use microsvc::{FaultPlan, InstanceId, ResilienceParams};

@@ -98,6 +98,56 @@ fn e22_e23_quick_tables_match_golden_hashes() {
 }
 
 #[test]
+fn e20_e21_quick_tables_match_golden_hashes() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    let e20 = exp::e20(&config).table;
+    let e21 = exp::e21(&config).table;
+    // Recorded when the checkpoint/branch layer landed: the overload sweeps
+    // must not shift when the snapshot registry is present but unused.
+    assert_eq!(
+        fnv1a(&e20),
+        0x1c11_6acc_3d76_c5a7,
+        "E20 quick table drifted; new hash {:#018x}, table:\n{e20}",
+        fnv1a(&e20)
+    );
+    assert_eq!(
+        fnv1a(&e21),
+        0x21a6_7f22_ffd7_14b2,
+        "E21 quick table drifted; new hash {:#018x}, table:\n{e21}",
+        fnv1a(&e21)
+    );
+}
+
+#[test]
+fn e24_quick_rows_match_golden_hash() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    // E24's rendered table embeds wall-clock events/s, so pin the
+    // simulation-derived row fields instead of the table text.
+    let rows: Vec<_> = exp::e24(&config)
+        .rows
+        .iter()
+        .map(|p| {
+            (
+                p.users,
+                p.report.completed,
+                p.report.latency_p99,
+                p.report.events_processed,
+                p.bytes_per_user.to_bits(),
+            )
+        })
+        .collect();
+    let rendered = format!("{rows:?}");
+    assert_eq!(
+        fnv1a(&rendered),
+        0xec38_ee81_44b2_12ed,
+        "E24 quick rows drifted; new hash {:#018x}, rows:\n{rendered}",
+        fnv1a(&rendered)
+    );
+}
+
+#[test]
 fn mega_experiments_are_deterministic_at_any_worker_count() {
     let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let config = Config::quick(42);
