@@ -35,6 +35,7 @@ fn usage() -> ! {
          --budget N                             baseline instance budget (default 64)\n\
          --measure MS                           measurement window ms (default 1500)\n\
          --seed N                               master seed (default 42)\n\
+         --shards N                             parallel-in-run cells (default 1)\n\
          --cpus LIST                            confine all instances to a cpulist\n\
          --trace N                              sample every N-th request, print waterfalls\n\
          --plot                                 ASCII plot of per-window throughput"
@@ -88,6 +89,7 @@ struct Options {
     budget: usize,
     measure_ms: u64,
     seed: u64,
+    shards: u32,
     cpus: Option<String>,
     trace: Option<u64>,
     plot: bool,
@@ -103,6 +105,7 @@ fn parse_args() -> Options {
         budget: 64,
         measure_ms: 1500,
         seed: 42,
+        shards: 1,
         cpus: None,
         trace: None,
         plot: false,
@@ -126,6 +129,7 @@ fn parse_args() -> Options {
             "--budget" => opts.budget = value().parse().unwrap_or_else(|_| usage()),
             "--measure" => opts.measure_ms = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => opts.shards = value().parse().unwrap_or_else(|_| usage()),
             "--cpus" => opts.cpus = Some(value()),
             "--trace" => opts.trace = Some(value().parse().unwrap_or_else(|_| usage())),
             "--plot" => opts.plot = true,
@@ -198,7 +202,25 @@ fn main() {
         warmup: SimDuration::from_millis(750),
         measure: SimDuration::from_millis(opts.measure_ms),
         checkpoint: false,
+        shards: opts.shards.max(1),
+        shard_cross_permille: 50,
+        shard_latency: SimDuration::from_millis(1),
+        shard_workers: 0,
     };
+    if lab.shards > 1 {
+        // Sharded runs go through the lab's cell builder; per-request traces
+        // stay a serial-run feature for now.
+        if opts.trace.is_some() {
+            eprintln!("note: --trace is ignored with --shards > 1");
+        }
+        let report = lab.run_app(store.app(), deployment, lb);
+        println!("{}", report.summary());
+        println!(
+            "{} shards, {} events total",
+            lab.shards, report.events_processed
+        );
+        return;
+    }
     let mix = store.mix();
     let mut engine = Engine::new(
         topo,

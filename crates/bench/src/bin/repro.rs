@@ -29,8 +29,8 @@ use std::time::Instant;
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "a1",
-    "a2", "a3", "a4",
+    "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28",
+    "a1", "a2", "a3", "a4",
 ];
 
 fn list(json: bool) -> ! {
@@ -47,7 +47,7 @@ fn list(json: bool) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--jobs N] [--csv DIR] [--html FILE] [--gate BASELINE.json] <e1..e27 | a1..a4 | perf | snap | all>...\n\
+        "usage: repro [--quick] [--seed N] [--jobs N] [--shards N] [--csv DIR] [--html FILE] [--gate BASELINE.json] <e1..e28 | a1..a4 | perf | snap | all>...\n\
          e1  platform table          e8  placement comparison (+22% headline)\n\
          e2  TeaStore table          e9  latency at fixed load (−18% headline)\n\
          e3  load curve              e10 SMT study\n\
@@ -61,7 +61,10 @@ fn usage() -> ! {
          e21 retry-storm metastability  e22 brownout / priority shedding\n\
          e23 recovery hysteresis     e24 population scale-up 1k..1M\n\
          e25 trace memory/fidelity   e26 mega-scale overload (100k users)\n\
+         e27 warm-started sweeps     e28 shard-count scaling (events/s vs shards)\n\
          a1..a4 ablations\n\
+         --shards N runs every shardable experiment (see `list --json`) with\n\
+              N parallel-in-run cells; unshardable experiments ignore it\n\
          perf simulator self-benchmark (writes results/BENCH_simperf.json;\n\
               with --gate, fail if events/s regress vs the committed baseline)\n\
          lint static determinism & invariant pass (simlint; fails on findings)
@@ -75,6 +78,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed = 42u64;
+    let mut shards = 1u32;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut html_path: Option<std::path::PathBuf> = None;
     let mut gate_path: Option<std::path::PathBuf> = None;
@@ -98,6 +102,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
                 scaleup::par::set_jobs(jobs.max(1));
+            }
+            "--shards" => {
+                shards = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
             }
             "--csv" => {
                 csv_dir = Some(iter.next().map(Into::into).unwrap_or_else(|| usage()));
@@ -133,14 +144,23 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create CSV output directory");
     }
 
-    let config = if quick {
+    let mut config = if quick {
         Config::quick(seed)
     } else {
         Config::paper(seed)
     };
+    // Thread the shard count through the shared lab: every experiment whose
+    // runs route through `Lab::run_app`/`run_app_open` (the catalog's
+    // `shardable` entries) picks it up from there.
+    config.lab.shards = shards;
     println!(
-        "# repro: {} configuration, seed {seed}\n",
-        if quick { "quick" } else { "paper" }
+        "# repro: {} configuration, seed {seed}{}\n",
+        if quick { "quick" } else { "paper" },
+        if shards > 1 {
+            format!(", {shards} shards")
+        } else {
+            String::new()
+        }
     );
     let mut html = html_path.as_ref().map(|_| {
         scaleup::html::HtmlReport::new(&format!(
@@ -549,6 +569,46 @@ fn main() {
                     eprintln!("{}", r.table);
                     eprintln!("e27 FAILED: warm-started grid diverged from the cold run");
                     std::process::exit(1);
+                }
+                r.table
+            }
+            "e28" => {
+                let r = exp::e28(&config);
+                csv = Some(("e28_shard_scaling.csv".into(), exp::csv_e28(&r)));
+                if let Some(report) = html.as_mut() {
+                    let mut eps = scaleup::html::LineChart::new(
+                        "event rate vs shard count",
+                        "shards",
+                        "events/s",
+                    );
+                    let mut speedup = scaleup::html::LineChart::new(
+                        "speedup over the 1-shard arm vs shard count",
+                        "shards",
+                        "speedup",
+                    );
+                    let populations: Vec<u64> = {
+                        let mut v: Vec<u64> = r.rows.iter().map(|p| p.users).collect();
+                        v.dedup();
+                        v
+                    };
+                    for users in populations {
+                        let pts: Vec<&exp::ShardScalePoint> =
+                            r.rows.iter().filter(|p| p.users == users).collect();
+                        eps = eps.series(
+                            &format!("{users} users"),
+                            pts.iter()
+                                .map(|p| (f64::from(p.shards), p.events_per_sec))
+                                .collect(),
+                        );
+                        speedup = speedup.series(
+                            &format!("{users} users"),
+                            pts.iter()
+                                .map(|p| (f64::from(p.shards), p.speedup))
+                                .collect(),
+                        );
+                    }
+                    report.chart("E28: shard-count scaling — event rate", eps);
+                    report.chart("E28: shard-count scaling — speedup", speedup);
                 }
                 r.table
             }

@@ -7,9 +7,10 @@
 use cputopo::{enumerate, TopologyBuilder};
 use loadgen::ClosedLoop;
 use microsvc::{
-    AdmissionPolicy, AppSpec, BreakerPolicy, CallNode, Demand, Deployment, Engine, EngineParams,
-    FaultPlan, InstanceConfig, InstanceId, LbPolicy, OverloadParams, PriorityPolicy,
-    ResilienceParams, RetryBudgetPolicy, RetryPolicy, RunReport, ServiceId, ServiceSpec, Tracer,
+    mix_seed, AdmissionPolicy, AppSpec, BreakerPolicy, CallNode, Demand, Deployment, Engine,
+    EngineParams, FaultPlan, InstanceConfig, InstanceId, LbPolicy, OverloadParams, PriorityPolicy,
+    ResilienceParams, RetryBudgetPolicy, RetryPolicy, RunReport, ServiceId, ServiceSpec,
+    ShardSpec, ShardedRun, Tracer,
 };
 use scaleup::placement::{self, Objective, Policy};
 use scaleup::scaling::{self, ScalePoint};
@@ -38,6 +39,8 @@ pub struct Config {
     pub replica_sweep: Vec<usize>,
     /// Closed-loop populations for the E24 mega-scale sweep.
     pub mega_users: Vec<u64>,
+    /// Closed-loop populations for the E28 shard-scaling sweep.
+    pub shard_users: Vec<u64>,
 }
 
 impl Config {
@@ -51,6 +54,7 @@ impl Config {
             user_sweep: vec![128, 256, 512, 1024, 2048, 4096],
             replica_sweep: vec![1, 2, 4, 8, 16, 24],
             mega_users: vec![1_000, 10_000, 100_000, 1_000_000],
+            shard_users: vec![1_000_000, 10_000_000],
         }
     }
 
@@ -64,6 +68,7 @@ impl Config {
             user_sweep: vec![16, 32, 64, 128],
             replica_sweep: vec![1, 2, 4],
             mega_users: vec![1_000, 10_000, 100_000],
+            shard_users: vec![10_000, 100_000],
         }
     }
 
@@ -1242,8 +1247,14 @@ fn overload_lab(config: &Config, warmup: SimDuration, measure: SimDuration) -> L
     lab.warmup = warmup;
     lab.measure = measure;
     // Inherit the checkpoint flag so the overload studies participate in
-    // the snapshot/resume differential battery (tests/snapshot.rs).
+    // the snapshot/resume differential battery (tests/snapshot.rs), and the
+    // shard knobs so `--shards` reaches the overload battery (E22 is part
+    // of the sharded golden set).
     lab.checkpoint = config.lab.checkpoint;
+    lab.shards = config.lab.shards;
+    lab.shard_cross_permille = config.lab.shard_cross_permille;
+    lab.shard_latency = config.lab.shard_latency;
+    lab.shard_workers = config.lab.shard_workers;
     lab
 }
 
@@ -2333,6 +2344,145 @@ pub fn e27(config: &Config) -> WarmStartStudy {
     }
 }
 
+// ---------------------------------------------------------------------- E28
+
+/// One row of the E28 shard-count scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ShardScalePoint {
+    /// Closed-loop population, summed over all cells.
+    pub users: u64,
+    /// Shard (cell) count of this run.
+    pub shards: u32,
+    /// The run (merged across cells for `shards > 1`).
+    pub report: RunReport,
+    /// Host wall-clock seconds of the simulation loop. Host-dependent —
+    /// display only, excluded from determinism checks.
+    pub wall_secs: f64,
+    /// Simulation events per host wall-clock second (host-dependent).
+    pub events_per_sec: f64,
+    /// Event rate relative to the 1-shard arm of the same population
+    /// (host-dependent; 1.0 for the 1-shard arm by construction).
+    pub speedup: f64,
+}
+
+/// E28 result: the shard-count scaling curve.
+#[derive(Debug, Clone)]
+pub struct ShardScaling {
+    /// One row per (population, shard count), populations outermost.
+    pub rows: Vec<ShardScalePoint>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// One coalesced closed-loop run of the tuned baseline, sharded into
+/// `shards` conservative-lookahead cells (the sharded twin of
+/// [`mega_run`]). Returns the merged report and the wall-clock seconds of
+/// the simulation loop.
+fn mega_run_sharded(
+    config: &Config,
+    users: u64,
+    think: SimDuration,
+    shards: u32,
+) -> (RunReport, f64) {
+    let lab = &config.lab;
+    let replicas = config.baseline_replicas();
+    let placed = Policy::Unpinned.deploy(config.store.app(), &lab.topo, &replicas);
+    let app = config.store.app().clone();
+    let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+    let spec = ShardSpec {
+        cells: shards,
+        cross_permille: 50,
+        latency: SimDuration::from_millis(1),
+    };
+    let cells: Vec<(Engine, ClosedLoop)> = (0..shards)
+        .map(|c| {
+            let mut params = lab.engine_params.clone();
+            params.lb = placed.lb;
+            let engine = Engine::new(
+                lab.topo.clone(),
+                params,
+                app.clone(),
+                placed.deployment.clone(),
+                mix_seed(lab.seed, c),
+            );
+            let share = users / u64::from(shards)
+                + u64::from(u64::from(c) < users % u64::from(shards));
+            let load = ClosedLoop::new(share)
+                .think_time(think)
+                .coalesce(mega_grain(think))
+                .mix(&mix)
+                .warmup(lab.warmup)
+                .measure(lab.measure);
+            (engine, load)
+        })
+        .collect();
+    let mut run = ShardedRun::new(cells, spec);
+    let horizon = SimTime::ZERO + (lab.warmup + lab.measure) * 4;
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let start = Instant::now();
+    run.run(horizon, workers);
+    (run.report(), start.elapsed().as_secs_f64())
+}
+
+/// E28 — shard-count scaling: event rate and speedup vs shard count for the
+/// coalesced mega-scale baseline, at each population in
+/// [`Config::shard_users`]. The arms run *sequentially* — each sharded run
+/// already owns every host core, so nesting them in the sweep pool would
+/// double-subscribe the machine and corrupt the wall-clock columns. The
+/// simulated figures (req/s, events) are deterministic per shard count; the
+/// events/s and speedup columns are host measurements, display only.
+pub fn e28(config: &Config) -> ShardScaling {
+    let shard_counts = [1u32, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut table = format!(
+        "E28: shard-count scaling (coalesced closed loop, {:.1}% cross-cell traffic, 1ms lookahead)\n    users  shards      req/s       events   Mevents/s   speedup\n",
+        0.1 * 50.0
+    );
+    for &users in &config.shard_users {
+        let think = mega_think(config, users);
+        let mut serial_eps = 0.0;
+        for &shards in &shard_counts {
+            let (report, wall_secs) = mega_run_sharded(config, users, think, shards);
+            let events_per_sec = report.events_processed as f64 / wall_secs.max(1e-9);
+            if shards == 1 {
+                serial_eps = events_per_sec;
+            }
+            let speedup = events_per_sec / serial_eps.max(1e-9);
+            let _ = writeln!(
+                table,
+                "{:>9} {:>7} {:>10.0} {:>12} {:>11.2} {:>8.2}×",
+                users,
+                shards,
+                report.throughput_rps,
+                report.events_processed,
+                events_per_sec / 1e6,
+                speedup,
+            );
+            rows.push(ShardScalePoint {
+                users,
+                shards,
+                report,
+                wall_secs,
+                events_per_sec,
+                speedup,
+            });
+        }
+    }
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .expect("at least one row");
+    let _ = writeln!(
+        table,
+        "best speedup: {:.2}× at {} shards / {} users on {} host cores\n(speedup is wall-clock and host-dependent; the simulated columns are deterministic per shard count)",
+        best.speedup,
+        best.shards,
+        best.users,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    ShardScaling { rows, table }
+}
+
 /// `repro snap` — end-to-end snapshot/resume identity self-check. Runs the
 /// configured TeaStore cell straight and checkpointed, compares the
 /// reports bit-for-bit, and returns the rendered verdict plus the snapshot
@@ -2396,6 +2546,10 @@ pub struct CatalogEntry {
     pub quick_secs: f64,
     /// Estimated full (paper-scale) runtime in seconds.
     pub full_secs: f64,
+    /// Whether the experiment honors `repro --shards N` (its runs route
+    /// through the lab's sharded parallel-in-run path). The CI smoke uses
+    /// this to pick experiments to exercise with `--shards 2`.
+    pub shardable: bool,
 }
 
 /// Every experiment the `repro` binary knows, with a one-line description
@@ -2413,17 +2567,33 @@ pub fn catalog() -> Vec<CatalogEntry> {
             title,
             quick_secs,
             full_secs,
+            shardable: false,
+        }
+    }
+    /// A shardable entry: the experiment's runs honor `--shards N`.
+    const fn sh(
+        id: &'static str,
+        title: &'static str,
+        quick_secs: f64,
+        full_secs: f64,
+    ) -> CatalogEntry {
+        CatalogEntry {
+            id,
+            title,
+            quick_secs,
+            full_secs,
+            shardable: true,
         }
     }
     vec![
         e("e1", "platform configuration table", 0.1, 0.1),
         e("e2", "TeaStore services, profiles and request mix", 0.1, 0.1),
-        e("e3", "throughput/latency vs closed-loop users (load curve)", 1.0, 30.0),
+        sh("e3", "throughput/latency vs closed-loop users (load curve)", 1.0, 30.0),
         e("e4", "scale-up curve: throughput vs enabled logical CPUs + USL fit", 1.0, 45.0),
         e("e5", "per-service busy CPUs vs load", 1.0, 30.0),
         e("e6", "per-service scaling: replicate one tier at a time + USL", 2.0, 60.0),
         e("e7", "replica tuning of the bottleneck service", 1.0, 30.0),
-        e("e8", "placement-policy comparison at saturation (+22% headline)", 1.0, 30.0),
+        sh("e8", "placement-policy comparison at saturation (+22% headline)", 1.0, 30.0),
         e("e9", "latency at matched open load (−18% headline)", 1.0, 20.0),
         e("e10", "SMT on/off at equal core count vs a compute-bound contrast", 1.0, 20.0),
         e("e11", "NUMA locality: local vs remote memory for the data tier", 1.0, 20.0),
@@ -2433,16 +2603,17 @@ pub fn catalog() -> Vec<CatalogEntry> {
         e("e15", "simulator vs analytic MVA validation", 0.5, 10.0),
         e("e16", "workload-mix sensitivity extension", 1.0, 30.0),
         e("e17", "CPU-mask enumeration orders at a fixed CPU budget", 1.0, 30.0),
-        e("e18", "slow-replica tail amplification + resilience (faults)", 1.0, 20.0),
+        sh("e18", "slow-replica tail amplification + resilience (faults)", 1.0, 20.0),
         e("e19", "crash and recovery under load (faults)", 1.0, 20.0),
-        e("e20", "overload sweep: admission control vs unbounded queues", 3.0, 30.0),
-        e("e21", "retry-storm metastability; retry budgets recover it", 3.0, 30.0),
-        e("e22", "brownout: priority shedding keeps checkout goodput high", 2.0, 20.0),
-        e("e23", "recovery hysteresis: queue-bound policy vs backlog drain", 3.0, 30.0),
+        sh("e20", "overload sweep: admission control vs unbounded queues", 3.0, 30.0),
+        sh("e21", "retry-storm metastability; retry budgets recover it", 3.0, 30.0),
+        sh("e22", "brownout: priority shedding keeps checkout goodput high", 2.0, 20.0),
+        sh("e23", "recovery hysteresis: queue-bound policy vs backlog drain", 3.0, 30.0),
         e("e24", "population scale-up 1k→1M users: events/s and bytes/user", 5.0, 90.0),
         e("e25", "trace memory vs fidelity: head-capped vs reservoir sampling", 2.0, 20.0),
         e("e26", "mega-scale overload: admission sweep at 100k closed-loop users", 5.0, 45.0),
         e("e27", "warm-started sweeps: one shared checkpoint serves a measurement grid", 2.0, 60.0),
+        sh("e28", "shard-count scaling: events/s and speedup vs shards (parallel-in-run)", 20.0, 600.0),
         e("snap", "snapshot/resume identity self-check (writes results/snapshot_quick.bin)", 1.0, 15.0),
         e("lint", "static determinism & invariant pass (simlint)", 0.1, 0.1),
         e("a1", "ablation: topology-aware packing objective", 1.0, 20.0),
@@ -2459,8 +2630,8 @@ pub fn catalog_json() -> String {
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             out,
-            "  {{\"id\": \"{}\", \"title\": \"{}\", \"quick_est_secs\": {:.1}, \"full_est_secs\": {:.1}}}",
-            e.id, e.title, e.quick_secs, e.full_secs
+            "  {{\"id\": \"{}\", \"title\": \"{}\", \"quick_est_secs\": {:.1}, \"full_est_secs\": {:.1}, \"shardable\": {}}}",
+            e.id, e.title, e.quick_secs, e.full_secs, e.shardable
         );
         out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
     }
@@ -2807,6 +2978,29 @@ pub fn csv_e26(result: &MegaOverload) -> String {
     csv.finish()
 }
 
+/// CSV of the E28 shard-scaling sweep (one row per population × shards).
+pub fn csv_e28(result: &ShardScaling) -> String {
+    let mut csv = scaleup::report::Csv::new(&[
+        "users",
+        "shards",
+        "throughput_rps",
+        "events",
+        "events_per_sec",
+        "speedup",
+    ]);
+    for p in &result.rows {
+        csv.row(&[
+            &p.users.to_string(),
+            &p.shards.to_string(),
+            &format!("{:.1}", p.report.throughput_rps),
+            &p.report.events_processed.to_string(),
+            &format!("{:.0}", p.events_per_sec),
+            &format!("{:.3}", p.speedup),
+        ]);
+    }
+    csv.finish()
+}
+
 /// CSV rows of one E27 arm; the cold and warm arms must render identically.
 pub fn csv_e27_arm(rows: &[(u64, SimDuration, RunReport)]) -> String {
     let mut csv = scaleup::report::Csv::new(&[
@@ -3092,7 +3286,7 @@ mod tests {
     #[test]
     fn catalog_covers_every_runnable_experiment() {
         let names: Vec<&str> = catalog().iter().map(|e| e.id).collect();
-        for e in 1..=27 {
+        for e in 1..=28 {
             assert!(names.contains(&format!("e{e}").as_str()), "missing e{e}");
         }
         for a in 1..=4 {

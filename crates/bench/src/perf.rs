@@ -8,7 +8,7 @@
 //! speedup of the timer-wheel/slab/memo work stays visible in CI artifacts.
 
 use loadgen::ClosedLoop;
-use microsvc::{Deployment, Engine, EngineParams};
+use microsvc::{mix_seed, Deployment, Engine, EngineParams, ShardSpec, ShardedRun};
 use simcore::{SimDuration, SimTime};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -138,6 +138,10 @@ struct Scenario {
     measure_ms: u64,
     /// Think-wakeup coalescing grain in ms (0 = exact per-user timers).
     coalesce_ms: u64,
+    /// Parallel-in-run cell count (1 = the serial engine). The count is
+    /// part of the scenario: sharded event totals are deterministic *per
+    /// shard count*, so the gate must always compare like with like.
+    shards: u32,
 }
 
 /// The flagship scenario — identical to the one the baseline was timed on.
@@ -149,6 +153,7 @@ const FLAGSHIP: Scenario = Scenario {
     warmup_ms: 1000,
     measure_ms: 2000,
     coalesce_ms: 0,
+    shards: 1,
 };
 
 /// A desktop-sized scenario cheap enough for CI smoke runs.
@@ -160,6 +165,7 @@ const DESKTOP: Scenario = Scenario {
     warmup_ms: 200,
     measure_ms: 300,
     coalesce_ms: 0,
+    shards: 1,
 };
 
 /// The mega scenario: one million closed-loop users on the 2-socket
@@ -176,6 +182,25 @@ const MEGA: Scenario = Scenario {
     warmup_ms: 500,
     measure_ms: 1500,
     coalesce_ms: 5,
+    shards: 1,
+};
+
+/// The sharded mega scenario: ten million closed-loop users split over 8
+/// conservative-lookahead cells (1.25M users per cell, each cell a full
+/// machine copy). The cell count is fixed at 8 — not the host's core count
+/// — so the simulated event totals are identical on every machine and the
+/// gate's events/s floor is comparable across hosts; worker threads scale
+/// with the host separately. Think time scales with the population (same
+/// per-cell offered load as [`MEGA`]).
+const MEGA_SHARDED: Scenario = Scenario {
+    name: "teastore_mega_sharded",
+    big_machine: true,
+    users: 10_000_000,
+    think_ms: 100_000,
+    warmup_ms: 500,
+    measure_ms: 1500,
+    coalesce_ms: 10,
+    shards: 8,
 };
 
 /// Measured result of one scenario (best of `reps` repetitions).
@@ -217,6 +242,9 @@ struct OnceResult {
 }
 
 fn run_once(s: &Scenario) -> OnceResult {
+    if s.shards > 1 {
+        return run_once_sharded(s);
+    }
     let topo = Arc::new(if s.big_machine {
         cputopo::Topology::zen2_2p_128c()
     } else {
@@ -252,6 +280,73 @@ fn run_once(s: &Scenario) -> OnceResult {
         events: engine.events_processed(),
         completed: engine.report().completed,
         footprint: (engine.footprint_bytes() + load.footprint_bytes()) as u64,
+        allocations,
+        live_bytes,
+    }
+}
+
+/// [`run_once`] for a sharded scenario: the same deployment per cell, the
+/// population split evenly, cross-cell traffic at the default 5% with the
+/// 1 ms lookahead window. Worker threads track the host's core count —
+/// the simulated results depend only on the cell count, not the workers.
+fn run_once_sharded(s: &Scenario) -> OnceResult {
+    let topo = Arc::new(if s.big_machine {
+        cputopo::Topology::zen2_2p_128c()
+    } else {
+        cputopo::Topology::desktop_8c()
+    });
+    let store = TeaStore::browse();
+    let mix = store.mix();
+    let app = store.into_app();
+    let deployment = Deployment::uniform(&app, &topo, 4, 12);
+    let spec = ShardSpec {
+        cells: s.shards,
+        cross_permille: 50,
+        latency: SimDuration::from_millis(1),
+    };
+    let cells: Vec<(Engine, ClosedLoop)> = (0..s.shards)
+        .map(|c| {
+            let engine = Engine::new(
+                topo.clone(),
+                EngineParams::default(),
+                app.clone(),
+                deployment.clone(),
+                mix_seed(1, c),
+            );
+            let users = s.users / u64::from(s.shards)
+                + u64::from(u64::from(c) < s.users % u64::from(s.shards));
+            let mut load = ClosedLoop::new(users)
+                .think_time(SimDuration::from_millis(s.think_ms))
+                .mix(&mix)
+                .warmup(SimDuration::from_millis(s.warmup_ms))
+                .measure(SimDuration::from_millis(s.measure_ms));
+            if s.coalesce_ms > 0 {
+                load = load.coalesce(SimDuration::from_millis(s.coalesce_ms));
+            }
+            (engine, load)
+        })
+        .collect();
+    let mut run = ShardedRun::new(cells, spec);
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    #[cfg(feature = "alloc-count")]
+    let alloc_before = alloc_count::snapshot();
+    let t0 = Instant::now();
+    run.run(SimTime::from_secs(60), workers);
+    let wall = t0.elapsed().as_secs_f64();
+    #[cfg(feature = "alloc-count")]
+    let (allocations, live_bytes) = {
+        let after = alloc_count::snapshot();
+        (Some(after.0 - alloc_before.0), Some(after.1))
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let (allocations, live_bytes) = (None, None);
+    let report = run.report();
+    let driver_bytes: u64 = run.drivers().map(|d| d.inner().footprint_bytes() as u64).sum();
+    OnceResult {
+        wall,
+        events: run.events_processed(),
+        completed: report.completed,
+        footprint: report.engine_footprint_bytes + driver_bytes,
         allocations,
         live_bytes,
     }
@@ -304,11 +399,26 @@ pub fn run(quick: bool) -> (String, String) {
     // Scenarios run smallest-first so the monotonic peak-RSS column mostly
     // attributes each reading to its own scenario.
     let (runs, pairs): (Vec<PerfRun>, Vec<(f64, f64)>) = if quick {
-        (vec![measure(&DESKTOP, 2), measure(&MEGA, 1)], Vec::new())
+        (
+            vec![
+                measure(&DESKTOP, 2),
+                measure(&MEGA, 1),
+                measure(&MEGA_SHARDED, 1),
+            ],
+            Vec::new(),
+        )
     } else {
         let desktop = measure(&DESKTOP, 3);
         let (flagship, pairs) = measure_paired(&FLAGSHIP, 6, true);
-        (vec![desktop, flagship, measure(&MEGA, 2)], pairs)
+        (
+            vec![
+                desktop,
+                flagship,
+                measure(&MEGA, 2),
+                measure(&MEGA_SHARDED, 2),
+            ],
+            pairs,
+        )
     };
     render(&runs, &pairs)
 }
@@ -557,6 +667,22 @@ mod tests {
     fn mega_scenario_is_coalesced_and_million_user() {
         assert_eq!(MEGA.users, 1_000_000);
         assert_ne!(MEGA.coalesce_ms, 0, "mega must coalesce wakeups");
+    }
+
+    #[test]
+    fn mega_sharded_scenario_is_fixed_cell_and_ten_million_user() {
+        assert_eq!(MEGA_SHARDED.users, 10_000_000);
+        assert_eq!(
+            MEGA_SHARDED.shards, 8,
+            "the cell count is part of the scenario identity; changing it \
+             invalidates the committed gate baseline"
+        );
+        assert_ne!(MEGA_SHARDED.coalesce_ms, 0, "mega must coalesce wakeups");
+        // Same per-cell offered load as the serial mega scenario.
+        assert_eq!(
+            MEGA_SHARDED.users / MEGA_SHARDED.think_ms,
+            MEGA.users / MEGA.think_ms
+        );
     }
 
     #[cfg(target_os = "linux")]

@@ -3,7 +3,10 @@
 use crate::placement::{PlacedDeployment, Policy};
 use cputopo::Topology;
 use loadgen::{ClosedLoop, OpenLoop};
-use microsvc::{AppSpec, Deployment, Engine, EngineParams, LbPolicy, RunReport};
+use microsvc::{
+    mix_seed, AppSpec, Deployment, Engine, EngineParams, LbPolicy, RunReport, ShardSpec,
+    ShardedRun,
+};
 use simcore::{SimDuration, SimTime, SnapError, SnapReader, SnapWriter};
 use std::sync::Arc;
 use teastore::TeaStore;
@@ -48,6 +51,22 @@ pub struct Lab {
     /// differential tests enforce this); the flag exists so the entire
     /// experiment suite can double as a checkpoint/resume test battery.
     pub checkpoint: bool,
+    /// Cell count for sharded parallel-in-run execution. `1` (the default)
+    /// runs the untouched serial engine — byte-identical to every release
+    /// before sharding existed. `N > 1` splits the client population over
+    /// `N` conservative-lookahead cells (see `microsvc::shard`); results
+    /// are deterministic in `(config, seed, shards)` and independent of
+    /// the worker-thread count.
+    pub shards: u32,
+    /// Probability (permille) that a sharded root request is forwarded to
+    /// a remote cell. Ignored when `shards == 1`.
+    pub shard_cross_permille: u32,
+    /// Cross-cell forwarding latency, which doubles as the conservative
+    /// lookahead window. Ignored when `shards == 1`.
+    pub shard_latency: SimDuration,
+    /// Worker threads for sharded runs; `0` = one per available core.
+    /// Never affects results, only wall-clock.
+    pub shard_workers: usize,
 }
 
 impl Lab {
@@ -63,6 +82,10 @@ impl Lab {
             warmup: SimDuration::from_millis(750),
             measure: SimDuration::from_millis(1500),
             checkpoint: false,
+            shards: 1,
+            shard_cross_permille: 50,
+            shard_latency: SimDuration::from_millis(1),
+            shard_workers: 0,
         }
     }
 
@@ -77,6 +100,10 @@ impl Lab {
             warmup: SimDuration::from_millis(300),
             measure: SimDuration::from_millis(800),
             checkpoint: false,
+            shards: 1,
+            shard_cross_permille: 50,
+            shard_latency: SimDuration::from_millis(1),
+            shard_workers: 0,
         }
     }
 
@@ -95,6 +122,23 @@ impl Lab {
     /// Routes every closed-loop run through snapshot-at-warmup + resume.
     pub fn with_checkpoint(mut self, checkpoint: bool) -> Self {
         self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Overrides the shard (cell) count; `1` keeps the serial engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1, "a run needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the sharded worker-thread count (`0` = one per core).
+    pub fn with_shard_workers(mut self, workers: usize) -> Self {
+        self.shard_workers = workers;
         self
     }
 
@@ -131,9 +175,92 @@ impl Lab {
         (engine, load)
     }
 
+    fn shard_spec(&self) -> ShardSpec {
+        ShardSpec {
+            cells: self.shards,
+            cross_permille: self.shard_cross_permille,
+            latency: self.shard_latency,
+        }
+    }
+
+    fn shard_workers_resolved(&self) -> usize {
+        if self.shard_workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.shard_workers
+        }
+    }
+
+    /// Builds the per-cell engines + closed-loop slices of a sharded run.
+    /// Cell `c` is seeded with [`mix_seed`]`(seed, c)` and drives
+    /// `users / shards` users (earlier cells absorb the remainder).
+    fn build_closed_cells(
+        &self,
+        app: &AppSpec,
+        deployment: &Deployment,
+        lb: LbPolicy,
+    ) -> ShardedRun<ClosedLoop> {
+        assert!(
+            self.users >= u64::from(self.shards),
+            "{} users cannot populate {} shards",
+            self.users,
+            self.shards
+        );
+        let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+        let cells = (0..self.shards)
+            .map(|c| {
+                let mut params = self.engine_params.clone();
+                params.lb = lb;
+                let engine = Engine::new(
+                    self.topo.clone(),
+                    params,
+                    app.clone(),
+                    deployment.clone(),
+                    mix_seed(self.seed, c),
+                );
+                let users = self.users / u64::from(self.shards)
+                    + u64::from(u64::from(c) < self.users % u64::from(self.shards));
+                let load = ClosedLoop::new(users)
+                    .think_time(self.think)
+                    .mix(&mix)
+                    .warmup(self.warmup)
+                    .measure(self.measure);
+                (engine, load)
+            })
+            .collect();
+        ShardedRun::new(cells, self.shard_spec())
+    }
+
+    /// Runs a sharded closed-loop measurement; with `checkpoint` set the run
+    /// detours through a barrier snapshot at the end of warm-up and resumes
+    /// into freshly built cells, exactly like the serial checkpoint path.
+    fn run_app_sharded(&self, app: &AppSpec, deployment: Deployment, lb: LbPolicy) -> RunReport {
+        let workers = self.shard_workers_resolved();
+        let mut run = self.build_closed_cells(app, &deployment, lb);
+        if self.checkpoint {
+            run.run(SimTime::ZERO + self.warmup, workers);
+            let mut w = SnapWriter::new();
+            run.snap_save(&mut w);
+            let bytes = w.finish();
+            let mut resumed = self.build_closed_cells(app, &deployment, lb);
+            let mut r = SnapReader::new(&bytes)
+                .expect("a snapshot taken in-process is well-formed");
+            resumed
+                .snap_restore(&mut r)
+                .expect("a snapshot taken in-process restores into the same config");
+            resumed.run(self.horizon(), workers);
+            return resumed.report();
+        }
+        run.run(self.horizon(), workers);
+        run.report()
+    }
+
     /// Runs `app` as `deployment` under the lab's closed-loop load, with the
     /// mix taken from the app's class weights.
     pub fn run_app(&self, app: &AppSpec, deployment: Deployment, lb: LbPolicy) -> RunReport {
+        if self.shards > 1 {
+            return self.run_app_sharded(app, deployment, lb);
+        }
         if self.checkpoint {
             let bytes = self.snapshot_app(app, deployment.clone(), lb, SimTime::ZERO + self.warmup);
             return self
@@ -230,6 +357,37 @@ impl Lab {
         (engine, load)
     }
 
+    /// Builds the per-cell engines + open-loop slices of a sharded run;
+    /// each cell sources `rate_rps / shards` arrivals per second.
+    fn build_open_cells(
+        &self,
+        app: &AppSpec,
+        deployment: &Deployment,
+        lb: LbPolicy,
+        rate_rps: f64,
+    ) -> ShardedRun<OpenLoop> {
+        let mix: Vec<f64> = app.classes().iter().map(|c| c.weight).collect();
+        let cells = (0..self.shards)
+            .map(|c| {
+                let mut params = self.engine_params.clone();
+                params.lb = lb;
+                let engine = Engine::new(
+                    self.topo.clone(),
+                    params,
+                    app.clone(),
+                    deployment.clone(),
+                    mix_seed(self.seed, c),
+                );
+                let load = OpenLoop::new(rate_rps / f64::from(self.shards))
+                    .mix(&mix)
+                    .warmup(self.warmup)
+                    .measure(self.measure);
+                (engine, load)
+            })
+            .collect();
+        ShardedRun::new(cells, self.shard_spec())
+    }
+
     /// Runs `app` under an open-loop Poisson load at `rate_rps`.
     pub fn run_app_open(
         &self,
@@ -238,6 +396,12 @@ impl Lab {
         lb: LbPolicy,
         rate_rps: f64,
     ) -> RunReport {
+        if self.shards > 1 {
+            let workers = self.shard_workers_resolved();
+            let mut run = self.build_open_cells(app, &deployment, lb, rate_rps);
+            run.run(self.horizon(), workers);
+            return run.report();
+        }
         if self.checkpoint {
             // Snapshot at the end of warm-up, then resume into a freshly
             // built engine — the open-loop twin of the run_app dance.

@@ -427,6 +427,16 @@ impl Driver for ClosedLoop {
     }
 }
 
+impl microsvc::SnapDriver for ClosedLoop {
+    fn driver_snap_save(&self, w: &mut SnapWriter) {
+        self.snap_save(w);
+    }
+
+    fn driver_snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.snap_restore(r)
+    }
+}
+
 /// Poisson arrivals at a fixed rate, independent of completions.
 #[derive(Debug, Clone)]
 pub struct OpenLoop {
@@ -535,6 +545,16 @@ impl Driver for OpenLoop {
 
     fn on_response(&mut self, _resp: ResponseInfo, _ctx: &mut dyn EngineCtx) {
         self.completed += 1;
+    }
+}
+
+impl microsvc::SnapDriver for OpenLoop {
+    fn driver_snap_save(&self, w: &mut SnapWriter) {
+        self.snap_save(w);
+    }
+
+    fn driver_snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.snap_restore(r)
     }
 }
 

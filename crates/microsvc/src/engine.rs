@@ -628,6 +628,67 @@ impl Engine {
         report
     }
 
+    /// Earliest pending calendar event, if any — the sharded runner's idle
+    /// probe at a window barrier.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.cal.peek_time()
+    }
+
+    /// Whether the driver has requested a stop ([`EngineCtx::request_stop`]).
+    /// Sharded runners use this to retire a finished cell from the barrier
+    /// loop while its peers keep advancing.
+    pub fn is_stopped(&self) -> bool {
+        self.stop_requested
+    }
+
+    /// Schedules a driver timer at an *absolute* simulated time, for use by
+    /// sharded runners injecting cross-shard messages at a window barrier.
+    /// The token is delivered through [`Driver::on_timer`] exactly like a
+    /// timer armed via [`EngineCtx::set_timer`].
+    ///
+    /// Panics if `at` is in this engine's past: conservative lookahead
+    /// guarantees message arrivals land at or after the receiver's clock,
+    /// so a violation here is a windowing bug, not recoverable load.
+    pub fn inject_timer_at(&mut self, at: SimTime, token: u64) {
+        assert!(
+            at >= self.now(),
+            "inject_timer_at would violate causality: at={at:?} < now={:?}",
+            self.now()
+        );
+        self.cal.schedule(at, Event::Timer(token));
+    }
+
+    /// Builds one machine-wide report across shard cells. Counts, histograms
+    /// and series merge exactly; time-weighted signals merge in parallel
+    /// (averages add across cells; merged peaks are the sum of per-cell
+    /// peaks, an upper bound on the true coincident peak). Each cell
+    /// simulates one copy of the machine, so `cpu_utilization` is normalized
+    /// by the cell count.
+    pub fn merged_report(cells: &[&Engine]) -> RunReport {
+        assert!(!cells.is_empty(), "merged_report needs at least one cell");
+        let now = cells.iter().map(|e| e.now()).max().expect("non-empty");
+        let mut metrics = cells[0].metrics.clone();
+        for cell in &cells[1..] {
+            metrics.merge(&cell.metrics, now);
+        }
+        let mut sched = SchedStats::default();
+        for cell in cells {
+            let s = cell.sched.stats();
+            let base = cell.sched_stats_baseline;
+            sched.wakeups += s.wakeups - base.wakeups;
+            sched.context_switches += s.context_switches - base.context_switches;
+            sched.migrations += s.migrations - base.migrations;
+            sched.steals += s.steals - base.steals;
+        }
+        let mut report = RunReport::build(&metrics, &cells[0].app, &cells[0].topo, sched, now);
+        report.cpu_utilization /= cells.len() as f64;
+        report.events_processed = cells.iter().map(|e| e.events_processed).sum();
+        report.calendar_high_water = cells.iter().map(|e| e.cal.high_water() as u64).sum();
+        report.engine_footprint_bytes = cells.iter().map(|e| e.footprint_bytes() as u64).sum();
+        report.traces_retained = cells.iter().map(|e| e.tracer.traces().len() as u64).sum();
+        report
+    }
+
     /// Heap bytes held by the engine's hot-path structures: calendar wheel
     /// and overflow, job/request slabs with their free lists, and the
     /// tracer. Capacities, not lengths, so this tracks true allocation.

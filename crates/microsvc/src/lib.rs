@@ -70,6 +70,7 @@ pub mod lb;
 pub mod metrics;
 pub mod overload;
 pub mod resilience;
+pub mod shard;
 pub mod trace;
 
 pub use app::{AppSpec, CallNode, CallStage, Demand, RequestClass, ServiceSpec};
@@ -85,4 +86,5 @@ pub use overload::{
 };
 pub use metrics::{OverloadTotals, RunReport, ServiceReport};
 pub use resilience::{BreakerPolicy, BreakerState, CircuitBreaker, ResilienceParams, RetryPolicy};
+pub use shard::{mix_seed, ShardDriver, ShardSpec, ShardedRun, SnapDriver};
 pub use trace::{RequestTrace, Span, Tracer};

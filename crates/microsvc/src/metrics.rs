@@ -245,6 +245,73 @@ impl Metrics {
             self.queue_depth_series.record(now, self.queued_jobs as f64);
         }
     }
+
+    /// Folds another cell's measurement window into this one at `now`.
+    ///
+    /// Shard cells simulate disjoint copies of the machine over the same
+    /// wall of simulated time, so counts, histograms and series add
+    /// exactly. Time-weighted signals merge in parallel: averages add;
+    /// the merged peak is the sum of per-cell peaks (an upper bound on
+    /// the true coincident peak). Queue-depth buckets take the max across
+    /// cells, i.e. the deepest single-cell queue per bucket. Deterministic:
+    /// pure arithmetic over `Vec`s, no unordered iteration.
+    pub(crate) fn merge(&mut self, other: &Metrics, now: SimTime) {
+        assert_eq!(
+            self.latency_per_class.len(),
+            other.latency_per_class.len(),
+            "merging metrics from different applications"
+        );
+        assert_eq!(self.per_service.len(), other.per_service.len());
+        self.window_start = self.window_start.min(other.window_start);
+        self.completed += other.completed;
+        self.latency.merge(&other.latency);
+        for (a, b) in self.latency_per_class.iter_mut().zip(&other.latency_per_class) {
+            a.merge(b);
+        }
+        for (a, b) in self.per_service.iter_mut().zip(&other.per_service) {
+            a.busy.merge_parallel(&b.busy, now);
+            a.counters.merge(&b.counters);
+            a.jobs_completed += b.jobs_completed;
+            a.queue_wait.merge(&b.queue_wait);
+            a.timeouts += b.timeouts;
+            a.retries += b.retries;
+            a.fallbacks += b.fallbacks;
+            a.breaker_opened += b.breaker_opened;
+            a.breaker_closed += b.breaker_closed;
+            a.policy_sheds += b.policy_sheds;
+            a.deferred += b.deferred;
+            a.budget_denied += b.budget_denied;
+        }
+        self.busy_cpus.merge_parallel(&other.busy_cpus, now);
+        self.completed_series.merge(&other.completed_series);
+        self.requests_timed_out += other.requests_timed_out;
+        self.requests_shed += other.requests_shed;
+        self.late_replies += other.late_replies;
+        self.replies_dropped += other.replies_dropped;
+        self.rejected_arrivals += other.rejected_arrivals;
+        self.overload.shed_queue_full += other.overload.shed_queue_full;
+        self.overload.shed_queue_deadline += other.overload.shed_queue_deadline;
+        self.overload.shed_concurrency += other.overload.shed_concurrency;
+        self.overload.shed_priority += other.overload.shed_priority;
+        self.overload.deferred += other.overload.deferred;
+        self.overload.budget_denied += other.overload.budget_denied;
+        self.overload.requests_shed_policy += other.overload.requests_shed_policy;
+        for (a, b) in self.submitted_per_class.iter_mut().zip(&other.submitted_per_class) {
+            *a += b;
+        }
+        for (a, b) in self.failed_per_class.iter_mut().zip(&other.failed_per_class) {
+            *a += b;
+        }
+        for (a, b) in self
+            .completed_per_class_series
+            .iter_mut()
+            .zip(&other.completed_per_class_series)
+        {
+            a.merge(b);
+        }
+        self.queued_jobs += other.queued_jobs;
+        self.queue_depth_series.merge(&other.queue_depth_series);
+    }
 }
 
 fn save_counters(c: &PerfCounters, w: &mut simcore::SnapWriter) {

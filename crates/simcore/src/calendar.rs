@@ -51,6 +51,11 @@ const WORDS: usize = SLOTS / 64;
 /// Low bits of a timestamp within one level-0 slot.
 const GRAIN_MASK: u64 = (1 << GRAIN_BITS) - 1;
 
+/// Smallest overflow-heap capacity worth releasing once the heap drains
+/// empty (see `drain_overflow`): below this the allocation is noise, above
+/// it a dead heap visibly distorts `footprint_bytes`.
+const OVERFLOW_SHRINK_MIN: usize = 1024;
+
 #[inline]
 fn level_shift(level: usize) -> u32 {
     GRAIN_BITS + SLOT_BITS * level as u32
@@ -584,6 +589,17 @@ impl<E> Calendar<E> {
                 self.ready.push(idx);
             }
         }
+        // Once every parked entry has migrated out, the heap's retained
+        // capacity is dead weight: the entries now live in the slab/ready
+        // accounting, and keeping the old allocation around made
+        // `footprint_bytes` charge them twice (their live storage plus the
+        // ghost heap capacity). A one-shot far-future burst — the bucket-merge
+        // pattern — would otherwise pin peak heap bytes forever. Only a large
+        // empty heap is released, so steady alternation near the horizon does
+        // not thrash the allocator.
+        if self.overflow.is_empty() && self.overflow.capacity() >= OVERFLOW_SHRINK_MIN {
+            self.overflow.shrink_to(0);
+        }
     }
 
     fn sort_ready(&mut self) {
@@ -909,6 +925,108 @@ mod tests {
             cal.footprint_bytes() >= empty + 1000 * std::mem::size_of::<Entry<u64>>(),
             "footprint {} must reflect 1000 slab entries",
             cal.footprint_bytes()
+        );
+    }
+
+    /// Live entries accounted by walking every container: wheel slots, the
+    /// overflow heap, and the ready batch. Must always equal `len()` — an
+    /// entry double-counted (or lost) during migration shows up here.
+    fn accounted_live(cal: &Calendar<u64>) -> usize {
+        let is_live = |idx: u32| {
+            let e = &cal.slab[idx as usize];
+            !e.cancelled && e.payload.is_some()
+        };
+        let wheel = cal
+            .levels
+            .iter()
+            .flat_map(|l| l.slots.iter())
+            .flatten()
+            .filter(|&&i| is_live(i))
+            .count();
+        let heap = cal.overflow.iter().filter(|&&(_, i)| is_live(i)).count();
+        let ready = cal.ready.iter().filter(|&&i| is_live(i)).count();
+        wheel + heap + ready
+    }
+
+    #[test]
+    fn live_count_matches_container_breakdown_through_migration() {
+        // Drive entries through every container transition — schedule into
+        // ready/wheel/overflow, cancel tombstones, pop across window and
+        // block boundaries — asserting after each step that the live count
+        // equals the per-container breakdown (no event counted twice as it
+        // migrates between the heap, the wheel, and the ready batch).
+        let mut cal = Calendar::new();
+        let mut model_live = 0usize;
+        let mut model_peak = 0usize;
+        let mut tokens = Vec::new();
+        let mut state = 0x9e37_79b9_97f4_a7c5u64; // deterministic LCG
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..400u64 {
+            let r = next();
+            match r % 5 {
+                // near future: wheel level 0/1
+                0 | 1 => {
+                    let at = cal.now() + SimDuration::from_nanos(1 + next() % 500_000);
+                    tokens.push(cal.schedule(at, round));
+                    model_live += 1;
+                }
+                // far future: overflow heap
+                2 => {
+                    let at = cal.now() + SimDuration::from_secs(7200 + next() % 100);
+                    tokens.push(cal.schedule(at, round));
+                    model_live += 1;
+                }
+                // cancel a random outstanding token
+                3 if !tokens.is_empty() => {
+                    let tok = tokens.swap_remove((next() as usize) % tokens.len());
+                    if cal.cancel(tok) {
+                        model_live -= 1;
+                    }
+                }
+                _ => {
+                    if cal.pop().is_some() {
+                        model_live -= 1;
+                    }
+                }
+            }
+            model_peak = model_peak.max(model_live);
+            assert_eq!(cal.len(), model_live, "live drifted at round {round}");
+            assert_eq!(
+                accounted_live(&cal),
+                model_live,
+                "container breakdown drifted at round {round}"
+            );
+            assert_eq!(cal.high_water(), model_peak, "high water at round {round}");
+        }
+        while cal.pop().is_some() {}
+        assert_eq!(cal.len(), 0);
+        assert_eq!(accounted_live(&cal), 0);
+        assert_eq!(cal.high_water(), model_peak);
+    }
+
+    #[test]
+    fn dead_overflow_capacity_is_released_after_migration() {
+        // Regression: a one-shot far-future burst parks thousands of entries
+        // in the overflow heap; as the wheel advances they migrate out, but
+        // the heap's peak capacity used to be charged by `footprint_bytes`
+        // forever — double-counting the migrated entries (their live storage
+        // plus the dead heap allocation).
+        let mut cal = Calendar::new();
+        for i in 0..5000u64 {
+            cal.schedule(SimTime::from_secs(7200 + i), i);
+        }
+        let parked = cal.footprint_bytes();
+        while cal.pop().is_some() {}
+        assert_eq!(cal.len(), 0);
+        assert_eq!(accounted_live(&cal), 0);
+        let heap_share = 5000 * std::mem::size_of::<(Reverse<(u64, u64)>, u32)>();
+        let after = cal.footprint_bytes();
+        assert!(
+            after + heap_share <= parked,
+            "footprint {after} still charges the drained overflow heap (peak {parked})"
         );
     }
 

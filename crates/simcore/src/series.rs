@@ -155,6 +155,68 @@ impl TimeSeries {
         self.buckets.is_empty()
     }
 
+    /// Merges another series into this one: bucket sums and counts add,
+    /// maxima take the max. The two series coarsen to the wider of their
+    /// windows first (both widths are the construction width times a power
+    /// of two, so they always meet), and origins align to the earlier one.
+    /// This is the deterministic reduction for combining per-shard series
+    /// into one machine-wide view: for [`Agg::Sum`] the result is exactly
+    /// what a single recorder fed both event streams would report at the
+    /// final width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aggregations differ, or the window widths are not
+    /// power-of-two multiples of each other.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.agg, other.agg, "merging series with different Agg");
+        if !other.started {
+            return;
+        }
+        if !self.started {
+            *self = other.clone();
+            return;
+        }
+        let mut o;
+        let other = if other.window < self.window {
+            o = other.clone();
+            while o.window < self.window {
+                o.coarsen();
+            }
+            &o
+        } else {
+            while self.window < other.window {
+                self.coarsen();
+            }
+            other
+        };
+        assert_eq!(self.window, other.window, "series windows never met");
+        let w = self.window.as_nanos();
+        let new_origin = self.origin.min(other.origin);
+        let self_off = ((self.origin.as_nanos() - new_origin.as_nanos()) / w) as usize;
+        let other_off = ((other.origin.as_nanos() - new_origin.as_nanos()) / w) as usize;
+        let len = (self_off + self.buckets.len()).max(other_off + other.buckets.len());
+        let mut merged = vec![(0.0, 0u64, f64::NEG_INFINITY); len];
+        for (i, &(sum, count, max)) in self.buckets.iter().enumerate() {
+            let b = &mut merged[self_off + i];
+            b.0 += sum;
+            b.1 += count;
+            b.2 = b.2.max(max);
+        }
+        for (i, &(sum, count, max)) in other.buckets.iter().enumerate() {
+            let b = &mut merged[other_off + i];
+            b.0 += sum;
+            b.1 += count;
+            b.2 = b.2.max(max);
+        }
+        self.origin = new_origin;
+        self.buckets = merged;
+        self.max_buckets = self.max_buckets.min(other.max_buckets);
+        while self.buckets.len() > self.max_buckets {
+            self.coarsen();
+        }
+    }
+
     /// Doubles the window width, re-snapping the origin and merging the
     /// existing buckets into the coarser grid in place.
     fn coarsen(&mut self) {

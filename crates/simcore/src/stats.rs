@@ -378,6 +378,25 @@ impl TimeWeighted {
         (self.integral + self.level * pending) / total
     }
 
+    /// Folds a signal measured in parallel (a disjoint set of CPUs, another
+    /// shard's machine) into this one at `now`: levels and integrals add, so
+    /// the merged `average(now)` is exactly the sum of the two averages when
+    /// both signals started together. The merged peak is the sum of the
+    /// per-signal peaks — an upper bound on the true peak of the summed
+    /// signal (the peaks need not have coincided), which is the conservative
+    /// figure for capacity questions.
+    pub fn merge_parallel(&mut self, other: &TimeWeighted, now: SimTime) {
+        // Flatten both integrals through `now` so the sum is exact.
+        let pending = now.saturating_since(self.last_change).as_secs_f64();
+        self.integral += self.level * pending;
+        let other_pending = now.saturating_since(other.last_change).as_secs_f64();
+        self.integral += other.integral + other.level * other_pending;
+        self.last_change = now;
+        self.level += other.level;
+        self.peak += other.peak;
+        self.start = self.start.min(other.start);
+    }
+
     /// Restarts integration at `now`, keeping the current level.
     pub fn reset(&mut self, now: SimTime) {
         self.start = now;

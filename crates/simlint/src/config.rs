@@ -82,6 +82,13 @@ impl Config {
             },
         );
         rules.insert(
+            "D6".to_owned(),
+            RuleCfg {
+                include_tests: true, // racy captures are racy in tests too
+                ..RuleCfg::default()
+            },
+        );
+        rules.insert(
             "H1".to_owned(),
             RuleCfg {
                 include_tests: true, // fences are in non-test code anyway

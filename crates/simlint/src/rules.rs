@@ -7,6 +7,7 @@
 //! | D3 | determinism | ad-hoc RNG construction (`Rng::seed_from`) bypassing the labeled-stream API (`RngFactory::stream`/`substream`): unlabeled streams shift when a new consumer appears |
 //! | D4 | determinism | compound float accumulation (`+=` on a captured binding) inside a `par::map` closure: cross-worker accumulation order is nondeterministic |
 //! | D5 | determinism | sim-state type (`Rng`, `Calendar`, running statistics) held in a sim-crate file with no snapshot plumbing: checkpoint/resume silently loses that state |
+//! | D6 | determinism | compound mutation of a captured binding inside a `spawn(…)` closure: shard workers must exchange state through the mailbox/merge API, never by racing on shared captures |
 //! | H1 | hot path | allocation-prone calls (`Vec::new`, `clone`, `format!`, …) inside a `// simlint: hotpath(begin/end)` fence: the slab request path must not allocate in steady state |
 //! | H2 | hot path | `as` integer casts in `simcore::time` arithmetic: truncation silently wraps simulated nanoseconds; use checked/asserted conversions |
 //!
@@ -53,6 +54,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "D5",
         summary: "sim-state type held in a file with no snapshot plumbing (checkpoint/resume would lose it)",
         hint: "give the owning struct snap_save/snap_restore and wire it into its parent's snapshot (see DESIGN.md \"Snapshot & branch\"), or waive derived state with simlint: allow(D5)",
+    },
+    RuleInfo {
+        id: "D6",
+        summary: "shared mutable state reached from a spawn closure (bypasses the shard mailbox/merge API)",
+        hint: "send cross-shard effects as mailbox messages or return per-worker values and merge them in (time, shard, seq) order on the driver thread",
     },
     RuleInfo {
         id: "H1",
@@ -214,12 +220,56 @@ pub fn d3_unlabeled_rng(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
 /// from outside the parallel boundary, where completion order is
 /// nondeterministic.
 pub fn d4_parallel_accumulation(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
+    captured_accumulation(ctx, cfg, "D4", out, |line| find_token(line, "par::map"), |base, op| {
+        format!("`{base} {op} …` accumulates into a binding captured across the par::map boundary")
+    });
+}
+
+/// D6: compound mutation of a captured binding inside a `spawn(…)` closure.
+///
+/// The cross-shard analog of D4. Shard workers run cells concurrently; the
+/// only sanctioned channels between them are the per-window mailboxes
+/// (messages merged in `(time, shard, seq)` order at the barrier) and the
+/// driver-thread reduction after `join`. A worker closure that compound-
+/// assigns into state captured from outside the `spawn(…)` region is shared
+/// mutable state on a racy path — the merge order, and hence the run hash,
+/// would depend on thread scheduling.
+pub fn d6_shard_worker_capture(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
+    captured_accumulation(
+        ctx,
+        cfg,
+        "D6",
+        out,
+        |line| {
+            let at = find_token(line, "spawn")?;
+            let rest = line[at + "spawn".len()..].trim_start();
+            rest.starts_with('(').then_some(at)
+        },
+        |base, op| {
+            format!(
+                "`{base} {op} …` mutates shared state from a spawn closure (bypasses the shard mailbox/merge API)"
+            )
+        },
+    );
+}
+
+/// Shared scanner behind D4/D6: brace-matches the call region starting at
+/// the token located by `trigger`, collects bindings made inside it, and
+/// flags compound assignments to anything captured from outside.
+fn captured_accumulation(
+    ctx: &FileCtx,
+    cfg: &RuleCfg,
+    rule: &'static str,
+    out: &mut Vec<Finding>,
+    trigger: impl Fn(&str) -> Option<usize>,
+    describe: impl Fn(&str, &str) -> String,
+) {
     if !rule_in_scope(cfg, ctx.rel_path) {
         return;
     }
     let code = &ctx.model.code;
     for start in 0..code.len() {
-        let Some(call_at) = find_token(&code[start], "par::map") else {
+        let Some(call_at) = trigger(&code[start]) else {
             continue;
         };
         // Find the opening paren after `par::map` and brace-match to its close.
@@ -263,7 +313,7 @@ pub fn d4_parallel_accumulation(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Find
             if !cfg.include_tests && ctx.line_is_test(*idx) {
                 continue;
             }
-            if ctx.model.is_allowed(*idx, "D4") {
+            if ctx.model.is_allowed(*idx, rule) {
                 continue;
             }
             for op in ["+=", "-=", "*=", "/="] {
@@ -278,15 +328,7 @@ pub fn d4_parallel_accumulation(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Find
                     }
                     if let Some(base) = assign_base(&line[..at]) {
                         if !bound.iter().any(|b| b == &base) {
-                            push(
-                                out,
-                                ctx,
-                                "D4",
-                                *idx,
-                                format!(
-                                    "`{base} {op} …` accumulates into a binding captured across the par::map boundary"
-                                ),
-                            );
+                            push(out, ctx, rule, *idx, describe(&base, op));
                         }
                     }
                 }
@@ -519,6 +561,7 @@ pub fn run_all(ctx: &FileCtx, cfg: &crate::config::Config, out: &mut Vec<Finding
     d3_unlabeled_rng(ctx, &cfg.rule("D3"), out);
     d4_parallel_accumulation(ctx, &cfg.rule("D4"), out);
     d5_unsnapshotted_state(ctx, &cfg.rule("D5"), out);
+    d6_shard_worker_capture(ctx, &cfg.rule("D6"), out);
     h1_hotpath_alloc(ctx, &cfg.rule("H1"), out);
     h2_time_casts(ctx, &cfg.rule("H2"), out);
 }

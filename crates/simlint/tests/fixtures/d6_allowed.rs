@@ -1,0 +1,33 @@
+//! D6 fixture: the sanctioned shapes — per-worker values merged on the
+//! driver thread after join, mailbox sends, and an explicit waiver.
+
+pub fn drain_cells(cells: &mut [Cell]) -> u64 {
+    let counts = std::thread::scope(|s| {
+        let handles: Vec<_> = cells
+            .iter_mut()
+            .map(|cell| {
+                s.spawn(|| {
+                    let mut events = 0u64;
+                    cell.advance();
+                    events += cell.events();
+                    cell.outbox().push(cell.drain_msg());
+                    events
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    });
+    let mut total = 0u64;
+    for n in counts {
+        total += n;
+    }
+    total
+}
+
+pub fn drain_waived(cells: &mut [Cell], scratch: &mut Stats) {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            scratch.events += 1; // simlint: allow(D6)
+        });
+    });
+}

@@ -1,0 +1,13 @@
+//! D6 fixture: shard worker closure mutating state captured from outside —
+//! cross-shard effects must travel through the mailbox/merge API instead.
+
+pub fn drain_cells(cells: &mut [Cell], scratch: &mut Stats) {
+    std::thread::scope(|s| {
+        for cell in cells.iter_mut() {
+            s.spawn(|| {
+                cell.advance();
+                scratch.events += cell.events();
+            });
+        }
+    });
+}

@@ -144,6 +144,23 @@ fn d5_skips_files_that_participate_in_the_snapshot_registry() {
 }
 
 #[test]
+fn d6_fires_on_spawn_closure_mutating_captured_state() {
+    let rel = "crates/x/src/lib.rs";
+    let (findings, json) = lint_fixture("d6_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "D6"), "{findings:?}");
+    assert_json_lines(&json, "D6", rel, &[9]);
+}
+
+#[test]
+fn d6_silent_on_mailbox_sends_join_reduce_and_allow() {
+    let (findings, _) = lint_fixture("d6_allowed.rs", "crates/x/src/lib.rs");
+    assert!(
+        findings.is_empty(),
+        "mailbox/reduce/allowlisted: {findings:?}"
+    );
+}
+
+#[test]
 fn h1_fires_inside_fence_only() {
     let rel = "crates/x/src/lib.rs";
     let (findings, json) = lint_fixture("h1_bad.rs", rel);

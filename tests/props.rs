@@ -123,6 +123,38 @@ proptest! {
         popped.sort_unstable();
         prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
     }
+
+    #[test]
+    fn calendar_accounting_is_exact_across_overflow_migration(
+        // Spans the wheel horizon (~4.3e12 ns), so entries park in the
+        // overflow heap and migrate back as the wheel advances; the live
+        // count and high-water mark must track the model exactly through
+        // every migration (no entry counted twice, none lost).
+        times in proptest::collection::vec(0u64..10_000_000_000_000, 1..200),
+        pop_every in 2usize..8,
+    ) {
+        let mut cal = Calendar::new();
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        for (i, &t) in times.iter().enumerate() {
+            let at = SimTime::from_nanos(t).max(cal.now());
+            cal.schedule(at, i);
+            live += 1;
+            peak = peak.max(live);
+            if i % pop_every == 0 && cal.pop().is_some() {
+                live -= 1;
+            }
+            prop_assert_eq!(cal.len(), live);
+            prop_assert_eq!(cal.high_water(), peak);
+        }
+        while cal.pop().is_some() {
+            live -= 1;
+            prop_assert_eq!(cal.len(), live);
+        }
+        prop_assert_eq!(live, 0);
+        prop_assert_eq!(cal.high_water(), peak);
+        prop_assert!(cal.footprint_bytes() > 0);
+    }
 }
 
 // -------------------------------------------------------------- USL fitting
