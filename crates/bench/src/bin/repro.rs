@@ -11,6 +11,7 @@
 //! repro perf                   # simulator self-benchmark -> results/BENCH_simperf.json
 //! repro lint                   # static determinism & invariant pass (simlint)
 //! repro snap                   # snapshot/resume identity check -> results/snapshot_quick.bin
+//! repro chaos                  # fault-space search + shrink -> results/chaos_report.json
 //! ```
 //!
 //! Experiments: e1 … e27 (e14–e19 are extensions/validation, e20–e23 the
@@ -30,7 +31,7 @@ use std::time::Instant;
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
     "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23", "e24", "e25", "e26", "e27", "e28",
-    "a1", "a2", "a3", "a4",
+    "e29", "a1", "a2", "a3", "a4",
 ];
 
 fn list(json: bool) -> ! {
@@ -47,7 +48,7 @@ fn list(json: bool) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--jobs N] [--shards N] [--csv DIR] [--html FILE] [--gate BASELINE.json] <e1..e28 | a1..a4 | perf | snap | all>...\n\
+        "usage: repro [--quick] [--seed N] [--jobs N] [--shards N] [--csv DIR] [--html FILE] [--gate BASELINE.json] <e1..e29 | a1..a4 | perf | snap | chaos | all>...\n\
          e1  platform table          e8  placement comparison (+22% headline)\n\
          e2  TeaStore table          e9  latency at fixed load (−18% headline)\n\
          e3  load curve              e10 SMT study\n\
@@ -62,6 +63,7 @@ fn usage() -> ! {
          e23 recovery hysteresis     e24 population scale-up 1k..1M\n\
          e25 trace memory/fidelity   e26 mega-scale overload (100k users)\n\
          e27 warm-started sweeps     e28 shard-count scaling (events/s vs shards)\n\
+         e29 chaos sweep: sampled fault plans vs the mitigation grid\n\
          a1..a4 ablations\n\
          --shards N runs every shardable experiment (see `list --json`) with\n\
               N parallel-in-run cells; unshardable experiments ignore it\n\
@@ -69,6 +71,7 @@ fn usage() -> ! {
               with --gate, fail if events/s regress vs the committed baseline)\n\
          lint static determinism & invariant pass (simlint; fails on findings)
          snap snapshot/resume identity check (writes results/snapshot_quick.bin)\n\
+         chaos fault-space search + shrink (writes results/chaos_report.json)\n\
          list enumerate every experiment (--json for the machine-readable catalog)"
     );
     std::process::exit(2);
@@ -124,6 +127,7 @@ fn main() {
             "perf" => wanted.push("perf".to_owned()),
             "lint" => wanted.push("lint".to_owned()),
             "snap" => wanted.push("snap".to_owned()),
+            "chaos" => wanted.push("chaos".to_owned()),
             e if ALL.contains(&e) => wanted.push(e.to_owned()),
             _ => usage(),
         }
@@ -610,6 +614,19 @@ fn main() {
                     report.chart("E28: shard-count scaling — event rate", eps);
                     report.chart("E28: shard-count scaling — speedup", speedup);
                 }
+                r.table
+            }
+            "e29" => {
+                let r = exp::e29(&config);
+                csv = Some(("e29_chaos_sweep.csv".into(), exp::csv_e29(&r)));
+                r.table
+            }
+            "chaos" => {
+                let r = exp::chaos_search(&config);
+                std::fs::create_dir_all("results").expect("create results directory");
+                std::fs::write("results/chaos_report.json", r.report.to_json())
+                    .expect("write results/chaos_report.json");
+                println!("[wrote results/chaos_report.json]");
                 r.table
             }
             "snap" => match exp::snap_check(&config) {

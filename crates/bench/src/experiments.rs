@@ -41,6 +41,12 @@ pub struct Config {
     pub mega_users: Vec<u64>,
     /// Closed-loop populations for the E28 shard-scaling sweep.
     pub shard_users: Vec<u64>,
+    /// Plans the `repro chaos` search samples (shrinking included).
+    pub chaos_plans: u64,
+    /// Plans per arm of the E29 mitigation-grid sweep (no shrinking).
+    pub chaos_sweep_plans: u64,
+    /// Open-loop measurement window of the chaos runs.
+    pub chaos_measure: SimDuration,
 }
 
 impl Config {
@@ -55,6 +61,9 @@ impl Config {
             replica_sweep: vec![1, 2, 4, 8, 16, 24],
             mega_users: vec![1_000, 10_000, 100_000, 1_000_000],
             shard_users: vec![1_000_000, 10_000_000],
+            chaos_plans: 48,
+            chaos_sweep_plans: 24,
+            chaos_measure: SimDuration::from_secs(6),
         }
     }
 
@@ -69,6 +78,9 @@ impl Config {
             replica_sweep: vec![1, 2, 4],
             mega_users: vec![1_000, 10_000, 100_000],
             shard_users: vec![10_000, 100_000],
+            chaos_plans: 24,
+            chaos_sweep_plans: 10,
+            chaos_measure: SimDuration::from_secs(4),
         }
     }
 
@@ -2532,6 +2544,286 @@ pub fn snap_check(config: &Config) -> Result<(String, Vec<u8>), String> {
     Ok((table, bytes))
 }
 
+// ----------------------------------------------------------- chaos search
+
+/// `repro chaos` / E29 result: the search report plus presentation forms.
+#[derive(Debug, Clone)]
+pub struct ChaosStudy {
+    /// Measured saturation throughput of the chaos deployment.
+    pub capacity_rps: f64,
+    /// Offered open-loop load (70% of capacity).
+    pub rate_rps: f64,
+    /// The full deterministic search report.
+    pub report: scaleup::ChaosReport,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// E29 result: the mitigation-grid chaos sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosSweep {
+    /// Per arm: `(name, violations, plans, per-invariant counts)`.
+    pub rows: Vec<(String, scaleup::ChaosReport)>,
+    /// Rendered table.
+    pub table: String,
+}
+
+/// The mitigation arms of the chaos studies, in presentation order. The
+/// resilience knobs are calibrated from the fault-free baseline exactly
+/// like E18/E19/E21 (timeout = 4 × baseline p99; breaker open for 8
+/// timeouts); the retry budget matches E21's recovering arm.
+fn chaos_mitigations(
+    baseline: &RunReport,
+) -> Vec<(&'static str, Option<ResilienceParams>, Option<OverloadParams>)> {
+    let plain = derived_resilience(baseline, false).with_retry(RetryPolicy {
+        max_retries: 3,
+        ..RetryPolicy::default()
+    });
+    let breaker = derived_resilience(baseline, true).with_retry(RetryPolicy {
+        max_retries: 3,
+        ..RetryPolicy::default()
+    });
+    let budget = OverloadParams::default().with_retry_budget(RetryBudgetPolicy {
+        refill_per_success: 0.1,
+        cap: 50.0,
+        initial: 50.0,
+    });
+    vec![
+        ("none", None, None),
+        ("timeout+retry", Some(plain), None),
+        ("breaker", Some(breaker.clone()), None),
+        ("breaker+budget", Some(breaker), Some(budget)),
+    ]
+}
+
+/// Builds the chaos harness for one mitigation arm: the overload app at
+/// 70% of measured capacity, open loop, with the fault window in the
+/// middle of the measurement window and SLO thresholds derived from the
+/// arm's own fault-free baseline.
+fn chaos_lab(
+    config: &Config,
+    resilience: Option<ResilienceParams>,
+    overload: Option<OverloadParams>,
+) -> scaleup::ChaosLab {
+    let app = overload_app();
+    let mut lab = overload_lab(config, SimDuration::from_millis(500), config.chaos_measure);
+    // Probes fan out across plans (and findings); the engine itself stays
+    // serial so forked snapshots restore bit-identically.
+    lab.shards = 1;
+    let capacity_rps = overload_capacity(&lab, &app);
+    let rate_rps = 0.7 * capacity_rps;
+    lab.engine_params.resilience = resilience;
+    lab.engine_params.overload = overload;
+
+    // Thresholds come from a short fault-free probe of *this* arm, so a
+    // violation always means "the faults broke this configuration", never
+    // "the mitigation has different fault-free behaviour".
+    let mut probe = lab.clone();
+    probe.warmup = SimDuration::from_millis(500);
+    probe.measure = SimDuration::from_secs(2);
+    let deployment = overload_deployment(&app, &lab.topo);
+    let baseline = probe.run_app_open(&app, deployment.clone(), LbPolicy::LeastOutstanding, rate_rps);
+
+    let space = microsvc::PlanSpace {
+        instances: OVERLOAD_REPLICAS as u32,
+        from: SimTime::ZERO + lab.warmup + SimDuration::from_millis(500),
+        until: SimTime::ZERO + lab.warmup + SimDuration::from_millis(2000),
+        events_min: 4,
+        events_max: 8,
+    };
+    let slo = microsvc::SloPolicy {
+        p99_ceiling: baseline.latency_p99.mul_f64(8.0),
+        goodput_floor: 0.85,
+        recovery_frac: 0.9,
+        recovery_within: SimDuration::from_secs(1),
+        metastable_frac: 0.5,
+    };
+    scaleup::ChaosLab::new(
+        lab,
+        app,
+        deployment,
+        LbPolicy::LeastOutstanding,
+        rate_rps,
+        space,
+        slo,
+    )
+}
+
+/// `repro chaos` — fault-space search + shrink against the hardened
+/// configuration (breaker + retry budget). Samples `config.chaos_plans`
+/// plans from the labeled substream `("chaos.plan", index)` under the
+/// lab seed, checks each against the SLO oracle by forking one warm
+/// snapshot at the trigger instant, and delta-debugs every violation to a
+/// minimal reproducer.
+pub fn chaos_search(config: &Config) -> ChaosStudy {
+    let lab = chaos_harness(config);
+    let capacity_rps = lab.rate_rps() / 0.7;
+    let rate_rps = lab.rate_rps();
+    let report = lab.search(
+        config.lab.seed,
+        &scaleup::SearchOptions {
+            plans: config.chaos_plans,
+            shrink: true,
+        },
+    );
+    let mut table = format!(
+        "chaos search (breaker+budget arm, open loop at {rate_rps:.0} req/s = 70% of capacity)\n{} plans sampled from substream (\"chaos.plan\", i), seed {}\n",
+        report.plans, report.seed,
+    );
+    let _ = writeln!(
+        table,
+        "violations: {} / {} plans",
+        report.findings.len(),
+        report.plans
+    );
+    for (slo, n) in report.by_invariant() {
+        if n > 0 {
+            let _ = writeln!(table, "  {slo:<14} {n}");
+        }
+    }
+    for f in &report.findings {
+        let s = f.shrunk.as_ref().expect("chaos search shrinks");
+        let _ = writeln!(
+            table,
+            "plan {:04}: size {} -> minimal {} ({} probes, target {})",
+            f.index,
+            f.plan.size(),
+            s.minimal.size(),
+            s.probes,
+            f.target,
+        );
+        for line in s.minimal.describe().lines() {
+            let _ = writeln!(table, "    {line}");
+        }
+    }
+    let _ = writeln!(
+        table,
+        "chaos: plans={} violations={} trajectory={:#018x} minimal={:#018x}",
+        report.plans,
+        report.findings.len(),
+        report.trajectory_hash,
+        report.minimal_hash,
+    );
+    ChaosStudy {
+        capacity_rps,
+        rate_rps,
+        report,
+        table,
+    }
+}
+
+/// The `repro chaos` harness: the hardened (breaker + retry-budget) arm of
+/// the mitigation grid, ready to probe candidate plans. Public so the
+/// determinism and fork-vs-straight differential tests drive the very
+/// harness the CLI uses.
+pub fn chaos_harness(config: &Config) -> scaleup::ChaosLab {
+    let (resilience, overload) = chaos_mitigations_hardened(config);
+    chaos_lab(config, resilience, overload)
+}
+
+/// The hardened (breaker + budget) arm's knobs, derived from its own
+/// baseline — shared by `repro chaos` and the chaos tests.
+fn chaos_mitigations_hardened(
+    config: &Config,
+) -> (Option<ResilienceParams>, Option<OverloadParams>) {
+    // Calibrate from a fault-free probe of the *unmitigated* overload lab
+    // (mitigations change p99; the timeout must come from somewhere fixed).
+    let app = overload_app();
+    let mut probe = overload_lab(config, SimDuration::from_millis(500), SimDuration::from_secs(2));
+    probe.shards = 1;
+    let capacity_rps = overload_capacity(&probe, &app);
+    let baseline = probe.run_app_open(
+        &app,
+        overload_deployment(&app, &probe.topo),
+        LbPolicy::LeastOutstanding,
+        0.7 * capacity_rps,
+    );
+    let mut arms = chaos_mitigations(&baseline);
+    let (_, resilience, overload) = arms.remove(3);
+    (resilience, overload)
+}
+
+/// E29 — chaos sweep over the mitigation grid: the same sampled fault
+/// space run against no mitigation, timeout+retry, breaker, and
+/// breaker+budget. The per-invariant split is the story: naive retries
+/// *grow* the violating region (retry storms turn transient faults into
+/// recovery/metastability violations — E21 rediscovered by search), while
+/// the breaker arms eliminate the p99 and metastability violations and
+/// leave only the goodput dents that lost capacity makes unavoidable.
+/// No shrinking — the sweep only sizes the violating region per arm.
+pub fn e29(config: &Config) -> ChaosSweep {
+    let app = overload_app();
+    let mut probe = overload_lab(config, SimDuration::from_millis(500), SimDuration::from_secs(2));
+    probe.shards = 1;
+    let capacity_rps = overload_capacity(&probe, &app);
+    let baseline = probe.run_app_open(
+        &app,
+        overload_deployment(&app, &probe.topo),
+        LbPolicy::LeastOutstanding,
+        0.7 * capacity_rps,
+    );
+    let arms = chaos_mitigations(&baseline);
+    let opts = scaleup::SearchOptions {
+        plans: config.chaos_sweep_plans,
+        shrink: false,
+    };
+    // Arms run sequentially: each arm's search already fans its probes out
+    // across the worker pool.
+    let rows: Vec<(String, scaleup::ChaosReport)> = arms
+        .into_iter()
+        .map(|(name, resilience, overload)| {
+            let lab = chaos_lab(config, resilience, overload);
+            (name.to_owned(), lab.search(config.lab.seed, &opts))
+        })
+        .collect();
+
+    let mut table = format!(
+        "E29: chaos sweep over the mitigation grid ({} plans per arm, seed {})\nconfig            violations      p99     goodput   recovery   metastable\n",
+        config.chaos_sweep_plans, config.lab.seed,
+    );
+    for (name, report) in &rows {
+        let by = report.by_invariant();
+        let _ = writeln!(
+            table,
+            "{:<16} {:>6}/{:<6} {:>6} {:>11} {:>10} {:>12}",
+            name,
+            report.findings.len(),
+            report.plans,
+            by[0].1,
+            by[1].1,
+            by[2].1,
+            by[3].1,
+        );
+    }
+    table.push_str(
+        "each fault plan is replayable from (seed, index) alone; counts are per violated invariant\n",
+    );
+    ChaosSweep { rows, table }
+}
+
+/// CSV of the E29 sweep.
+pub fn csv_e29(sweep: &ChaosSweep) -> String {
+    let mut csv = String::from(
+        "config,plans,violations,p99_ceiling,goodput_floor,recovery,metastable,trajectory_hash\n",
+    );
+    for (name, report) in &sweep.rows {
+        let by = report.by_invariant();
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{:#018x}",
+            name,
+            report.plans,
+            report.findings.len(),
+            by[0].1,
+            by[1].1,
+            by[2].1,
+            by[3].1,
+            report.trajectory_hash,
+        );
+    }
+    csv
+}
+
 // ------------------------------------------------------- experiment catalog
 
 /// One entry of the experiment catalog: id, one-line title, and coarse
@@ -2614,7 +2906,9 @@ pub fn catalog() -> Vec<CatalogEntry> {
         e("e26", "mega-scale overload: admission sweep at 100k closed-loop users", 5.0, 45.0),
         e("e27", "warm-started sweeps: one shared checkpoint serves a measurement grid", 2.0, 60.0),
         sh("e28", "shard-count scaling: events/s and speedup vs shards (parallel-in-run)", 20.0, 600.0),
+        e("e29", "chaos sweep: sampled fault plans vs the mitigation grid", 30.0, 180.0),
         e("snap", "snapshot/resume identity self-check (writes results/snapshot_quick.bin)", 1.0, 15.0),
+        e("chaos", "fault-space search + shrink (writes results/chaos_report.json)", 30.0, 120.0),
         e("lint", "static determinism & invariant pass (simlint)", 0.1, 0.1),
         e("a1", "ablation: topology-aware packing objective", 1.0, 20.0),
         e("a2", "ablation: load-balancer policy under pod placement", 1.0, 20.0),
@@ -3286,13 +3580,13 @@ mod tests {
     #[test]
     fn catalog_covers_every_runnable_experiment() {
         let names: Vec<&str> = catalog().iter().map(|e| e.id).collect();
-        for e in 1..=28 {
+        for e in 1..=29 {
             assert!(names.contains(&format!("e{e}").as_str()), "missing e{e}");
         }
         for a in 1..=4 {
             assert!(names.contains(&format!("a{a}").as_str()), "missing a{a}");
         }
-        for extra in ["lint", "snap"] {
+        for extra in ["lint", "snap", "chaos"] {
             assert!(names.contains(&extra), "missing {extra}");
         }
     }

@@ -4,8 +4,8 @@ use crate::placement::{PlacedDeployment, Policy};
 use cputopo::Topology;
 use loadgen::{ClosedLoop, OpenLoop};
 use microsvc::{
-    mix_seed, AppSpec, Deployment, Engine, EngineParams, LbPolicy, RunReport, ShardSpec,
-    ShardedRun,
+    mix_seed, AppSpec, Deployment, Engine, EngineParams, FaultPlan, LbPolicy, RunReport,
+    ShardSpec, ShardedRun,
 };
 use simcore::{SimDuration, SimTime, SnapError, SnapReader, SnapWriter};
 use std::sync::Arc;
@@ -17,13 +17,18 @@ use teastore::TeaStore;
 /// exactly. `reseed` perturbs every random stream with the given salt, so
 /// two branches with different salts explore different trajectories from
 /// the same history; `demand_scale` multiplies per-instance CPU demand, the
-/// "requests get x% more expensive from here on" what-if.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// "requests get x% more expensive from here on" what-if; `faults` installs
+/// a fault plan whose activity starts at or after the checkpoint instant —
+/// the fork-at-the-trigger primitive of the chaos search (the checkpointed
+/// run must itself be fault-free; see [`Engine::install_fault_plan`]).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BranchOverrides {
     /// Salt for perturbing the engine's random streams; `None` keeps them.
     pub reseed: Option<u64>,
     /// Multiplier on every instance's CPU demand; `None` keeps it.
     pub demand_scale: Option<f64>,
+    /// A fault plan to inject from the fork point on; `None` injects none.
+    pub faults: Option<FaultPlan>,
 }
 
 /// A configured scale-up laboratory: machine, engine parameters, load shape.
@@ -322,14 +327,22 @@ impl Lab {
         let mut r = SnapReader::new(bytes)?;
         engine.snap_restore(&mut r)?;
         load.snap_restore(&mut r)?;
+        Self::apply_overrides(&mut engine, overrides);
+        engine.run_resumed(&mut load, self.horizon());
+        Ok(engine.report())
+    }
+
+    /// Applies [`BranchOverrides`] to a freshly restored engine.
+    fn apply_overrides(engine: &mut Engine, overrides: &BranchOverrides) {
         if let Some(salt) = overrides.reseed {
             engine.perturb_rngs(salt);
         }
         if let Some(scale) = overrides.demand_scale {
             engine.apply_demand_scale(scale);
         }
-        engine.run_resumed(&mut load, self.horizon());
-        Ok(engine.report())
+        if let Some(faults) = &overrides.faults {
+            engine.install_fault_plan(faults.clone());
+        }
     }
 
     /// Builds the engine + open-loop driver pair (see [`Lab::build_closed`]).
@@ -425,6 +438,50 @@ impl Lab {
         let (mut engine, mut load) = self.build_open(app, deployment, lb, rate_rps);
         engine.run(&mut load, self.horizon());
         engine.report()
+    }
+
+    /// Runs `app` under the open-loop load until `at` and returns the
+    /// serialized state of the run — the open-loop twin of
+    /// [`Lab::snapshot_app`]. Consumers rebuild the engine from the same
+    /// `(app, deployment, lb, rate_rps)` configuration and resume or fork
+    /// via [`Lab::branch_app_open`].
+    pub fn snapshot_app_open(
+        &self,
+        app: &AppSpec,
+        deployment: Deployment,
+        lb: LbPolicy,
+        rate_rps: f64,
+        at: SimTime,
+    ) -> Vec<u8> {
+        let (mut engine, mut load) = self.build_open(app, deployment, lb, rate_rps);
+        engine.run(&mut load, at);
+        let mut w = SnapWriter::new();
+        engine.snap_save(&mut w);
+        load.snap_save(&mut w);
+        w.finish()
+    }
+
+    /// Resumes a [`Lab::snapshot_app_open`] checkpoint with
+    /// [`BranchOverrides`] applied at the fork point and runs it to
+    /// completion. `app`, `deployment`, `lb`, and `rate_rps` must match what
+    /// the snapshot was taken from; a mismatch is rejected with a
+    /// [`SnapError`] diagnostic.
+    pub fn branch_app_open(
+        &self,
+        app: &AppSpec,
+        deployment: Deployment,
+        lb: LbPolicy,
+        rate_rps: f64,
+        bytes: &[u8],
+        overrides: &BranchOverrides,
+    ) -> Result<RunReport, SnapError> {
+        let (mut engine, mut load) = self.build_open(app, deployment, lb, rate_rps);
+        let mut r = SnapReader::new(bytes)?;
+        engine.snap_restore(&mut r)?;
+        load.snap_restore(&mut r)?;
+        Self::apply_overrides(&mut engine, overrides);
+        engine.run_resumed(&mut load, self.horizon());
+        Ok(engine.report())
     }
 
     /// Places TeaStore with `policy` (see [`Policy::deploy`]) and runs it.
@@ -532,6 +589,7 @@ mod tests {
                 &BranchOverrides {
                     reseed: Some(salt),
                     demand_scale: None,
+                    faults: None,
                 },
             )
             .expect("branch restores")
@@ -567,6 +625,7 @@ mod tests {
                 &BranchOverrides {
                     reseed: None,
                     demand_scale: scale,
+                    faults: None,
                 },
             )
             .expect("branch restores")

@@ -34,6 +34,7 @@
 //!     100.0 * (optimized.throughput_rps / baseline.throughput_rps - 1.0));
 //! ```
 
+pub mod chaos;
 pub mod html;
 pub mod lab;
 pub mod par;
@@ -45,6 +46,7 @@ pub mod scaling;
 pub mod tuner;
 pub mod usl;
 
+pub use chaos::{ChaosFinding, ChaosLab, ChaosReport, SearchOptions, ShrunkFinding};
 pub use lab::{BranchOverrides, Lab};
 pub use placement::{Objective, PlacedDeployment, Policy};
 pub use usl::UslFit;

@@ -2503,6 +2503,63 @@ impl Engine {
         self.resil_rng.perturb(salt);
     }
 
+    /// Installs a fault plan into a running (typically just-restored) engine
+    /// whose own plan is empty, scheduling the plan's crash/slowdown events
+    /// into the live calendar. This is the fork-at-the-trigger primitive of
+    /// the chaos search: one warm fault-free snapshot taken at the trigger
+    /// instant is branched into many engines, each continuing under a
+    /// different candidate plan. Because the engine's configuration
+    /// fingerprint covers the fault plan, a snapshot can only be restored
+    /// into an engine with the *same* (empty) plan — the divergent plan is
+    /// applied here, after the restore, exactly like the other branch
+    /// overrides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine already has a fault plan (the slowdown events in
+    /// the calendar index it by position, so merging would be ambiguous), if
+    /// the plan fails [`FaultPlan`] validation against this deployment, or if
+    /// any fault activity starts before the current simulation time (the
+    /// shared history must be fault-free for the fork to be meaningful).
+    pub fn install_fault_plan(&mut self, faults: FaultPlan) {
+        assert!(
+            self.params.faults.is_empty(),
+            "install_fault_plan requires an engine with an empty fault plan"
+        );
+        faults.validate(self.instances.len());
+        let now = self.now();
+        let starts_late = |at: SimTime, what: &str| {
+            assert!(
+                at >= now,
+                "fault plan {what} starts at {at}, before the branch point {now}"
+            );
+        };
+        for c in &faults.crashes {
+            starts_late(c.at, "crash");
+            let instance = c.instance.0;
+            self.cal.schedule(c.at, Event::CrashStart { instance });
+            self.cal
+                .schedule(c.at + c.restart_after, Event::CrashEnd { instance });
+        }
+        for (idx, s) in faults.slowdowns.iter().enumerate() {
+            starts_late(s.from, "slowdown");
+            let instance = s.instance.0;
+            self.cal.schedule(
+                s.from,
+                Event::SlowStart {
+                    instance,
+                    slowdown: idx as u32,
+                },
+            );
+            self.cal.schedule(s.until, Event::SlowEnd { instance });
+        }
+        for r in &faults.reply_faults {
+            starts_late(r.from, "reply fault");
+        }
+        self.fault_aware = self.fault_aware || !faults.is_empty();
+        self.params.faults = faults;
+    }
+
     /// Multiplies every instance's CPU-demand factor by `factor`: a what-if
     /// override for branched runs ("same history, x% more expensive requests
     /// from here on").

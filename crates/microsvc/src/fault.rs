@@ -211,11 +211,19 @@ impl FaultPlan {
     }
 
     /// Checks that every referenced instance exists in a deployment of
-    /// `instances` instances.
+    /// `instances` instances, that no window is zero-length, and that no two
+    /// crash windows of the same instance overlap.
+    ///
+    /// Zero-length windows and overlapping same-instance crashes would be
+    /// silent no-ops or double-crash ambiguities (the second `CrashStart`
+    /// fires on an instance that is already down, and its `CrashEnd` revives
+    /// it early) — both make shrink steps over the fault space ambiguous, so
+    /// they are rejected up front rather than interpreted.
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range instance id.
+    /// Panics on an out-of-range instance id, a zero-length window, or
+    /// overlapping crash windows for the same instance.
     pub(crate) fn validate(&self, instances: usize) {
         let check = |id: InstanceId| {
             assert!(
@@ -223,9 +231,52 @@ impl FaultPlan {
                 "fault plan references {id}, but the deployment has only {instances} instances"
             );
         };
-        self.crashes.iter().for_each(|c| check(c.instance));
-        self.slowdowns.iter().for_each(|s| check(s.instance));
-        self.reply_faults.iter().for_each(|r| check(r.instance));
+        for c in &self.crashes {
+            check(c.instance);
+            assert!(
+                c.restart_after > SimDuration::ZERO,
+                "zero-length crash window: {} crashes at {} with restart_after = 0",
+                c.instance,
+                c.at
+            );
+        }
+        for s in &self.slowdowns {
+            check(s.instance);
+            assert!(
+                s.from < s.until,
+                "zero-length slowdown window: {} at [{}, {})",
+                s.instance,
+                s.from,
+                s.until
+            );
+        }
+        for r in &self.reply_faults {
+            check(r.instance);
+            assert!(
+                r.from < r.until,
+                "zero-length reply-fault window: {} at [{}, {})",
+                r.instance,
+                r.from,
+                r.until
+            );
+        }
+        for (i, a) in self.crashes.iter().enumerate() {
+            for b in &self.crashes[i + 1..] {
+                if a.instance != b.instance {
+                    continue;
+                }
+                let (a_end, b_end) = (a.at + a.restart_after, b.at + b.restart_after);
+                assert!(
+                    a_end <= b.at || b_end <= a.at,
+                    "overlapping crash windows for {}: [{}, {}) and [{}, {})",
+                    a.instance,
+                    a.at,
+                    a_end,
+                    b.at,
+                    b_end
+                );
+            }
+        }
     }
 }
 
@@ -293,6 +344,51 @@ mod tests {
     fn validate_rejects_unknown_instance() {
         FaultPlan::none()
             .crash(InstanceId(7), ms(1), SimDuration::from_millis(1))
+            .validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping crash windows")]
+    fn validate_rejects_overlapping_crashes_of_one_instance() {
+        FaultPlan::none()
+            .crash(InstanceId(0), ms(10), SimDuration::from_millis(20))
+            .crash(InstanceId(0), ms(25), SimDuration::from_millis(10))
+            .validate(1);
+    }
+
+    #[test]
+    fn validate_accepts_adjacent_and_cross_instance_crashes() {
+        // Back-to-back windows of one instance and overlapping windows of
+        // *different* instances are both fine: only a same-instance overlap
+        // is ambiguous.
+        FaultPlan::none()
+            .crash(InstanceId(0), ms(10), SimDuration::from_millis(10))
+            .crash(InstanceId(0), ms(20), SimDuration::from_millis(10))
+            .crash(InstanceId(1), ms(15), SimDuration::from_millis(30))
+            .validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length crash window")]
+    fn validate_rejects_zero_length_crash() {
+        FaultPlan::none()
+            .crash(InstanceId(0), ms(10), SimDuration::ZERO)
+            .validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length slowdown window")]
+    fn validate_rejects_zero_length_slowdown() {
+        FaultPlan::none()
+            .slowdown(InstanceId(0), ms(10), ms(10), 4.0)
+            .validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length reply-fault window")]
+    fn validate_rejects_zero_length_reply_fault() {
+        FaultPlan::none()
+            .reply_fault(InstanceId(0), ms(10), ms(10), 0.5, SimDuration::ZERO)
             .validate(1);
     }
 

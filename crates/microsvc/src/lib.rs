@@ -61,6 +61,7 @@
 //! ```
 
 pub mod app;
+pub mod chaos;
 pub mod deploy;
 pub mod driver;
 pub mod engine;
@@ -74,6 +75,9 @@ pub mod shard;
 pub mod trace;
 
 pub use app::{AppSpec, CallNode, CallStage, Demand, RequestClass, ServiceSpec};
+pub use chaos::{
+    shrink, ChaosPlan, FaultEvent, OracleCtx, PlanSpace, ShrinkOutcome, Slo, SloPolicy, Verdict,
+};
 pub use deploy::{Deployment, InstanceConfig};
 pub use driver::{Driver, EngineCtx, Outcome, ResponseInfo};
 pub use engine::{Engine, EngineParams};

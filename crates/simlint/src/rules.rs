@@ -4,7 +4,7 @@
 //! |------|-------|-----------------|
 //! | D1 | determinism | `std::collections::HashMap`/`HashSet` in sim state: SipHash's per-instance seeds make iteration order *and capacity* (hence reported footprints) vary run to run |
 //! | D2 | determinism | wall-clock reads (`Instant::now`, `SystemTime`) outside the perf-calibration allowlist: simulations must only read `SimTime` |
-//! | D3 | determinism | ad-hoc RNG construction (`Rng::seed_from`) bypassing the labeled-stream API (`RngFactory::stream`/`substream`): unlabeled streams shift when a new consumer appears |
+//! | D3 | determinism | ad-hoc RNG construction (`Rng::seed_from`) or positional forking (`rng.fork()`) bypassing the labeled-stream API (`RngFactory::stream`/`substream`): unlabeled streams shift when a new consumer appears |
 //! | D4 | determinism | compound float accumulation (`+=` on a captured binding) inside a `par::map` closure: cross-worker accumulation order is nondeterministic |
 //! | D5 | determinism | sim-state type (`Rng`, `Calendar`, running statistics) held in a sim-crate file with no snapshot plumbing: checkpoint/resume silently loses that state |
 //! | D6 | determinism | compound mutation of a captured binding inside a `spawn(…)` closure: shard workers must exchange state through the mailbox/merge API, never by racing on shared captures |
@@ -42,7 +42,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "D3",
-        summary: "RNG constructed outside the labeled-stream API",
+        summary: "RNG constructed or forked outside the labeled-stream API",
         hint: "derive generators via RngFactory::stream(label) / substream(label, i) so streams stay partitionable",
     },
     RuleInfo {
@@ -196,7 +196,8 @@ pub fn d2_wall_clock(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
     });
 }
 
-/// D3: direct RNG seeding outside the labeled-stream API.
+/// D3: direct RNG seeding — or unlabeled forking — outside the
+/// labeled-stream API.
 pub fn d3_unlabeled_rng(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
     per_line_rule(ctx, cfg, "D3", out, |line| {
         if let Some(at) = find_token(line, "seed_from") {
@@ -205,6 +206,19 @@ pub fn d3_unlabeled_rng(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
             // rng.rs, so anything reaching here is a bypass.
             if rest.starts_with('(') {
                 return Some("RNG seeded directly (bypasses labeled streams)".to_owned());
+            }
+        }
+        // `rng.fork()` derives a child whose identity is positional: insert
+        // one more fork upstream and every later child shifts. Generative
+        // samplers (the chaos plan space) must use substream(label, index)
+        // so each draw is replayable from its coordinates alone.
+        if let Some(at) = find_token(line, "fork") {
+            let rest = line[at + "fork".len()..].trim_start();
+            if rest.starts_with('(') && line[..at].ends_with('.') {
+                return Some(
+                    "RNG forked positionally (unlabeled child stream; use substream(label, index))"
+                        .to_owned(),
+                );
             }
         }
         None

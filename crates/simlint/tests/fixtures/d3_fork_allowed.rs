@@ -1,0 +1,15 @@
+//! D3 fixture: the labeled twin — every draw is addressed by coordinates,
+//! plus an explicitly allowlisted fork.
+
+pub fn sample_plans(factory: &simcore::rng::RngFactory, seed: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for index in 0..4u64 {
+        let mut child = factory.substream("chaos.plan", index);
+        out.push(child.next_u64());
+    }
+    let mut parent = factory.stream("legacy");
+    let mut waived = parent.fork(); // simlint: allow(D3)
+    out.push(waived.next_u64());
+    let _ = seed;
+    out
+}

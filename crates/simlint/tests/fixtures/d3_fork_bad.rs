@@ -1,0 +1,13 @@
+//! D3 fixture: positional forking — the chaos-sampler bypass. Each child's
+//! identity is its fork *order*, so inserting one draw upstream shifts
+//! every plan sampled after it.
+
+pub fn sample_plans(factory: &simcore::rng::RngFactory) -> Vec<u64> {
+    let mut parent = factory.stream("chaos.plan");
+    let mut out = Vec::new();
+    for _ in 0..4 {
+        let mut child = parent.fork();
+        out.push(child.next_u64());
+    }
+    out
+}

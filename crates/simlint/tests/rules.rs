@@ -95,6 +95,22 @@ fn d3_respects_allow() {
 }
 
 #[test]
+fn d3_fires_on_positional_forking() {
+    // The chaos-sampler path: plans must come from substream(label, index),
+    // never from fork-order identity.
+    let rel = "crates/microsvc/src/chaos.rs";
+    let (findings, json) = lint_fixture("d3_fork_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "D3"));
+    assert_json_lines(&json, "D3", rel, &[9]);
+}
+
+#[test]
+fn d3_forking_respects_labels_and_allow() {
+    let (findings, _) = lint_fixture("d3_fork_allowed.rs", "crates/microsvc/src/chaos.rs");
+    assert!(findings.is_empty(), "labeled / allowlisted: {findings:?}");
+}
+
+#[test]
 fn d4_fires_on_captured_accumulation() {
     let rel = "crates/x/src/lib.rs";
     let (findings, json) = lint_fixture("d4_bad.rs", rel);

@@ -100,6 +100,7 @@ mod perturbation {
                 &BranchOverrides {
                     reseed: Some(1),
                     demand_scale: None,
+                    faults: None,
                 },
             )
             .expect("branch from an in-process snapshot");

@@ -380,9 +380,21 @@ proptest! {
         let instances = deployment.iter().count() as u32;
         let us = |v: u64| SimTime::from_nanos(v * 1_000);
         let mut plan = FaultPlan::none();
+        // Overlapping same-instance crash windows are rejected by
+        // `FaultPlan::validate`; drop any sampled crash that would overlap
+        // one already in the plan rather than filtering the whole case.
+        let mut windows: Vec<(u32, u64, u64)> = Vec::new();
         for &(i, at, down) in &crashes {
+            let inst = i % instances;
+            let overlaps = windows
+                .iter()
+                .any(|&(w_inst, w_at, w_end)| w_inst == inst && at < w_end && w_at < at + down);
+            if overlaps {
+                continue;
+            }
+            windows.push((inst, at, at + down));
             plan = plan.crash(
-                InstanceId(i % instances),
+                InstanceId(inst),
                 us(at),
                 simcore::SimDuration::from_micros(down),
             );

@@ -58,20 +58,24 @@ fn shards_1_is_the_legacy_engine_byte_for_byte() {
     assert_eq!(exp::e22(&legacy).table, exp::e22(&one).table);
 }
 
-/// Recorded per-shard-count golden hashes for the E3/E8/E18/E22 battery,
-/// quick config, seed 42: `(shards, e3, e8, e18, e22)`. Each row was
-/// verified stable across reruns and worker counts before recording.
-const SHARDED_GOLDENS: &[(u32, u64, u64, u64, u64)] = &[
-    (2, 0xc8bc_4dc2_44ab_c544, 0xfe6a_cb2e_8c29_1809, 0x4c65_0bd7_8e92_0c2c, 0x8aa8_f4bf_1580_ca88),
-    (4, 0x4d32_7a4f_873c_486a, 0x465c_1968_a117_89e8, 0x7280_de87_3bf0_84c1, 0x5e5f_a7aa_8e28_9d82),
-    (8, 0xd077_51e7_b919_ee0d, 0x49b8_3055_293c_4425, 0xae74_cadf_7bce_e756, 0x6a3d_9a32_5f1b_62ff),
+/// Recorded per-shard-count golden hashes for the E3/E8/E18/E19/E22
+/// battery, quick config, seed 42: `(shards, e3, e8, e18, e19, e22)`. Each
+/// row was verified stable across reruns and worker counts before
+/// recording. E19 (crash & recovery) completes the resilience pair: its
+/// runs route through the same sharded cells, so the crash/restart events
+/// must land identically at every shard count.
+const SHARDED_GOLDENS: &[(u32, u64, u64, u64, u64, u64)] = &[
+    (2, 0xc8bc_4dc2_44ab_c544, 0xfe6a_cb2e_8c29_1809, 0x4c65_0bd7_8e92_0c2c, 0xde07_0902_30d6_7508, 0x8aa8_f4bf_1580_ca88),
+    (4, 0x4d32_7a4f_873c_486a, 0x465c_1968_a117_89e8, 0x7280_de87_3bf0_84c1, 0x82cb_bf32_193d_703d, 0x5e5f_a7aa_8e28_9d82),
+    (8, 0xd077_51e7_b919_ee0d, 0x49b8_3055_293c_4425, 0xae74_cadf_7bce_e756, 0xe673_5a30_996a_b3aa, 0x6a3d_9a32_5f1b_62ff),
 ];
 
-fn battery(shards: u32, e3: u64, e8: u64, e18: u64, e22: u64) {
+fn battery(shards: u32, e3: u64, e8: u64, e18: u64, e19: u64, e22: u64) {
     let config = sharded_config(shards, 0);
     assert_golden("E3", shards, &exp::e3(&config).table, e3);
     assert_golden("E8", shards, &exp::e8(&config).table, e8);
     assert_golden("E18", shards, &exp::e18(&config).table, e18);
+    assert_golden("E19", shards, &exp::e19(&config).table, e19);
     assert_golden("E22", shards, &exp::e22(&config).table, e22);
 }
 
@@ -79,21 +83,21 @@ fn battery(shards: u32, e3: u64, e8: u64, e18: u64, e22: u64) {
 fn sharded_battery_matches_goldens_at_2_shards() {
     let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let g = SHARDED_GOLDENS[0];
-    battery(g.0, g.1, g.2, g.3, g.4);
+    battery(g.0, g.1, g.2, g.3, g.4, g.5);
 }
 
 #[test]
 fn sharded_battery_matches_goldens_at_4_shards() {
     let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let g = SHARDED_GOLDENS[1];
-    battery(g.0, g.1, g.2, g.3, g.4);
+    battery(g.0, g.1, g.2, g.3, g.4, g.5);
 }
 
 #[test]
 fn sharded_battery_matches_goldens_at_8_shards() {
     let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let g = SHARDED_GOLDENS[2];
-    battery(g.0, g.1, g.2, g.3, g.4);
+    battery(g.0, g.1, g.2, g.3, g.4, g.5);
 }
 
 #[test]

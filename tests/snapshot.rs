@@ -150,6 +150,7 @@ fn same_branch_salt_forks_identically_different_salts_diverge() {
             &BranchOverrides {
                 reseed: Some(salt),
                 demand_scale: None,
+                faults: None,
             },
         )
         .expect("fork from an in-process snapshot")
