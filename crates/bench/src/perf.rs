@@ -8,7 +8,9 @@
 //! speedup of the timer-wheel/slab/memo work stays visible in CI artifacts.
 
 use loadgen::ClosedLoop;
-use microsvc::{mix_seed, Deployment, Engine, EngineParams, ShardSpec, ShardedRun};
+use microsvc::{
+    mix_seed, Deployment, Engine, EngineParams, ShardSpec, ShardedRun, SyncStats, WindowPolicy,
+};
 use simcore::{SimDuration, SimTime};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -142,6 +144,11 @@ struct Scenario {
     /// part of the scenario: sharded event totals are deterministic *per
     /// shard count*, so the gate must always compare like with like.
     shards: u32,
+    /// Window-synchronization policy for sharded scenarios. Never changes
+    /// the simulated result — only how many barrier crossings (and
+    /// rollbacks) it takes to get there, which is exactly what the
+    /// speculative scenario benchmarks.
+    policy: WindowPolicy,
 }
 
 /// The flagship scenario — identical to the one the baseline was timed on.
@@ -154,6 +161,7 @@ const FLAGSHIP: Scenario = Scenario {
     measure_ms: 2000,
     coalesce_ms: 0,
     shards: 1,
+    policy: WindowPolicy::Conservative,
 };
 
 /// A desktop-sized scenario cheap enough for CI smoke runs.
@@ -166,6 +174,7 @@ const DESKTOP: Scenario = Scenario {
     measure_ms: 300,
     coalesce_ms: 0,
     shards: 1,
+    policy: WindowPolicy::Conservative,
 };
 
 /// The mega scenario: one million closed-loop users on the 2-socket
@@ -183,6 +192,7 @@ const MEGA: Scenario = Scenario {
     measure_ms: 1500,
     coalesce_ms: 5,
     shards: 1,
+    policy: WindowPolicy::Conservative,
 };
 
 /// The sharded mega scenario: ten million closed-loop users split over 8
@@ -201,6 +211,29 @@ const MEGA_SHARDED: Scenario = Scenario {
     measure_ms: 1500,
     coalesce_ms: 10,
     shards: 8,
+    policy: WindowPolicy::Conservative,
+};
+
+/// [`MEGA_SHARDED`] under speculative window synchronization: identical
+/// workload, cells, and (by the determinism contract) simulated results —
+/// only the barrier count, the rollback work, and the wall clock differ.
+/// Riding the same gate baseline as every other scenario, it keeps the
+/// pay-as-you-go synchronization honest in CI: the `barriers_per_sim_sec`
+/// figures this pair writes to `results/BENCH_simperf.json` are the
+/// headline comparison (conservative crosses two barriers per 1 ms window;
+/// speculation amortizes them over whole rounds).
+const MEGA_SPECULATIVE: Scenario = Scenario {
+    name: "teastore_mega_speculative",
+    big_machine: true,
+    users: 10_000_000,
+    think_ms: 100_000,
+    warmup_ms: 500,
+    measure_ms: 1500,
+    coalesce_ms: 10,
+    shards: 8,
+    policy: WindowPolicy::Speculative {
+        cap: microsvc::DEFAULT_LOOKAHEAD_CAP,
+    },
 };
 
 /// Measured result of one scenario (best of `reps` repetitions).
@@ -229,6 +262,12 @@ pub struct PerfRun {
     pub allocations: Option<u64>,
     /// Live heap bytes held at the end of the run (`alloc-count` only).
     pub live_bytes: Option<i64>,
+    /// Window-synchronization counters (sharded scenarios only).
+    pub sync: Option<SyncStats>,
+    /// Barrier crossings per simulated second (sharded scenarios only) —
+    /// the figure the window policies compete on. Deterministic per
+    /// (scenario, policy), unlike the wall-clock columns.
+    pub barriers_per_sim_sec: Option<f64>,
 }
 
 struct OnceResult {
@@ -239,6 +278,8 @@ struct OnceResult {
     footprint: u64,
     allocations: Option<u64>,
     live_bytes: Option<i64>,
+    /// Sync counters and simulated seconds (sharded scenarios only).
+    sync: Option<(SyncStats, f64)>,
 }
 
 fn run_once(s: &Scenario) -> OnceResult {
@@ -282,6 +323,7 @@ fn run_once(s: &Scenario) -> OnceResult {
         footprint: (engine.footprint_bytes() + load.footprint_bytes()) as u64,
         allocations,
         live_bytes,
+        sync: None,
     }
 }
 
@@ -326,13 +368,15 @@ fn run_once_sharded(s: &Scenario) -> OnceResult {
             (engine, load)
         })
         .collect();
-    let mut run = ShardedRun::new(cells, spec);
+    let mut run = ShardedRun::new(cells, spec).with_policy(s.policy);
     let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     #[cfg(feature = "alloc-count")]
     let alloc_before = alloc_count::snapshot();
     let t0 = Instant::now();
     run.run(SimTime::from_secs(60), workers);
     let wall = t0.elapsed().as_secs_f64();
+    let sim_secs = (run.now().as_nanos() as f64 / 1e9).max(1e-9);
+    let sync = Some((run.sync_stats(), sim_secs));
     #[cfg(feature = "alloc-count")]
     let (allocations, live_bytes) = {
         let after = alloc_count::snapshot();
@@ -349,6 +393,7 @@ fn run_once_sharded(s: &Scenario) -> OnceResult {
         footprint: report.engine_footprint_bytes + driver_bytes,
         allocations,
         live_bytes,
+        sync,
     }
 }
 
@@ -384,6 +429,10 @@ fn measure_paired(s: &Scenario, reps: usize, paired: bool) -> (PerfRun, Vec<(f64
             bytes_per_user: last.footprint as f64 / s.users as f64,
             allocations: last.allocations,
             live_bytes: last.live_bytes,
+            sync: last.sync.map(|(stats, _)| stats),
+            barriers_per_sim_sec: last
+                .sync
+                .map(|(stats, sim_secs)| stats.barriers as f64 / sim_secs),
         },
         pairs,
     )
@@ -404,6 +453,7 @@ pub fn run(quick: bool) -> (String, String) {
                 measure(&DESKTOP, 2),
                 measure(&MEGA, 1),
                 measure(&MEGA_SHARDED, 1),
+                measure(&MEGA_SPECULATIVE, 1),
             ],
             Vec::new(),
         )
@@ -416,6 +466,7 @@ pub fn run(quick: bool) -> (String, String) {
                 flagship,
                 measure(&MEGA, 2),
                 measure(&MEGA_SHARDED, 2),
+                measure(&MEGA_SPECULATIVE, 2),
             ],
             pairs,
         )
@@ -455,6 +506,13 @@ fn render(runs: &[PerfRun], pairs: &[(f64, f64)]) -> (String, String) {
             r.peak_rss_bytes as f64 / (1024.0 * 1024.0),
             r.bytes_per_user,
         );
+        if let (Some(sync), Some(bpss)) = (r.sync, r.barriers_per_sim_sec) {
+            let _ = writeln!(
+                table,
+                "{:<30} sync: {} barriers ({:.0}/sim-s), {} rounds, {} rollbacks, {} replayed events",
+                "", sync.barriers, bpss, sync.rounds, sync.rollbacks, sync.replayed_events
+            );
+        }
         if let (Some(allocs), Some(live)) = (r.allocations, r.live_bytes) {
             let _ = writeln!(
                 table,
@@ -512,6 +570,13 @@ fn render(runs: &[PerfRun], pairs: &[(f64, f64)]) -> (String, String) {
             r.peak_rss_bytes,
             r.bytes_per_user
         );
+        if let (Some(sync), Some(bpss)) = (r.sync, r.barriers_per_sim_sec) {
+            let _ = write!(
+                json,
+                ", \"barriers\": {}, \"barriers_per_sim_sec\": {:.1}, \"rounds\": {}, \"rollbacks\": {}, \"replayed_events\": {}",
+                sync.barriers, bpss, sync.rounds, sync.rollbacks, sync.replayed_events
+            );
+        }
         if let (Some(allocs), Some(live)) = (r.allocations, r.live_bytes) {
             let _ = write!(json, ", \"allocations\": {allocs}, \"live_bytes\": {live}");
         }
@@ -616,8 +681,13 @@ pub fn gate_with_calib(
     );
     let mut compared = 0;
     let mut failed = false;
+    // Per-scenario verdicts: every committed scenario gets its own line —
+    // a pass, a fail, or an explicit skip. A scenario absent from the
+    // current run (e.g. the flagship, which quick mode doesn't time) used
+    // to vanish silently, which read as "covered" when it wasn't.
     for (name, base_eps) in &committed {
         let Some((_, cur_eps)) = current.iter().find(|(n, _)| n == name) else {
+            let _ = writeln!(report, "  {name}: skipped (not timed by this run mode)");
             continue;
         };
         compared += 1;
@@ -629,6 +699,16 @@ pub fn gate_with_calib(
             "  {name}: {cur_eps:.0} events/s vs floor {floor:.0} (committed {base_eps:.0}) -> {}",
             if ok { "ok" } else { "REGRESSED" }
         );
+    }
+    // The converse — a freshly timed scenario with no committed floor —
+    // also gets called out, so a new scenario can't ride ungated forever.
+    for (name, _) in &current {
+        if !committed.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(
+                report,
+                "  {name}: no committed floor (re-run `repro perf` and commit the baseline)"
+            );
+        }
     }
     if compared == 0 {
         return Err(format!(
@@ -685,6 +765,49 @@ mod tests {
         );
     }
 
+    #[test]
+    fn mega_speculative_is_the_sharded_twin_under_speculation() {
+        // Same workload and cell count as the conservative scenario, so
+        // (by the determinism contract) the simulated columns of the pair
+        // must agree and only the sync/wall columns differ.
+        assert_eq!(MEGA_SPECULATIVE.users, MEGA_SHARDED.users);
+        assert_eq!(MEGA_SPECULATIVE.think_ms, MEGA_SHARDED.think_ms);
+        assert_eq!(MEGA_SPECULATIVE.coalesce_ms, MEGA_SHARDED.coalesce_ms);
+        assert_eq!(MEGA_SPECULATIVE.shards, MEGA_SHARDED.shards);
+        assert_eq!(MEGA_SHARDED.policy, WindowPolicy::Conservative);
+        assert!(matches!(
+            MEGA_SPECULATIVE.policy,
+            WindowPolicy::Speculative { cap } if cap > 1
+        ));
+    }
+
+    #[test]
+    fn sharded_runs_render_sync_columns() {
+        let spec = Scenario {
+            name: "sync_smoke",
+            big_machine: false,
+            users: 32,
+            think_ms: 10,
+            warmup_ms: 100,
+            measure_ms: 200,
+            coalesce_ms: 0,
+            shards: 2,
+            policy: WindowPolicy::Speculative { cap: 8 },
+        };
+        let (run, _) = measure_paired(&spec, 1, false);
+        let sync = run.sync.expect("sharded run must report sync stats");
+        assert!(sync.barriers > 0);
+        let bpss = run.barriers_per_sim_sec.expect("barriers per sim second");
+        assert!(bpss > 0.0);
+        let (table, json) = render(std::slice::from_ref(&run), &[]);
+        assert!(table.contains("sync:"), "table: {table}");
+        assert!(json.contains("\"barriers_per_sim_sec\""), "json: {json}");
+        assert!(json.contains("\"rollbacks\""), "json: {json}");
+        // The gate parser must still find the scenario despite the extra
+        // fields.
+        assert_eq!(parse_runs(&json).len(), 1);
+    }
+
     #[cfg(target_os = "linux")]
     #[test]
     fn peak_rss_reads_proc_status() {
@@ -730,6 +853,31 @@ mod tests {
     fn gate_rejects_disjoint_scenario_sets() {
         let other = COMMITTED.replace("\"scenario\": \"desk\"", "\"scenario\": \"mega\"");
         assert!(gate_with_calib(COMMITTED, &other, 0.5, 0.2).is_err());
+    }
+
+    #[test]
+    fn gate_names_skipped_and_ungated_scenarios() {
+        // Two committed scenarios, one timed by the current (quick-style)
+        // run: the missing one must appear as an explicit skip line, not
+        // vanish.
+        let committed = COMMITTED.replace(
+            "\"runs\": [\n",
+            "\"runs\": [\n    { \"scenario\": \"flagship_only_in_full\", \"reps\": 1, \"wall_secs\": 1.0, \"events\": 1000, \"events_per_sec\": 1000, \"completed\": 10, \"peak_rss_bytes\": 1, \"bytes_per_user\": 1.0 },\n",
+        );
+        let report = gate_with_calib(&committed, &current(900), 0.5, 0.2).unwrap();
+        assert!(
+            report.contains("flagship_only_in_full: skipped (not timed by this run mode)"),
+            "report: {report}"
+        );
+        assert!(report.contains("desk: 900"), "report: {report}");
+        // And a freshly added scenario with no committed floor is called
+        // out rather than riding ungated.
+        let current_extra = current(900).replace(
+            "\"runs\": [\n",
+            "\"runs\": [\n    { \"scenario\": \"brand_new\", \"reps\": 1, \"wall_secs\": 1.0, \"events\": 1000, \"events_per_sec\": 1000, \"completed\": 10, \"peak_rss_bytes\": 1, \"bytes_per_user\": 1.0 },\n",
+        );
+        let report = gate_with_calib(COMMITTED, &current_extra, 0.5, 0.2).unwrap();
+        assert!(report.contains("brand_new: no committed floor"), "report: {report}");
     }
 
     #[test]

@@ -2354,10 +2354,16 @@ impl Engine {
         for _ in 0..n_workers {
             worker_jobs.push(Option::<u64>::load(r)?);
         }
-        let jobs = Vec::<Job>::load(r)?;
-        let free_jobs = Vec::<u32>::load(r)?;
-        let requests = Vec::<RequestInfo>::load(r)?;
-        let free_requests = Vec::<u32>::load(r)?;
+        // The hot slabs reload *in place* so their allocations survive the
+        // restore: the speculative-rollback path (`microsvc::shard`) restores
+        // the same engine once per rollback, and replacing these vectors
+        // would churn the allocator on every one. On error the engine is
+        // discarded (see the method contract), so committing them before the
+        // shape checks below is safe.
+        simcore::snap::load_vec_into(&mut self.jobs, r)?;
+        simcore::snap::load_vec_into(&mut self.free_jobs, r)?;
+        simcore::snap::load_vec_into(&mut self.requests, r)?;
+        simcore::snap::load_vec_into(&mut self.free_requests, r)?;
         let submitted_total = r.u64()?;
         let exec = Vec::<Option<CpuExec>>::load(r)?;
         let next_gen = r.u64()?;
@@ -2436,17 +2442,21 @@ impl Engine {
                     "instance {idx} lists idle worker {bad}, engine has {n_workers}"
                 )));
             }
-            if let Some(&bad) = st.pending.iter().find(|&&j| j as usize >= jobs.len()) {
+            if let Some(&bad) = st.pending.iter().find(|&&j| j as usize >= self.jobs.len()) {
                 return Err(SnapError::Corrupt(format!(
                     "instance {idx} queues job {bad}, slab holds {}",
-                    jobs.len()
+                    self.jobs.len()
                 )));
             }
         }
-        if let Some(bad) = worker_jobs.iter().flatten().find(|&&j| j as usize >= jobs.len()) {
+        if let Some(bad) = worker_jobs
+            .iter()
+            .flatten()
+            .find(|&&j| j as usize >= self.jobs.len())
+        {
             return Err(SnapError::Corrupt(format!(
                 "a worker holds job {bad}, slab holds {}",
-                jobs.len()
+                self.jobs.len()
             )));
         }
         if exec.len() != num_cpus {
@@ -2474,10 +2484,6 @@ impl Engine {
         for (wk, job) in self.workers.iter_mut().zip(worker_jobs) {
             wk.job = job;
         }
-        self.jobs = jobs;
-        self.free_jobs = free_jobs;
-        self.requests = requests;
-        self.free_requests = free_requests;
         self.submitted_total = submitted_total;
         self.exec = exec;
         self.next_gen = next_gen;

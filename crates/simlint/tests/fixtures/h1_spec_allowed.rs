@@ -1,0 +1,19 @@
+//! H1 fixture: the same speculation replay shape written pay-as-you-go —
+//! reusable buffers, prefix cuts, and one allowlisted cold-start growth.
+
+// simlint: hotpath(begin)
+pub fn micro_save(state: &[u8], snap_buf: &mut Vec<u8>) {
+    snap_buf.clear();
+    snap_buf.extend_from_slice(state);
+}
+
+pub fn rollback_replay(scratch: &mut Vec<u64>, last_early: &mut Vec<u64>, horizon: u64) {
+    let cut = scratch.partition_point(|&b| b <= horizon);
+    let staged = std::mem::take(scratch);
+    last_early.clear();
+    last_early.extend_from_slice(&staged[..cut]);
+    *scratch = staged;
+    let mut spill = Vec::new(); // simlint: allow(H1)
+    spill.push(horizon);
+}
+// simlint: hotpath(end)

@@ -1,0 +1,20 @@
+//! H1 fixture: speculation micro-snapshot/replay path with fence-internal
+//! allocations (known-bad). Models the Cell rollback machinery.
+
+// simlint: hotpath(begin)
+pub fn micro_save(state: &[u8], out: &mut Vec<u8>) -> Vec<u8> {
+    let snapshot = state.to_vec();
+    out.extend_from_slice(&snapshot);
+    snapshot.clone()
+}
+
+pub fn rollback_replay(scratch: &[u64], cut: usize) -> String {
+    let mut replay = Vec::new();
+    replay.extend_from_slice(&scratch[..cut]);
+    format!("replayed {} messages", replay.len())
+}
+// simlint: hotpath(end)
+
+pub fn cold_path() -> Vec<u64> {
+    Vec::new()
+}

@@ -192,6 +192,26 @@ fn h1_respects_allow() {
 }
 
 #[test]
+fn h1_fires_on_speculation_replay_allocations() {
+    // The micro-snapshot/rollback-replay shape: every allocation needle
+    // inside the fence fires, one finding per line; the cold path outside
+    // the fence (line 19) stays silent.
+    let rel = "crates/microsvc/src/shard.rs";
+    let (findings, json) = lint_fixture("h1_spec_bad.rs", rel);
+    assert!(findings.iter().all(|f| f.rule == "H1"), "{findings:?}");
+    assert_json_lines(&json, "H1", rel, &[6, 8, 12, 14]);
+}
+
+#[test]
+fn h1_silent_on_reuse_first_replay() {
+    // Same shape written pay-as-you-go: clear + extend_from_slice,
+    // partition_point prefix cuts, mem::take buffer swaps, and one
+    // explicitly allowlisted cold-start growth.
+    let (findings, _) = lint_fixture("h1_spec_allowed.rs", "crates/microsvc/src/shard.rs");
+    assert!(findings.is_empty(), "pay-as-you-go replay: {findings:?}");
+}
+
+#[test]
 fn h2_fires_in_scoped_path_only() {
     // H2 is scoped to simcore's time arithmetic; the same source elsewhere
     // is silent.
