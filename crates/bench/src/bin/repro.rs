@@ -708,7 +708,7 @@ fn main() {
                     &std::env::current_dir().expect("current directory"),
                 );
                 let report = simlint::lint_workspace(&root);
-                if report.gating_count() > 0 {
+                if report.gating_count() > 0 || !report.stale_baseline.is_empty() {
                     eprint!("{}", simlint::render_text(&report));
                     eprintln!("repro lint FAILED");
                     std::process::exit(1);

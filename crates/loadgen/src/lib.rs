@@ -176,10 +176,10 @@ impl UserTable {
 #[derive(Debug, Clone)]
 pub struct ClosedLoop {
     users: u64,
-    think_mean: SimDuration,
-    warmup: SimDuration,
-    measure: Option<SimDuration>,
-    mix: Vec<f64>,
+    think_mean: SimDuration, // simlint: allow(S1) — config, fixed at construction
+    warmup: SimDuration, // simlint: allow(S1) — config, fixed at construction
+    measure: Option<SimDuration>, // simlint: allow(S1) — config, fixed at construction
+    mix: Vec<f64>, // simlint: allow(S1) — config, fixed at construction
     issued: u64,
     completed: u64,
     errors: u64,
@@ -440,10 +440,10 @@ impl microsvc::SnapDriver for ClosedLoop {
 /// Poisson arrivals at a fixed rate, independent of completions.
 #[derive(Debug, Clone)]
 pub struct OpenLoop {
-    rate_rps: f64,
-    warmup: SimDuration,
-    measure: Option<SimDuration>,
-    mix: Vec<f64>,
+    rate_rps: f64, // simlint: allow(S1) — config, fixed at construction
+    warmup: SimDuration, // simlint: allow(S1) — config, fixed at construction
+    measure: Option<SimDuration>, // simlint: allow(S1) — config, fixed at construction
+    mix: Vec<f64>, // simlint: allow(S1) — config, fixed at construction
     next_client: u64,
     completed: u64,
 }

@@ -345,14 +345,14 @@ enum Admit {
 /// The simulation engine. See the [module docs](self) for the model.
 #[derive(Debug)]
 pub struct Engine {
-    topo: Arc<Topology>,
-    params: EngineParams,
-    app: AppSpec,
-    classes: Vec<FlatClass>,
+    topo: Arc<Topology>, // simlint: allow(S1) — config, shared and immutable
+    params: EngineParams, // simlint: allow(S1) — config, fixed at construction
+    app: AppSpec, // simlint: allow(S1) — config, fixed at construction
+    classes: Vec<FlatClass>, // simlint: allow(S1) — derived from app at construction
     cal: Calendar<Event>,
     sched: Scheduler,
     instances: Vec<Instance>,
-    per_service_instances: Vec<Vec<usize>>,
+    per_service_instances: Vec<Vec<usize>>, // simlint: allow(S1) — derived from topo at construction
     balancers: Vec<Balancer>,
     workers: Vec<Worker>,
     jobs: Vec<Job>,
@@ -379,24 +379,24 @@ pub struct Engine {
     /// (every breaker helper is then a no-op).
     breakers: Vec<CircuitBreaker>,
     /// Per-service call timeout; empty when resilience is disabled.
-    timeouts: Vec<SimDuration>,
+    timeouts: Vec<SimDuration>, // simlint: allow(S1) — config, fixed at construction
     /// Faults, resilience, or overload control are configured: load
     /// balancing must consult instance availability. `false` keeps the
     /// legacy fast paths.
-    fault_aware: bool,
+    fault_aware: bool, // simlint: allow(S1) — derived from config at construction
     /// Overload-control state; `None` when the feature is off.
     overload: Option<OverloadState>,
-    cycles_per_us: f64,
+    cycles_per_us: f64, // simlint: allow(S1) — config, fixed at construction
     stop_requested: bool,
     tracer: Tracer,
     /// Quantized machine-occupancy bucket driving the boost multiplier.
     boost_bucket: u32,
     /// Memoized µarch speed factors per (service, contention-context) key.
-    speed_memo: uarch::SpeedMemo,
+    speed_memo: uarch::SpeedMemo, // simlint: allow(S1) — memo, rebuilt on demand
     /// Reusable buffer for load-balancer candidate lists.
-    cand_scratch: Vec<Candidate>,
+    cand_scratch: Vec<Candidate>, // simlint: allow(S1) — scratch, always drained
     /// Reusable buffer for CPU lists (re-rates, metric resets).
-    cpu_scratch: Vec<CpuId>,
+    cpu_scratch: Vec<CpuId>, // simlint: allow(S1) — scratch, always drained
     /// Events handled by [`run`](Self::run) so far (self-benchmark metric).
     events_processed: u64,
 }

@@ -27,7 +27,7 @@ pub enum LbPolicy {
 /// Per-service balancer state.
 #[derive(Debug, Clone)]
 pub struct Balancer {
-    policy: LbPolicy,
+    policy: LbPolicy, // simlint: allow(S1) — config, rebuilt from params
     next: usize,
 }
 

@@ -130,7 +130,7 @@ impl RetryBudgetPolicy {
 /// Runtime state of one service's retry budget.
 #[derive(Debug, Clone)]
 pub struct RetryBudget {
-    policy: RetryBudgetPolicy,
+    policy: RetryBudgetPolicy, // simlint: allow(S1) — config, rebuilt from params
     tokens: f64,
 }
 
@@ -226,7 +226,7 @@ impl LimiterPolicy {
 /// Per-instance AIMD limiter state.
 #[derive(Debug, Clone)]
 pub struct AimdLimiter {
-    policy: LimiterPolicy,
+    policy: LimiterPolicy, // simlint: allow(S1) — config, rebuilt from params
     limit: f64,
     /// Learned no-load baseline (minimum sojourn seen), in nanoseconds.
     learned_baseline_ns: f64,

@@ -114,7 +114,7 @@ pub enum Transition {
 /// an idle breaker costs nothing.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
-    policy: BreakerPolicy,
+    policy: BreakerPolicy, // simlint: allow(S1) — config, rebuilt from params
     state: BreakerState,
     consecutive_failures: u32,
     open_until: SimTime,

@@ -676,8 +676,8 @@ pub struct ShardedRun<D> {
     started: bool,
     /// Window-synchronization policy; not part of the run's identity (any
     /// policy yields byte-identical results), so not snapshotted.
-    policy: WindowPolicy,
-    stats: SyncStats,
+    policy: WindowPolicy, // simlint: allow(S1) — see above: not run identity
+    stats: SyncStats, // simlint: allow(S1) — observability counters, not run identity
 }
 
 impl<D: Driver + Send> ShardedRun<D> {
@@ -1271,6 +1271,7 @@ fn restore_shard_state(st: &mut ShardState, r: &mut SnapReader<'_>) -> Result<()
                 outcome: decode_outcome(r.u8()?)?,
             },
             k => {
+                // simlint: allow(H3) — error path; a corrupt snapshot aborts the run
                 return Err(SnapError::Corrupt(format!("unknown payload kind {k}")));
             }
         };
@@ -1319,6 +1320,7 @@ fn decode_outcome(v: u8) -> Result<Outcome, SnapError> {
         4 => Outcome::ShedByPolicy(ShedReason::QueueDeadline),
         5 => Outcome::ShedByPolicy(ShedReason::Concurrency),
         6 => Outcome::ShedByPolicy(ShedReason::Priority),
+        // simlint: allow(H3) — error path; a corrupt snapshot aborts the run
         k => return Err(SnapError::Corrupt(format!("unknown outcome code {k}"))),
     })
 }

@@ -84,8 +84,8 @@ pub struct SchedStats {
 /// See the [crate docs](crate) for the driving contract.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
-    topo: Arc<Topology>,
-    params: SchedParams,
+    topo: Arc<Topology>, // simlint: allow(S1) — config, shared and immutable
+    params: SchedParams, // simlint: allow(S1) — config, fixed at construction
     tasks: Vec<Task>,
     runqueues: Vec<RunQueue>,
     running: Vec<Option<TaskId>>,

@@ -171,13 +171,13 @@ impl Level {
 pub struct Calendar<E> {
     slab: Vec<Entry<E>>,
     free: Vec<u32>,
-    levels: Vec<Level>,
+    levels: Vec<Level>, // simlint: allow(S1) — rebuilt from the slab on load
     /// Events beyond the wheel horizon, min-ordered by (time, seq).
-    overflow: BinaryHeap<(Reverse<(u64, u64)>, u32)>,
+    overflow: BinaryHeap<(Reverse<(u64, u64)>, u32)>, // simlint: allow(S1) — rebuilt from the slab on load
     /// Entry indices with `at < base`, sorted descending by (at, seq) so the
     /// earliest event pops from the back.
     ready: Vec<u32>,
-    scratch: Vec<u32>,
+    scratch: Vec<u32>, // simlint: allow(S1) — scratch, always drained
     /// Everything strictly before `base` is in `ready` (or already popped);
     /// the wheel and overflow only hold events at or after `base`.
     base: u64,

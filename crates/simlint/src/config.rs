@@ -103,6 +103,27 @@ impl Config {
                 ..RuleCfg::default()
             },
         );
+        rules.insert(
+            "D7".to_owned(),
+            RuleCfg {
+                include_tests: false, // tests may derive ad-hoc streams
+                ..RuleCfg::default()
+            },
+        );
+        rules.insert(
+            "H3".to_owned(),
+            RuleCfg {
+                include_tests: true, // fences only exist in non-test code
+                ..RuleCfg::default()
+            },
+        );
+        rules.insert(
+            "S1".to_owned(),
+            RuleCfg {
+                include_tests: false, // throwaway test types need no plumbing
+                ..RuleCfg::default()
+            },
+        );
         Config {
             rules,
             baseline: Vec::new(),

@@ -5,22 +5,34 @@
 //! *dynamically*, after a sweep has already run; simlint enforces the
 //! underlying discipline *statically*, at review time:
 //!
-//! * **D1–D5** — determinism hazards (std hash maps in sim state, wall-clock
+//! * **D1–D7** — determinism hazards (std hash maps in sim state, wall-clock
 //!   reads, unlabeled RNG streams, order-sensitive parallel accumulation,
-//!   sim state held outside the snapshot registry);
-//! * **H1–H2** — hot-path invariants (no allocation inside slab fences, no
-//!   truncating casts in simulated-time arithmetic).
+//!   sim state held outside the snapshot registry, racy shard-worker
+//!   captures, RNG stream-label collisions);
+//! * **H1–H3** — hot-path invariants (no allocation inside slab fences, no
+//!   truncating casts in simulated-time arithmetic, no allocation reachable
+//!   through calls leaving a fence);
+//! * **S1** — snapshot completeness (every field of a snapshotting type is
+//!   plumbed through `snap_save`/`snap_restore`).
+//!
+//! Linting runs in two passes: pass 1 applies the per-file rules to each
+//! [`scan::SourceModel`]; pass 2 builds a repo-wide [`index::RepoIndex`]
+//! (structs, fns, calls, RNG sites) and runs the interprocedural rules
+//! (S1, H3, D7) against it.
 //!
 //! Three front ends share this library: the `simlint` binary, the
 //! `repro lint` subcommand, and the tier-1 integration test
 //! (`tests/simlint.rs`) that gates the tree at zero non-baselined findings.
 
+pub mod callgraph;
 pub mod config;
+pub mod index;
 pub mod rules;
 pub mod scan;
 
 use config::Config;
-use rules::FileCtx;
+use index::{RepoIndex, SourceFile};
+use rules::{FileCtx, RngStreamEntry};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -63,6 +75,15 @@ impl Severity {
     }
 }
 
+/// A baseline entry that no longer matches any finding.
+#[derive(Debug, Clone)]
+pub struct StaleBaseline {
+    /// The entry text, `"RULE:repo/relative/path.rs"`.
+    pub entry: String,
+    /// 1-indexed line of the entry in `simlint.toml`, when locatable.
+    pub toml_line: Option<usize>,
+}
+
 /// The result of linting a tree.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -70,6 +91,12 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// The RNG stream-label registry D7 collected (literal labels and every
+    /// site deriving them), in first-derivation order.
+    pub rng_streams: Vec<RngStreamEntry>,
+    /// Baseline entries that matched no finding — the debt was paid; the
+    /// entry must be deleted so it cannot mask a future regression.
+    pub stale_baseline: Vec<StaleBaseline>,
 }
 
 impl Report {
@@ -160,8 +187,9 @@ fn is_test_path(rel: &str) -> bool {
         || rel.contains("/examples/")
 }
 
-/// Lints one source string as if it lived at `rel` under the repo root.
-/// This is the seam the fixture tests use.
+/// Lints one source string as if it lived at `rel` under the repo root,
+/// with the **per-file** rules only. This is the seam the original fixture
+/// tests use; the interprocedural rules need [`lint_sources`].
 pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     let model = scan::model(source);
     let ctx = FileCtx {
@@ -177,22 +205,86 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     out
 }
 
+/// Lints a set of in-memory sources as one tree: both passes, full report.
+/// This is the seam the interprocedural fixture tests use (D7's collision
+/// fixture needs two modules linted together).
+pub fn lint_sources(sources: &[(&str, &str)], cfg: &Config) -> Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, src)| SourceFile::new(rel, src, is_test_path(rel)))
+        .collect();
+    lint_files(files, cfg, None)
+}
+
 /// Lints the whole workspace under `root`.
 pub fn lint_workspace(root: &Path) -> Report {
     let cfg = load_config(root);
-    let mut report = Report::default();
+    let toml = fs::read_to_string(root.join("simlint.toml")).ok();
+    let mut files = Vec::new();
     for path in collect_sources(root) {
         let Ok(source) = fs::read_to_string(&path) else {
             continue;
         };
         let rel = rel_path(root, &path);
-        report.findings.extend(lint_source(&rel, &source, &cfg));
-        report.files_scanned += 1;
+        let is_test = is_test_path(&rel);
+        files.push(SourceFile::new(&rel, &source, is_test));
+    }
+    lint_files(files, &cfg, toml.as_deref())
+}
+
+/// The two-pass core shared by [`lint_sources`] and [`lint_workspace`].
+fn lint_files(files: Vec<SourceFile>, cfg: &Config, toml: Option<&str>) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    // Pass 1: per-file rules over each source model.
+    for file in &files {
+        let ctx = FileCtx {
+            rel_path: &file.rel,
+            model: &file.model,
+            file_is_test: file.is_test_file,
+        };
+        rules::run_all(&ctx, cfg, &mut report.findings);
+    }
+    // Pass 2: repo-wide index, interprocedural rules.
+    let idx = RepoIndex::build(&files);
+    report.rng_streams = rules::run_index_rules(&files, &idx, cfg, &mut report.findings);
+    for f in &mut report.findings {
+        f.baselined = cfg.is_baselined(f.rule, &f.file);
     }
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.stale_baseline = stale_baseline_entries(cfg, &report.findings, toml);
     report
+}
+
+/// Baseline entries that matched no finding, each located in the config
+/// text when available. Stale entries gate: an entry whose finding was
+/// fixed must be deleted, or it would silently tolerate a *new* finding of
+/// the same rule in the same file.
+fn stale_baseline_entries(
+    cfg: &Config,
+    findings: &[Finding],
+    toml: Option<&str>,
+) -> Vec<StaleBaseline> {
+    cfg.baseline
+        .iter()
+        .filter(|entry| {
+            !findings
+                .iter()
+                .any(|f| format!("{}:{}", f.rule, f.file) == **entry)
+        })
+        .map(|entry| StaleBaseline {
+            entry: entry.clone(),
+            toml_line: toml.and_then(|text| {
+                text.lines()
+                    .position(|line| line.contains(entry.as_str()))
+                    .map(|i| i + 1)
+            }),
+        })
+        .collect()
 }
 
 /// Renders the report as human-readable text.
@@ -212,13 +304,64 @@ pub fn render_text(report: &Report) -> String {
             f.hint
         ));
     }
+    for stale in &report.stale_baseline {
+        let at = match stale.toml_line {
+            Some(line) => format!("simlint.toml:{line}"),
+            None => "simlint.toml".to_owned(),
+        };
+        out.push_str(&format!(
+            "stale baseline: `{}` ({at}) matches no finding — delete the entry\n",
+            stale.entry
+        ));
+    }
     out.push_str(&format!(
-        "simlint: {} file(s) scanned, {} finding(s), {} gating\n",
+        "simlint: {} file(s) scanned, {} finding(s), {} gating, {} stale baseline entr{}\n",
         report.files_scanned,
         report.findings.len(),
-        report.gating_count()
+        report.gating_count(),
+        report.stale_baseline.len(),
+        if report.stale_baseline.len() == 1 { "y" } else { "ies" }
     ));
     out
+}
+
+/// Renders the report as GitHub Actions workflow commands, one annotation
+/// per gating finding (`::error file=…,line=…::…`), so findings surface
+/// inline on the PR diff. Baselined findings become `::warning`; stale
+/// baseline entries annotate `simlint.toml` itself.
+pub fn render_github(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let kind = if f.baselined { "warning" } else { "error" };
+        out.push_str(&format!(
+            "::{kind} file={},line={},title=simlint {}::{}{}\n",
+            f.file,
+            f.line,
+            f.rule,
+            github_escape_data(&f.message),
+            if f.hint.is_empty() {
+                String::new()
+            } else {
+                format!(" (hint: {})", github_escape_data(f.hint))
+            },
+        ));
+    }
+    for stale in &report.stale_baseline {
+        out.push_str(&format!(
+            "::error file=simlint.toml{},title=simlint stale baseline::baseline entry `{}` matches no finding — delete it\n",
+            match stale.toml_line {
+                Some(line) => format!(",line={line}"),
+                None => String::new(),
+            },
+            github_escape_data(&stale.entry),
+        ));
+    }
+    out
+}
+
+/// Escapes the data part of a GitHub workflow command (`%`, CR, LF).
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
 }
 
 fn json_escape(s: &str) -> String {
@@ -253,6 +396,41 @@ pub fn render_json(report: &Report) -> String {
             json_escape(&f.message),
             json_escape(f.hint),
             f.baselined
+        ));
+    }
+    out.push_str("\n  ],\n  \"rng_streams\": [");
+    for (i, entry) in report.rng_streams.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"label\": \"{}\", \"sites\": [",
+            json_escape(&entry.label)
+        ));
+        for (j, (file, line)) in entry.sites.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"file\": \"{}\", \"line\": {}}}",
+                json_escape(file),
+                line
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ],\n  \"stale_baseline\": [");
+    for (i, stale) in report.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"entry\": \"{}\", \"toml_line\": {}}}",
+            json_escape(&stale.entry),
+            match stale.toml_line {
+                Some(line) => line.to_string(),
+                None => "null".to_owned(),
+            }
         ));
     }
     out.push_str(&format!(
@@ -296,6 +474,7 @@ mod tests {
         let report = Report {
             findings,
             files_scanned: 1,
+            ..Report::default()
         };
         assert_eq!(report.gating_count(), 0);
     }
@@ -313,9 +492,73 @@ mod tests {
                 baselined: false,
             }],
             files_scanned: 1,
+            ..Report::default()
         };
         let json = render_json(&report);
         assert!(json.contains("a\\\"b.rs"));
         assert!(json.contains("\"gating\": 1"));
+        assert!(json.contains("\"rng_streams\": ["));
+        assert!(json.contains("\"stale_baseline\": ["));
+    }
+
+    #[test]
+    fn github_format_annotates_findings_and_stale_entries() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "H1",
+                severity: Severity::Deny,
+                file: "crates/x/src/lib.rs".to_owned(),
+                line: 7,
+                message: "100% bad".to_owned(),
+                hint: "fix it",
+                baselined: false,
+            }],
+            files_scanned: 1,
+            stale_baseline: vec![StaleBaseline {
+                entry: "D4:crates/y/src/lib.rs".to_owned(),
+                toml_line: Some(12),
+            }],
+            ..Report::default()
+        };
+        let gh = render_github(&report);
+        assert!(
+            gh.contains("::error file=crates/x/src/lib.rs,line=7,title=simlint H1::100%25 bad"),
+            "workflow command with %-escaped message: {gh}"
+        );
+        assert!(
+            gh.contains("::error file=simlint.toml,line=12,title=simlint stale baseline::baseline entry `D4:crates/y/src/lib.rs`"),
+            "stale entry annotated at its toml line: {gh}"
+        );
+    }
+
+    #[test]
+    fn stale_baseline_entries_are_located_in_toml() {
+        let toml = "[baseline]\nentries = [\n  \"D4:crates/live/src/a.rs\",\n  \"D4:crates/gone/src/b.rs\",\n]\n";
+        let cfg = Config::from_toml(toml);
+        let findings = vec![Finding {
+            rule: "D4",
+            severity: Severity::Deny,
+            file: "crates/live/src/a.rs".to_owned(),
+            line: 1,
+            message: String::new(),
+            hint: "",
+            baselined: true,
+        }];
+        let stale = stale_baseline_entries(&cfg, &findings, Some(toml));
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].entry, "D4:crates/gone/src/b.rs");
+        assert_eq!(stale[0].toml_line, Some(4));
+    }
+
+    #[test]
+    fn lint_sources_runs_interprocedural_pass() {
+        let cfg = Config::builtin();
+        let src = "struct S { a: u64 }\nimpl S {\n    fn snap_save(&self) {}\n    fn snap_restore(&mut self) {}\n}\n";
+        let report = lint_sources(&[("crates/x/src/lib.rs", src)], &cfg);
+        assert!(
+            report.findings.iter().any(|f| f.rule == "S1" && f.line == 1),
+            "field `a` unplumbed: {:?}",
+            report.findings
+        );
     }
 }

@@ -1,9 +1,10 @@
 //! `simlint` CLI.
 //!
 //! ```text
-//! cargo run -p simlint --               # text report, exit 1 on gating findings
-//! cargo run -p simlint -- --format json # machine-readable (CI artifact)
-//! cargo run -p simlint -- --root PATH   # lint a tree other than the cwd's
+//! cargo run -p simlint --                 # text report, exit 1 on gating findings
+//! cargo run -p simlint -- --format json   # machine-readable (CI artifact)
+//! cargo run -p simlint -- --format github # ::error annotations for Actions
+//! cargo run -p simlint -- --root PATH     # lint a tree other than the cwd's
 //! ```
 
 use std::path::PathBuf;
@@ -17,7 +18,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--format" => {
                 format = args.next().unwrap_or_else(|| {
-                    eprintln!("--format needs a value (text|json)");
+                    eprintln!("--format needs a value (text|json|github)");
                     std::process::exit(2);
                 });
             }
@@ -30,9 +31,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "simlint: determinism & invariant linter\n\n  \
-                     --format text|json   output format (default text)\n  \
-                     --root PATH          workspace root (default: walk up to simlint.toml)\n\n\
-                     Exit status: 0 clean, 1 gating findings, 2 usage error."
+                     --format text|json|github  output format (default text)\n  \
+                     --root PATH                workspace root (default: walk up to simlint.toml)\n\n\
+                     Exit status: 0 clean, 1 gating findings or stale baseline, 2 usage error."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -42,8 +43,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    if format != "text" && format != "json" {
-        eprintln!("unknown format: {format} (want text|json)");
+    if format != "text" && format != "json" && format != "github" {
+        eprintln!("unknown format: {format} (want text|json|github)");
         return ExitCode::from(2);
     }
 
@@ -51,13 +52,15 @@ fn main() -> ExitCode {
     let root = root.unwrap_or_else(|| simlint::find_root(&cwd));
     let report = simlint::lint_workspace(&root);
 
-    if format == "json" {
-        print!("{}", simlint::render_json(&report));
-    } else {
-        print!("{}", simlint::render_text(&report));
+    match format.as_str() {
+        "json" => print!("{}", simlint::render_json(&report)),
+        "github" => print!("{}", simlint::render_github(&report)),
+        _ => print!("{}", simlint::render_text(&report)),
     }
 
-    if report.gating_count() > 0 {
+    // Stale baseline entries gate like findings: a paid-off entry left in
+    // place would silently tolerate the next regression it names.
+    if report.gating_count() > 0 || !report.stale_baseline.is_empty() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -8,11 +8,19 @@
 //! | D4 | determinism | compound float accumulation (`+=` on a captured binding) inside a `par::map` closure: cross-worker accumulation order is nondeterministic |
 //! | D5 | determinism | sim-state type (`Rng`, `Calendar`, running statistics) held in a sim-crate file with no snapshot plumbing: checkpoint/resume silently loses that state |
 //! | D6 | determinism | compound mutation of a captured binding inside a `spawn(…)` closure: shard workers must exchange state through the mailbox/merge API, never by racing on shared captures |
+//! | D7 | determinism | RNG stream labels that are not string literals, or the same literal label derived from two modules: shared labels silently correlate streams that look independent |
 //! | H1 | hot path | allocation-prone calls (`Vec::new`, `clone`, `format!`, …) inside a `// simlint: hotpath(begin/end)` fence: the slab request path must not allocate in steady state |
 //! | H2 | hot path | `as` integer casts in `simcore::time` arithmetic: truncation silently wraps simulated nanoseconds; use checked/asserted conversions |
+//! | H3 | hot path | calls from inside an H1 fence whose callee (transitively, bounded depth) contains allocation-prone lines: the fence is only as good as what it calls |
+//! | S1 | snapshot | a field of a type with `snap_save`/`snap_restore` plumbing that the save body never writes or the restore body never reads: "added a field, forgot the plumbing" caught at lint time instead of by the runtime differential battery |
+//!
+//! D1–D6, H1–H2 are per-file rules over one [`SourceModel`]; D7, H3, and S1
+//! are **interprocedural** — they run in a second pass against the
+//! repo-wide [`crate::index::RepoIndex`] built over every scanned file.
 //!
 //! Every rule is suppressible per line with `// simlint: allow(<rule>)` and
-//! per file via `simlint.toml` (`allow_paths`, or a `[baseline]` entry).
+//! per file via `simlint.toml` (`allow_paths`, or a `[baseline]` entry —
+//! D-rules are unbaselineable by tier-1 policy).
 
 use crate::config::RuleCfg;
 use crate::scan::{find_token, SourceModel};
@@ -61,6 +69,11 @@ pub const RULES: &[RuleInfo] = &[
         hint: "send cross-shard effects as mailbox messages or return per-worker values and merge them in (time, shard, seq) order on the driver thread",
     },
     RuleInfo {
+        id: "D7",
+        summary: "RNG stream label is not a unique string literal (shared labels silently correlate \"independent\" streams)",
+        hint: "label every stream with a distinct string literal; derive families with substream(label, index)",
+    },
+    RuleInfo {
         id: "H1",
         summary: "allocation-prone call inside a hotpath fence",
         hint: "preallocate, reuse a scratch buffer/slab slot, or move the allocation out of the fence",
@@ -69,6 +82,16 @@ pub const RULES: &[RuleInfo] = &[
         id: "H2",
         summary: "`as` integer cast in simulated-time arithmetic",
         hint: "use checked_*/try_into, or assert the range and annotate with simlint: allow(H2)",
+    },
+    RuleInfo {
+        id: "H3",
+        summary: "call from a hotpath fence reaches an allocation-prone line in an unfenced callee",
+        hint: "fence the callee (H1 then checks it line by line), remove the allocation, or waive the call site with simlint: allow(H3)",
+    },
+    RuleInfo {
+        id: "S1",
+        summary: "field of a snapshotting type is missing from snap_save/snap_restore (checkpoint/resume silently loses it)",
+        hint: "plumb the field through snap_save and snap_restore, or waive config/derived fields with simlint: allow(S1) and a reason",
     },
 ];
 
@@ -568,7 +591,7 @@ pub fn h2_time_casts(ctx: &FileCtx, cfg: &RuleCfg, out: &mut Vec<Finding>) {
     });
 }
 
-/// Runs every rule over one file.
+/// Runs every per-file rule over one file.
 pub fn run_all(ctx: &FileCtx, cfg: &crate::config::Config, out: &mut Vec<Finding>) {
     d1_std_hashmap(ctx, &cfg.rule("D1"), out);
     d2_wall_clock(ctx, &cfg.rule("D2"), out);
@@ -578,4 +601,304 @@ pub fn run_all(ctx: &FileCtx, cfg: &crate::config::Config, out: &mut Vec<Finding
     d6_shard_worker_capture(ctx, &cfg.rule("D6"), out);
     h1_hotpath_alloc(ctx, &cfg.rule("H1"), out);
     h2_time_casts(ctx, &cfg.rule("H2"), out);
+}
+
+// ===================================================== interprocedural pass
+
+use crate::callgraph;
+use crate::index::{RepoIndex, SourceFile};
+
+/// Emits a finding located in an arbitrary indexed file.
+fn push_at(
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    file: &SourceFile,
+    line_idx: usize,
+    message: String,
+) {
+    out.push(Finding {
+        rule,
+        severity: Severity::Deny,
+        file: file.rel.clone(),
+        line: line_idx + 1,
+        message,
+        hint: hint_for(rule),
+        baselined: false,
+    });
+}
+
+/// The method names that mark a snapshot *save* body (`snap_save` inherent
+/// impls; `save` from `impl Snap for …`).
+const SNAP_SAVE_FNS: &[&str] = &["snap_save", "save"];
+/// The method names that mark a snapshot *restore* body (`snap_load` is
+/// the constructor-style variant: `fn snap_load(r) -> Self`).
+const SNAP_RESTORE_FNS: &[&str] = &["snap_restore", "snap_load", "load"];
+
+/// S1: every field of a snapshotting type must be written by its save body
+/// and read by its restore body.
+///
+/// A type "participates in snapshotting" when the index holds a
+/// `snap_save`/`save` fn owned by an `impl` of that type. For each named
+/// field, the save bodies (same-file impls preferred, to keep same-named
+/// types in other files from cross-talking) must mention the field as a
+/// token, and so must the restore bodies (`snap_restore`/`load`). Mention
+/// is coverage: `w.u64(self.next_seq)` and `self.overload.snap_save(w)`
+/// both count — the differential battery (`tests/snapshot.rs`) proves the
+/// *values* round-trip; S1 proves no field is forgotten entirely.
+///
+/// Deliberately un-plumbed fields (configuration rebuilt from params,
+/// scratch buffers, derived caches) are waived at the definition site with
+/// `// simlint: allow(S1) — reason`, which doubles as documentation.
+pub fn s1_snapshot_field_coverage(
+    files: &[SourceFile],
+    index: &RepoIndex,
+    cfg: &RuleCfg,
+    out: &mut Vec<Finding>,
+) {
+    for s in &index.structs {
+        let file = &files[s.file];
+        if !rule_in_scope(cfg, &file.rel) {
+            continue;
+        }
+        if !cfg.include_tests && file.line_is_test(s.line) {
+            continue;
+        }
+        let save_bodies = snap_bodies(index, &s.name, s.file, SNAP_SAVE_FNS);
+        if save_bodies.is_empty() {
+            continue; // not a snapshotting type; D5 covers the rest
+        }
+        let restore_bodies = snap_bodies(index, &s.name, s.file, SNAP_RESTORE_FNS);
+        if restore_bodies.is_empty() {
+            push_at(
+                out,
+                "S1",
+                file,
+                s.line,
+                format!(
+                    "snapshotting type `{}` has {} but no matching {}",
+                    s.name, "snap_save", "snap_restore/load"
+                ),
+            );
+            continue;
+        }
+        for field in &s.fields {
+            if file.model.is_allowed(field.line, "S1") {
+                continue;
+            }
+            if !cfg.include_tests && file.line_is_test(field.line) {
+                continue;
+            }
+            if !bodies_mention(files, &save_bodies, &field.name) {
+                push_at(
+                    out,
+                    "S1",
+                    file,
+                    field.line,
+                    format!(
+                        "field `{}` of snapshotting type `{}` is never written in {} — a checkpoint would silently lose it",
+                        field.name, s.name, "snap_save"
+                    ),
+                );
+            } else if !bodies_mention(files, &restore_bodies, &field.name) {
+                push_at(
+                    out,
+                    "S1",
+                    file,
+                    field.line,
+                    format!(
+                        "field `{}` of snapshotting type `{}` is written in {} but never read in {} — a resume would silently lose it",
+                        field.name, s.name, "snap_save", "snap_restore"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The save/restore fn bodies for `owner`, as (file, start, end) ranges.
+/// Same-file definitions win when present (two same-named types in
+/// different files must not validate each other's fields).
+fn snap_bodies(
+    index: &RepoIndex,
+    owner: &str,
+    def_file: usize,
+    names: &[&str],
+) -> Vec<(usize, usize, usize)> {
+    let all: Vec<_> = names
+        .iter()
+        .flat_map(|n| index.fns_of(owner, n))
+        .filter(|f| !f.in_test)
+        .collect();
+    let same_file: Vec<_> = all.iter().filter(|f| f.file == def_file).collect();
+    let picked: Vec<&&crate::index::FnDef> = if same_file.is_empty() {
+        all.iter().collect()
+    } else {
+        same_file
+    };
+    picked
+        .into_iter()
+        .map(|f| (f.file, f.body_start, f.body_end))
+        .collect()
+}
+
+/// Whether any body range mentions `name` as a token.
+fn bodies_mention(files: &[SourceFile], bodies: &[(usize, usize, usize)], name: &str) -> bool {
+    bodies.iter().any(|&(file, start, end)| {
+        let code = &files[file].model.code;
+        code[start..=end.min(code.len() - 1)]
+            .iter()
+            .any(|line| find_token(line, name).is_some())
+    })
+}
+
+/// H3: a call made on a hotpath-fenced line must not reach an
+/// allocation-prone line through the call graph (bounded depth).
+///
+/// H1 checks the fenced lines themselves; H3 follows every call out of the
+/// fence through [`callgraph::find_alloc_chain`] and flags the call site
+/// with the full chain and the offending line, so "the fence is clean but
+/// its helper allocates" is caught without fencing the world.
+pub fn h3_hotpath_call_alloc(
+    files: &[SourceFile],
+    index: &RepoIndex,
+    cfg: &RuleCfg,
+    out: &mut Vec<Finding>,
+) {
+    for f in &index.fns {
+        let file = &files[f.file];
+        if !rule_in_scope(cfg, &file.rel) {
+            continue;
+        }
+        let mut flagged: Vec<(usize, &str)> = Vec::new(); // (line, callee) dedup
+        for call in &f.calls {
+            if !file.model.hotpath.get(call.line).copied().unwrap_or(false) {
+                continue;
+            }
+            if file.model.is_allowed(call.line, "H3") {
+                continue;
+            }
+            if !cfg.include_tests && file.line_is_test(call.line) {
+                continue;
+            }
+            if flagged
+                .iter()
+                .any(|&(l, c)| l == call.line && c == call.callee)
+            {
+                continue;
+            }
+            let Some(chain) =
+                callgraph::find_alloc_chain(index, files, call, f.owner.as_deref())
+            else {
+                continue;
+            };
+            flagged.push((call.line, &call.callee));
+            push_at(
+                out,
+                "H3",
+                file,
+                call.line,
+                format!(
+                    "fenced call into `{}` reaches allocation-prone `{}` at {}:{} (chain: {})",
+                    call.callee,
+                    chain.needle,
+                    chain.file,
+                    chain.line,
+                    chain.render()
+                ),
+            );
+        }
+    }
+}
+
+/// One label's call sites, for the registry printed under `--format json`.
+#[derive(Debug, Clone)]
+pub struct RngStreamEntry {
+    /// The literal label.
+    pub label: String,
+    /// `(repo-relative file, 1-indexed line)` of every derivation site.
+    pub sites: Vec<(String, usize)>,
+}
+
+/// D7: RNG stream labels must be string literals, and one label must not be
+/// derived from two different modules.
+///
+/// `RngFactory::stream(label)` keys the stream by the label's *text*: two
+/// subsystems that happen to pick the same label silently share — and
+/// correlate — what they each believe is an independent stream. A
+/// non-literal label defeats the registry entirely (the text is unknowable
+/// statically), so it is flagged outright. Returns the registry of literal
+/// labels for the JSON report.
+pub fn d7_rng_label_registry(
+    files: &[SourceFile],
+    index: &RepoIndex,
+    cfg: &RuleCfg,
+    out: &mut Vec<Finding>,
+) -> Vec<RngStreamEntry> {
+    // In-scope, non-test, non-allowed sites, in deterministic index order.
+    let sites: Vec<_> = index
+        .rng
+        .iter()
+        .filter(|s| rule_in_scope(cfg, &files[s.file].rel))
+        .filter(|s| cfg.include_tests || !s.in_test)
+        .collect();
+    let mut registry: Vec<RngStreamEntry> = Vec::new();
+    for site in &sites {
+        let file = &files[site.file];
+        match &site.label {
+            None => {
+                if !file.model.is_allowed(site.line, "D7") {
+                    push_at(
+                        out,
+                        "D7",
+                        file,
+                        site.line,
+                        format!(
+                            "`{}` label is not a string literal — the stream registry cannot prove it collision-free",
+                            site.method
+                        ),
+                    );
+                }
+            }
+            Some(label) => {
+                match registry.iter_mut().find(|e| &e.label == label) {
+                    Some(entry) => {
+                        let (first_file, first_line) = entry.sites[0].clone();
+                        entry.sites.push((file.rel.clone(), site.line + 1));
+                        // Same module re-deriving its own stream is fine
+                        // (it reproduces the same sequence by design); the
+                        // hazard is two *different* modules colliding.
+                        if first_file != file.rel && !file.model.is_allowed(site.line, "D7") {
+                            push_at(
+                                out,
+                                "D7",
+                                file,
+                                site.line,
+                                format!(
+                                    "RNG stream label \"{label}\" is already derived at {first_file}:{first_line} — two modules sharing one label silently correlate their streams"
+                                ),
+                            );
+                        }
+                    }
+                    None => registry.push(RngStreamEntry {
+                        label: label.clone(),
+                        sites: vec![(file.rel.clone(), site.line + 1)],
+                    }),
+                }
+            }
+        }
+    }
+    registry
+}
+
+/// Runs the interprocedural rules (pass 2) over the indexed tree. Returns
+/// the RNG label registry for the JSON report.
+pub fn run_index_rules(
+    files: &[SourceFile],
+    index: &RepoIndex,
+    cfg: &crate::config::Config,
+    out: &mut Vec<Finding>,
+) -> Vec<RngStreamEntry> {
+    s1_snapshot_field_coverage(files, index, &cfg.rule("S1"), out);
+    h3_hotpath_call_alloc(files, index, &cfg.rule("H3"), out);
+    d7_rng_label_registry(files, index, &cfg.rule("D7"), out)
 }

@@ -63,6 +63,14 @@ pub fn model(source: &str) -> SourceModel {
     while i < chars.len() {
         let c = chars[i];
         let next = chars.get(i + 1).copied();
+        if c == '\r' && next == Some('\n') {
+            // CRLF: the `\r` is part of the line terminator, not the line.
+            // Dropping it (in every state) keeps the code view aligned
+            // char-for-char with `str::lines`, which strips it too — so
+            // reported columns and the raw-line mapping cannot drift.
+            i += 1;
+            continue;
+        }
         if c == '\n' {
             // Line comments end at the newline; everything else carries over.
             if state == State::LineComment {
@@ -333,6 +341,55 @@ mod tests {
         let m = model("/* outer /* inner */ still comment */ let z = 3;");
         assert!(m.code[0].contains("let z"));
         assert!(!m.code[0].contains("outer"));
+    }
+
+    #[test]
+    fn nested_block_comments_keep_line_numbers_exact() {
+        // A nested comment spanning lines must not swallow or duplicate
+        // lines: code after the close lands on the right 0-indexed line.
+        let src = "/* one\n/* two\nstill */\nalso */ let a = 1;\nlet b = 2;";
+        let m = model(src);
+        assert_eq!(m.code.len(), 5);
+        assert!(!m.code[2].contains("still"));
+        assert!(m.code[3].contains("let a"), "code resumes on line 4: {:?}", m.code);
+        assert!(m.code[4].contains("let b"));
+    }
+
+    #[test]
+    fn crlf_lines_do_not_drift_or_leak() {
+        let src = "let a = \"HashMap\";\r\n// simlint: allow(D1)\r\nlet b = HashMap::new();\r\nlet c = 3;\r\n";
+        let m = model(src);
+        assert!(!m.code[0].contains("HashMap"), "string blanked under CRLF");
+        assert!(m.is_allowed(2, "D1"), "standalone directive applies to the next line");
+        assert!(m.code[2].contains("HashMap"), "code survives on the right line");
+        // The `\r` must not leak into the code view: every line stays
+        // char-aligned with `str::lines()` of the raw source.
+        for (line, raw) in m.code.iter().zip(src.lines()) {
+            assert!(!line.contains('\r'));
+            assert_eq!(line.chars().count(), raw.chars().count(), "1:1 char mapping");
+        }
+    }
+
+    #[test]
+    fn byte_strings_are_blanked_without_drift() {
+        let src = "let a = b\"Instant::now()\";\nlet b = br#\"SystemTime\"#;\nlet c = b'\\xff';\nlet d = 4;";
+        let m = model(src);
+        assert!(!m.code[0].contains("Instant"), "byte string blanked: {:?}", m.code[0]);
+        assert!(!m.code[1].contains("SystemTime"), "raw byte string blanked: {:?}", m.code[1]);
+        assert!(!m.code[2].contains("xff"), "byte char blanked: {:?}", m.code[2]);
+        assert!(m.code[3].contains("let d"), "line numbers exact");
+        for (line, raw) in m.code.iter().zip(src.lines()) {
+            assert_eq!(line.chars().count(), raw.chars().count(), "1:1 char mapping");
+        }
+    }
+
+    #[test]
+    fn multiline_string_lines_stay_aligned() {
+        let src = "let s = \"first\nHashMap inside\nlast\"; let t = HashMap::new();";
+        let m = model(src);
+        assert_eq!(m.code.len(), 3);
+        assert!(!m.code[1].contains("HashMap"), "string interior blanked");
+        assert!(m.code[2].contains("HashMap::new"), "code after the close survives");
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! D7 fixture: the allowlisted twin — a computed label waived with a
+//! reason, and a literal derivation (unique labels never fire).
+
+pub fn setup(factory: &RngFactory, label: &str) -> Rng {
+    factory.stream(label) // simlint: allow(D7) — test harness relabels per case
+}
+
+pub fn arrivals(factory: &RngFactory) -> Rng {
+    factory.stream("arrivals")
+}

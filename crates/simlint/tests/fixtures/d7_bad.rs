@@ -1,0 +1,6 @@
+//! D7 fixture: a stream label that is not a string literal (known-bad) —
+//! the registry cannot prove a computed label collision-free.
+
+pub fn setup(factory: &RngFactory, label: &str) -> Rng {
+    factory.stream(label)
+}

@@ -1,0 +1,6 @@
+//! D7 fixture, module A: derives the `"arrivals"` stream first — the
+//! canonical site the collision in `d7_dup_b.rs` is reported against.
+
+pub fn setup(factory: &RngFactory) -> Rng {
+    factory.stream("arrivals")
+}

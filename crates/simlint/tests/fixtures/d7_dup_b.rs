@@ -1,0 +1,6 @@
+//! D7 fixture, module B: derives the same `"arrivals"` label as module A —
+//! the two "independent" streams silently share every draw (known-bad).
+
+pub fn setup(factory: &RngFactory) -> Rng {
+    factory.stream("arrivals")
+}

@@ -1,0 +1,18 @@
+//! H3 fixture: the same transitive allocation as `h3_bad.rs`, waived at
+//! the call site with a reason (the allowlisted twin).
+
+// simlint: hotpath(begin)
+pub fn dispatch(n: u32) -> u32 {
+    route(n) // simlint: allow(H3) — slab growth, amortized cold start
+}
+// simlint: hotpath(end)
+
+fn route(n: u32) -> u32 {
+    shape(n)
+}
+
+fn shape(n: u32) -> u32 {
+    let mut v = Vec::new();
+    v.push(n);
+    v.len() as u32
+}

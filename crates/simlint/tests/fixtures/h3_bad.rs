@@ -1,0 +1,19 @@
+//! H3 fixture: a fenced call reaching allocation two hops down (known-bad).
+//! The fence itself is H1-clean — the hazard is only visible through the
+//! call graph: `dispatch` → `route` → `shape`, and `shape` allocates.
+
+// simlint: hotpath(begin)
+pub fn dispatch(n: u32) -> u32 {
+    route(n)
+}
+// simlint: hotpath(end)
+
+fn route(n: u32) -> u32 {
+    shape(n)
+}
+
+fn shape(n: u32) -> u32 {
+    let mut v = Vec::new();
+    v.push(n);
+    v.len() as u32
+}

@@ -1,0 +1,18 @@
+//! S1 fixture: deliberately un-plumbed fields, waived at the definition
+//! site with a reason (the allowlisted twin of `s1_bad.rs`).
+
+pub struct Cursor {
+    pub pos: u64,
+    pub grain: u64, // simlint: allow(S1) — config, fixed at construction
+    pub scratch: Vec<u32>, // simlint: allow(S1) — scratch, always drained
+}
+
+impl Cursor {
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.u64(self.pos);
+    }
+
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) {
+        self.pos = r.u64();
+    }
+}

@@ -1,0 +1,21 @@
+//! S1 fixture: snapshotting type with un-plumbed fields (known-bad).
+
+pub struct Cursor {
+    pub pos: u64,
+    pub seq: u64,
+    pub lost: u64,
+    pub half: u64,
+}
+
+impl Cursor {
+    pub fn snap_save(&self, w: &mut SnapWriter) {
+        w.u64(self.pos);
+        w.u64(self.seq);
+        w.u64(self.half);
+    }
+
+    pub fn snap_restore(&mut self, r: &mut SnapReader<'_>) {
+        self.pos = r.u64();
+        self.seq = r.u64();
+    }
+}

@@ -1,0 +1,115 @@
+//! Property test: the scanner never reports a finding whose span lies
+//! inside a stripped string or comment region.
+//!
+//! Random interleavings of innocuous code, line/block/nested comments, and
+//! string literals of every flavor (plain, multi-line, raw, byte) are
+//! assembled into a source file. Hazard tokens (`std::collections::HashMap`,
+//! `Instant::now()`, `f.stream(label)`) appear **only** inside the stripped
+//! regions — except for dedicated real-hazard segments whose 1-indexed
+//! lines are tracked. The lint report must flag exactly the real-hazard
+//! lines: anything extra is a finding inside a stripped region, anything
+//! missing or shifted is line-number drift.
+
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use simlint::config::Config;
+use simlint::lint_sources;
+
+/// One generated source segment. Every variant knows its rendered text and
+/// how many source lines it spans.
+#[derive(Debug, Clone)]
+enum Seg {
+    /// Innocuous single-line code.
+    Code,
+    /// `// …hazards…`
+    LineComment,
+    /// `/* …hazards… */` on one line.
+    BlockComment,
+    /// Nested block comment spanning three lines, hazards inside.
+    NestedBlockComment,
+    /// `let s = "…hazards…";`
+    Str,
+    /// String literal spanning three lines, hazards inside.
+    MultiLineStr,
+    /// `let r = r#"…hazards…"#;`
+    RawStr,
+    /// `let b = b"…hazards…";`
+    ByteStr,
+    /// A *real* D1 hazard in code — its line must be flagged, exactly.
+    Hazard,
+}
+
+/// Hazard text planted inside stripped regions: D1, D2, and D7 bait.
+const BAIT: &str = "std::collections::HashMap Instant::now() f.stream(label)";
+
+impl Seg {
+    fn render(&self, i: usize) -> String {
+        match self {
+            Seg::Code => format!("let a{i} = {i};"),
+            Seg::LineComment => format!("// c{i}: {BAIT}"),
+            Seg::BlockComment => format!("/* c{i}: {BAIT} */"),
+            Seg::NestedBlockComment => {
+                format!("/* c{i}\n/* inner {BAIT} */\nstill c{i} */ let n{i} = {i};")
+            }
+            Seg::Str => format!("let s{i} = \"{BAIT}\";"),
+            Seg::MultiLineStr => format!("let m{i} = \"first\n{BAIT}\nlast\";"),
+            Seg::RawStr => format!("let r{i} = r#\"{BAIT}\"#;"),
+            Seg::ByteStr => format!("let b{i} = b\"{BAIT}\";"),
+            Seg::Hazard => format!("let h{i}: std::collections::HashMap<u32, u32> = x;"),
+        }
+    }
+}
+
+fn seg_strategy() -> impl Strategy<Value = Seg> {
+    prop_oneof![
+        Just(Seg::Code),
+        Just(Seg::LineComment),
+        Just(Seg::BlockComment),
+        Just(Seg::NestedBlockComment),
+        Just(Seg::Str),
+        Just(Seg::MultiLineStr),
+        Just(Seg::RawStr),
+        Just(Seg::ByteStr),
+        Just(Seg::Hazard),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn findings_never_point_into_stripped_regions(
+        segs in proptest::collection::vec((seg_strategy(), any::<u8>()), 1..40)
+    ) {
+        let mut source = String::new();
+        let mut expected: Vec<usize> = Vec::new(); // 1-indexed hazard lines
+        let mut line = 1usize;
+        for (i, (seg, crlf)) in segs.iter().enumerate() {
+            let text = seg.render(i);
+            if matches!(seg, Seg::Hazard) {
+                expected.push(line);
+            }
+            line += text.matches('\n').count() + 1;
+            source.push_str(&text);
+            // Mixed terminators: CRLF must behave exactly like LF.
+            source.push_str(if crlf % 2 == 0 { "\n" } else { "\r\n" });
+        }
+
+        let cfg = Config::builtin();
+        let report = lint_sources(&[("crates/x/src/lib.rs", source.as_str())], &cfg);
+        let mut got: Vec<usize> = report.findings.iter().map(|f| f.line).collect();
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(
+            got,
+            expected,
+            "flagged lines must be exactly the real-hazard lines\nsource:\n{}",
+            source
+        );
+        prop_assert!(
+            report.findings.iter().all(|f| f.rule == "D1"),
+            "only the planted D1 hazards may fire: {:?}",
+            report.findings
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! on the allowlisted twin.
 
 use simlint::config::Config;
-use simlint::{lint_source, render_json, Finding, Report};
+use simlint::{lint_source, lint_sources, render_json, Finding, Report};
 use std::path::Path;
 
 fn fixture(name: &str) -> String {
@@ -14,14 +14,30 @@ fn fixture(name: &str) -> String {
 }
 
 /// Lints `name` as if it lived at `rel` and returns (findings, JSON).
+/// Per-file rules only; the interprocedural rules need [`lint_fixture_tree`].
 fn lint_fixture(name: &str, rel: &str) -> (Vec<Finding>, String) {
     let cfg = Config::builtin();
     let findings = lint_source(rel, &fixture(name), &cfg);
     let json = render_json(&Report {
         findings: findings.clone(),
         files_scanned: 1,
+        ..Report::default()
     });
     (findings, json)
+}
+
+/// Lints fixture files together as one tree — both passes, so the
+/// interprocedural rules (S1, H3, D7) run too.
+fn lint_fixture_tree(pairs: &[(&str, &str)]) -> (Report, String) {
+    let cfg = Config::builtin();
+    let sources: Vec<(&str, String)> = pairs
+        .iter()
+        .map(|&(name, rel)| (rel, fixture(name)))
+        .collect();
+    let refs: Vec<(&str, &str)> = sources.iter().map(|(r, s)| (*r, s.as_str())).collect();
+    let report = lint_sources(&refs, &cfg);
+    let json = render_json(&report);
+    (report, json)
 }
 
 /// Asserts the JSON report carries `rule` at exactly `lines` in `rel`.
@@ -239,7 +255,127 @@ fn baseline_demotes_findings_without_hiding_them() {
     let report = Report {
         findings,
         files_scanned: 1,
+        ..Report::default()
     };
     assert_eq!(report.gating_count(), 0);
     assert!(render_json(&report).contains("\"baselined\": true"));
+}
+
+// ================================================ interprocedural (pass 2)
+
+#[test]
+fn s1_fires_on_unplumbed_fields_at_definition_lines() {
+    let rel = "crates/x/src/lib.rs";
+    let (report, json) = lint_fixture_tree(&[("s1_bad.rs", rel)]);
+    assert!(report.findings.iter().all(|f| f.rule == "S1"));
+    // `lost` (line 6) is never written in snap_save; `half` (line 7) is
+    // saved but never restored.
+    assert_json_lines(&json, "S1", rel, &[6, 7]);
+    let lost = report.findings.iter().find(|f| f.line == 6).unwrap();
+    assert!(
+        lost.message.contains("`lost`") && lost.message.contains("never written in snap_save"),
+        "definition-site diagnostic: {}",
+        lost.message
+    );
+    let half = report.findings.iter().find(|f| f.line == 7).unwrap();
+    assert!(
+        half.message.contains("`half`") && half.message.contains("never read in snap_restore"),
+        "restore-side diagnostic: {}",
+        half.message
+    );
+}
+
+#[test]
+fn s1_respects_allow() {
+    let (report, _) = lint_fixture_tree(&[("s1_allowed.rs", "crates/x/src/lib.rs")]);
+    assert!(report.findings.is_empty(), "allowlisted: {:?}", report.findings);
+}
+
+#[test]
+fn h3_fires_on_transitive_alloc_with_chain_named() {
+    let rel = "crates/x/src/lib.rs";
+    let (report, json) = lint_fixture_tree(&[("h3_bad.rs", rel)]);
+    assert!(report.findings.iter().all(|f| f.rule == "H3"));
+    // The fenced call `route(n)` sits on line 7; `shape` allocates two
+    // hops down on line 16.
+    assert_json_lines(&json, "H3", rel, &[7]);
+    let f = &report.findings[0];
+    assert!(
+        f.message.contains("chain: route → shape"),
+        "chain named in the diagnostic: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("Vec::new") && f.message.contains("crates/x/src/lib.rs:16"),
+        "offending needle and line named: {}",
+        f.message
+    );
+}
+
+#[test]
+fn h3_respects_allow_at_call_site() {
+    let (report, _) = lint_fixture_tree(&[("h3_allowed.rs", "crates/x/src/lib.rs")]);
+    assert!(report.findings.is_empty(), "allowlisted: {:?}", report.findings);
+}
+
+#[test]
+fn d7_fires_on_cross_module_label_collision() {
+    let rel_a = "crates/x/src/a.rs";
+    let rel_b = "crates/x/src/b.rs";
+    let (report, json) = lint_fixture_tree(&[("d7_dup_a.rs", rel_a), ("d7_dup_b.rs", rel_b)]);
+    assert!(report.findings.iter().all(|f| f.rule == "D7"));
+    // The collision is reported at the *second* site (module B, line 5),
+    // referencing the canonical first derivation (module A, line 5).
+    assert_json_lines(&json, "D7", rel_b, &[5]);
+    let f = &report.findings[0];
+    assert!(
+        f.message.contains("\"arrivals\"") && f.message.contains("crates/x/src/a.rs:5"),
+        "collision references the canonical site: {}",
+        f.message
+    );
+    // The registry carries both sites under one label.
+    let entry = report
+        .rng_streams
+        .iter()
+        .find(|e| e.label == "arrivals")
+        .expect("registry entry");
+    assert_eq!(
+        entry.sites,
+        vec![(rel_a.to_owned(), 5), (rel_b.to_owned(), 5)]
+    );
+    assert!(
+        json.contains("\"label\": \"arrivals\""),
+        "registry rendered under --format json:\n{json}"
+    );
+}
+
+#[test]
+fn d7_fires_on_non_literal_label() {
+    let rel = "crates/x/src/lib.rs";
+    let (report, json) = lint_fixture_tree(&[("d7_bad.rs", rel)]);
+    assert!(report.findings.iter().all(|f| f.rule == "D7"));
+    assert_json_lines(&json, "D7", rel, &[5]);
+    assert!(report.findings[0].message.contains("not a string literal"));
+}
+
+#[test]
+fn d7_respects_allow_and_registers_literals() {
+    let (report, _) = lint_fixture_tree(&[("d7_allowed.rs", "crates/x/src/lib.rs")]);
+    assert!(report.findings.is_empty(), "allowlisted: {:?}", report.findings);
+    assert_eq!(report.rng_streams.len(), 1);
+    assert_eq!(report.rng_streams[0].label, "arrivals");
+}
+
+#[test]
+fn same_module_relabeling_is_not_a_collision() {
+    // One module deriving its own label twice reproduces the same stream
+    // by design; only a *different* module colliding is a hazard.
+    let rel = "crates/x/src/a.rs";
+    let (report, _) = lint_fixture_tree(&[("d7_dup_a.rs", rel), ("d7_dup_a.rs", rel)]);
+    // (Same file listed twice: both sites carry the same rel path.)
+    assert!(
+        report.findings.is_empty(),
+        "same-module re-derivation: {:?}",
+        report.findings
+    );
 }

@@ -11,7 +11,9 @@
 //!
 //! The fault (E18/E19) and overload (E20/E21) experiments are pinned the
 //! same way: hashes catch drift from the overload-control machinery, the
-//! jobs test catches any nondeterminism in their sweeps.
+//! jobs test catches any nondeterminism in their sweeps. E27 (warm-start
+//! grid, wall-clock-free cell fingerprints) and E29 (chaos sweep) extend
+//! the battery over the checkpoint/branch and chaos-search layers.
 
 use scaleup_bench::{experiments as exp, Config};
 use std::sync::Mutex;
@@ -220,4 +222,78 @@ fn sweeps_are_byte_identical_at_any_worker_count() {
     scaleup::par::set_jobs(0); // restore auto
     assert_eq!(seq.0, par.0, "E3 differs between --jobs 1 and --jobs 8");
     assert_eq!(seq.1, par.1, "E8 differs between --jobs 1 and --jobs 8");
+}
+
+#[test]
+fn e27_e29_quick_outputs_match_golden_hashes() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    // E27's rendered table embeds wall-clock seconds, so pin the
+    // simulation-derived cell fingerprint (same fields the experiment's own
+    // cold-vs-warm check compares) plus the `identical` verdict. E29's
+    // table carries only seed-derived values and hashes directly.
+    let e27 = exp::e27(&config);
+    let cells: Vec<_> = e27
+        .cold
+        .iter()
+        .chain(e27.warm.iter())
+        .map(|(users, extent, r)| {
+            (
+                *users,
+                extent.as_nanos(),
+                r.completed,
+                r.events_processed,
+                r.throughput_rps.to_bits(),
+            )
+        })
+        .collect();
+    let rendered = format!("{cells:?} {}", e27.identical);
+    assert_eq!(
+        fnv1a(&rendered),
+        0x6d4b_c8f4_dd5d_30a9,
+        "E27 quick fingerprint drifted; new hash {:#018x}, cells:\n{rendered}",
+        fnv1a(&rendered)
+    );
+    let e29 = exp::e29(&config).table;
+    assert_eq!(
+        fnv1a(&e29),
+        0x674d_2227_498a_d819,
+        "E29 quick table drifted; new hash {:#018x}, table:\n{e29}",
+        fnv1a(&e29)
+    );
+}
+
+#[test]
+fn warm_start_and_chaos_are_deterministic_at_any_worker_count() {
+    let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = Config::quick(42);
+    // E27 compares the wall-clock-free cell fingerprints; E29's table must
+    // match byte for byte (the chaos search fans probes across the pool but
+    // merges findings in plan order).
+    let snapshot = || {
+        let e27 = exp::e27(&config);
+        let cells: Vec<_> = e27
+            .cold
+            .iter()
+            .chain(e27.warm.iter())
+            .map(|(users, extent, r)| {
+                (
+                    *users,
+                    extent.as_nanos(),
+                    r.completed,
+                    r.events_processed,
+                    r.throughput_rps.to_bits(),
+                )
+            })
+            .collect();
+        (cells, e27.identical, exp::e29(&config).table)
+    };
+    scaleup::par::set_jobs(1);
+    let seq = snapshot();
+    scaleup::par::set_jobs(8);
+    let par = snapshot();
+    scaleup::par::set_jobs(0); // restore auto
+    assert_eq!(seq.0, par.0, "E27 differs between --jobs 1 and --jobs 8");
+    assert_eq!(seq.1, par.1, "E27 verdict differs between --jobs 1 and --jobs 8");
+    assert_eq!(seq.2, par.2, "E29 differs between --jobs 1 and --jobs 8");
 }

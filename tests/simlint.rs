@@ -41,38 +41,46 @@ fn workspace_has_zero_gating_findings() {
 #[test]
 fn baseline_is_empty_for_determinism_rules() {
     // The ratchet: the D-rule baseline was driven to empty in the migration
-    // and must stay there. (H rules could baseline during an incremental
-    // hot-path cleanup; determinism hazards may not.)
+    // and must stay there — every D rule (D1–D7), not just the original
+    // three. (H and S rules could baseline during an incremental cleanup;
+    // determinism hazards may not.)
     let cfg = simlint::load_config(&repo_root());
-    let stale: Vec<&String> = cfg
+    let banned: Vec<&String> = cfg
         .baseline
         .iter()
-        .filter(|e| e.starts_with("D1:") || e.starts_with("D2:") || e.starts_with("D3:"))
+        .filter(|e| {
+            e.starts_with('D')
+                && e.as_bytes().get(1).is_some_and(u8::is_ascii_digit)
+                && e.as_bytes().get(2) == Some(&b':')
+        })
         .collect();
     assert!(
-        stale.is_empty(),
-        "determinism rules must not be baselined: {stale:?}"
+        banned.is_empty(),
+        "determinism rules (D1–D7) must not be baselined: {banned:?}"
     );
 }
 
 #[test]
 fn baseline_entries_are_live() {
     // A baseline entry whose finding no longer fires is stale and must be
-    // removed — otherwise the baseline only ever grows.
+    // removed — otherwise the baseline only ever grows. The report carries
+    // the stale set with each entry's simlint.toml line so the diagnostic
+    // names exactly what to delete.
     let root = repo_root();
-    let cfg = simlint::load_config(&root);
-    if cfg.baseline.is_empty() {
-        return;
-    }
     let report = simlint::lint_workspace(&root);
-    for entry in &cfg.baseline {
-        let (rule, file) = entry.split_once(':').expect("baseline entry RULE:path");
-        assert!(
-            report
-                .findings
-                .iter()
-                .any(|f| f.rule == rule && f.file == file),
-            "stale baseline entry {entry:?}: the finding no longer fires"
-        );
-    }
+    let details: Vec<String> = report
+        .stale_baseline
+        .iter()
+        .map(|s| match s.toml_line {
+            Some(line) => format!("  `{}` (simlint.toml:{line})", s.entry),
+            None => format!("  `{}`", s.entry),
+        })
+        .collect();
+    assert!(
+        details.is_empty(),
+        "{} stale baseline entr{} match no finding — delete from simlint.toml:\n{}",
+        details.len(),
+        if details.len() == 1 { "y" } else { "ies" },
+        details.join("\n")
+    );
 }
